@@ -1,0 +1,328 @@
+package payloadpark
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// dataplane micro-benchmarks and ablations. Each figure benchmark runs a
+// reduced single-configuration version of the experiment (the full sweeps
+// live behind `go run ./cmd/ppbench -exp <id>`) and reports the paper's
+// headline quantity via b.ReportMetric.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/harness"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/sim"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// benchPair runs a baseline/PayloadPark configuration pair and reports
+// the goodput gain percentage.
+func benchPair(b *testing.B, mk func(pp bool) sim.TestbedConfig) (base, pp sim.Result) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		base = sim.RunTestbed(mk(false))
+		pp = sim.RunTestbed(mk(true))
+	}
+	if base.GoodputGbps > 0 {
+		b.ReportMetric(100*(pp.GoodputGbps-base.GoodputGbps)/base.GoodputGbps, "goodput-gain-%")
+	}
+	return base, pp
+}
+
+// shortWindows keeps benchmark iterations around a second.
+func shortWindows(cfg sim.TestbedConfig) sim.TestbedConfig {
+	cfg.WarmupNs = 2e6
+	cfg.MeasureNs = 6e6
+	return cfg
+}
+
+func BenchmarkFig06DatacenterCDF(b *testing.B) {
+	gen := trafficgen.New(trafficgen.Config{
+		Sizes: trafficgen.Datacenter{}, Flows: 1024,
+		SrcMAC: sim.MACGen, DstMAC: sim.MACNF,
+		DstIP: packet.IPv4Addr{10, 1, 0, 9}, DstPort: 80, Seed: 1,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+	b.ReportMetric(gen.SizeCDF().Mean(), "mean-pkt-bytes")
+}
+
+func BenchmarkFig07GoodputLatency(b *testing.B) {
+	// FW->NAT->LB on NetBricks, 10GbE, datacenter traffic, at 11 Gbps
+	// offered — past the baseline's saturation (paper: +13% at peak).
+	benchPair(b, func(pp bool) sim.TestbedConfig {
+		return shortWindows(sim.TestbedConfig{
+			Name: "fig7", LinkBps: 10e9, SendBps: 11e9,
+			Dist: trafficgen.Datacenter{}, Seed: 1,
+			BuildChain:  harness.ChainFWNATLB,
+			Server:      harness.NetBricks10G(),
+			PayloadPark: pp,
+			PP:          core.Config{Slots: harness.MacroSlots, MaxExpiry: 1},
+		})
+	})
+}
+
+func BenchmarkFig08FixedSizes(b *testing.B) {
+	// 384 B FW->NAT at 38 Gbps offered on 40GbE — past the baseline's
+	// PCIe-bound saturation, inside PayloadPark's (paper: up to +36%).
+	// Reported as drop-adjusted goodput: headers that reached the NF
+	// server AND survived its NIC ring.
+	var base, pp sim.Result
+	for i := 0; i < b.N; i++ {
+		mk := func(isPP bool) sim.TestbedConfig {
+			return shortWindows(sim.TestbedConfig{
+				Name: "fig8", LinkBps: 40e9, SendBps: 38e9,
+				Dist: trafficgen.Fixed(384), Seed: 1,
+				BuildChain:  harness.ChainFWNAT,
+				Server:      harness.OpenNetVM40G(),
+				PayloadPark: isPP,
+				PP:          core.Config{Slots: harness.MacroSlots, MaxExpiry: 1},
+			})
+		}
+		base = sim.RunTestbed(mk(false))
+		pp = sim.RunTestbed(mk(true))
+	}
+	eb := base.GoodputGbps * (1 - base.UnintendedDropRate)
+	ep := pp.GoodputGbps * (1 - pp.UnintendedDropRate)
+	if eb > 0 {
+		b.ReportMetric(100*(ep-eb)/eb, "effective-goodput-gain-%")
+	}
+}
+
+func BenchmarkFig09PCIe(b *testing.B) {
+	// 256 B packets at a common sub-saturation rate (paper: 58% savings).
+	var base, pp sim.Result
+	for i := 0; i < b.N; i++ {
+		mk := func(isPP bool) sim.TestbedConfig {
+			return shortWindows(sim.TestbedConfig{
+				Name: "fig9", LinkBps: 40e9, SendBps: 16e9,
+				Dist: trafficgen.Fixed(256), Seed: 1,
+				BuildChain:  harness.ChainFWNAT,
+				Server:      harness.OpenNetVM40G(),
+				PayloadPark: isPP,
+				PP:          core.Config{Slots: harness.MacroSlots, MaxExpiry: 1},
+			})
+		}
+		base = sim.RunTestbed(mk(false))
+		pp = sim.RunTestbed(mk(true))
+	}
+	if base.PCIeGbps > 0 {
+		b.ReportMetric(100*(base.PCIeGbps-pp.PCIeGbps)/base.PCIeGbps, "pcie-savings-%")
+	}
+}
+
+func benchMulti(b *testing.B, pp bool, send float64) sim.MultiServerResult {
+	b.Helper()
+	var res sim.MultiServerResult
+	for i := 0; i < b.N; i++ {
+		res = sim.RunMultiServer(sim.MultiServerConfig{
+			Servers: 2, LinkBps: 10e9, SendBps: send,
+			Dist: trafficgen.Fixed(384), SlotsPerServer: harness.SlotsForSRAMPct(0.20, false),
+			MaxExpiry: 1, Server: harness.MultiServer10G(),
+			PayloadPark: pp, Seed: 1, WarmupNs: 2e6, MeasureNs: 6e6,
+		})
+	}
+	return res
+}
+
+func BenchmarkFig10MultiServerGoodput(b *testing.B) {
+	base := benchMulti(b, false, 12e9)
+	pp := benchMulti(b, true, 12e9)
+	g0 := base.PerServer[0].GoodputGbps
+	if g0 > 0 {
+		b.ReportMetric(100*(pp.PerServer[0].GoodputGbps-g0)/g0, "per-server-gain-%")
+	}
+}
+
+func BenchmarkFig11MultiServerLatency(b *testing.B) {
+	base := benchMulti(b, false, 7e9)
+	pp := benchMulti(b, true, 7e9)
+	l0 := base.PerServer[0].AvgLatencyUs
+	if l0 > 0 {
+		b.ReportMetric(100*(l0-pp.PerServer[0].AvgLatencyUs)/l0, "latency-win-%")
+	}
+}
+
+func BenchmarkFig12EvictionPolicy(b *testing.B) {
+	// 50% firewall drops: conservative eviction without explicit drops vs
+	// explicit drops (paper: the latter preserves goodput).
+	var noExpl, expl sim.Result
+	for i := 0; i < b.N; i++ {
+		mk := func(explicit bool) sim.TestbedConfig {
+			return sim.TestbedConfig{
+				Name: "fig12", LinkBps: 10e9, SendBps: 12e9,
+				Dist: trafficgen.Datacenter{}, Seed: 1,
+				BuildChain:   harness.ChainFWNATDrop(0.5),
+				Server:       harness.OpenNetVM40G(),
+				PayloadPark:  true,
+				PP:           core.Config{Slots: harness.MacroSlots, MaxExpiry: 10},
+				ExplicitDrop: explicit,
+				WarmupNs:     60e6, MeasureNs: 25e6,
+			}
+		}
+		noExpl = sim.RunTestbed(mk(false))
+		expl = sim.RunTestbed(mk(true))
+	}
+	if noExpl.GoodputGbps > 0 {
+		b.ReportMetric(100*(expl.GoodputGbps-noExpl.GoodputGbps)/noExpl.GoodputGbps, "explicit-drop-gain-%")
+	}
+}
+
+func BenchmarkFig13Recirculation(b *testing.B) {
+	// Recirculation parks 384 B (paper: +28%, ~2x the 160 B gain).
+	benchPair(b, func(pp bool) sim.TestbedConfig {
+		cfg := shortWindows(sim.TestbedConfig{
+			Name: "fig13", LinkBps: 10e9, SendBps: 13e9,
+			Dist: trafficgen.Datacenter{}, Seed: 1,
+			BuildChain:  harness.ChainFWNATLB,
+			Server:      harness.NetBricks10G(),
+			PayloadPark: pp,
+			PP:          core.Config{Slots: harness.MacroSlotsRecirc, MaxExpiry: 1, Recirculate: pp},
+		})
+		return cfg
+	})
+}
+
+func BenchmarkFig14MemorySweep(b *testing.B) {
+	// One point of the sweep: the 17.81% SRAM table at a rate just above
+	// its eviction onset; the metric is premature evictions observed.
+	server := harness.MemorySweepServer()
+	server.ServiceJitterPct = 0.2
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = sim.RunTestbed(sim.TestbedConfig{
+			Name: "fig14", LinkBps: 40e9, SendBps: 16e9,
+			Dist: trafficgen.Fixed(384), Seed: 1,
+			BuildChain:  harness.ChainFWNAT,
+			Server:      server,
+			PayloadPark: true,
+			PP:          core.Config{Slots: harness.SlotsForSRAMPct(0.1781, false), MaxExpiry: 1},
+			WarmupNs:    15e6, MeasureNs: 30e6,
+		})
+	}
+	b.ReportMetric(float64(res.Premature), "premature-evictions")
+}
+
+func BenchmarkFig15NFCycles(b *testing.B) {
+	// NF-Heavy at 256 B: compute-bound, no PayloadPark gain expected.
+	benchPair(b, func(pp bool) sim.TestbedConfig {
+		return shortWindows(sim.TestbedConfig{
+			Name: "fig15", LinkBps: 40e9, SendBps: 10e9,
+			Dist: trafficgen.Fixed(256), Seed: 1,
+			BuildChain:  harness.ChainSynthetic("NF-Heavy", 570),
+			Server:      harness.OpenNetVM40G(),
+			PayloadPark: pp,
+			PP:          core.Config{Slots: harness.MacroSlots, MaxExpiry: 1},
+		})
+	})
+}
+
+func BenchmarkFig16SmallPacketLatency(b *testing.B) {
+	// 512 B FW->NAT at 40 Gbps offered: the baseline is past its cap
+	// (paper: 33.6 Gbps), PayloadPark is not.
+	benchPair(b, func(pp bool) sim.TestbedConfig {
+		return shortWindows(sim.TestbedConfig{
+			Name: "fig16", LinkBps: 40e9, SendBps: 40e9,
+			Dist: trafficgen.Fixed(512), Seed: 1,
+			BuildChain:  harness.ChainFWNAT,
+			Server:      harness.OpenNetVM40G(),
+			PayloadPark: pp,
+			PP:          core.Config{Slots: harness.MacroSlots, MaxExpiry: 1},
+		})
+	})
+}
+
+func BenchmarkTable1Resources(b *testing.B) {
+	var sram float64
+	for i := 0; i < b.N; i++ {
+		sw := core.NewSwitch("table1")
+		for pipe := 0; pipe < 4; pipe++ {
+			_, err := sw.AttachPayloadPark(core.Config{
+				Slots: harness.SlotsForSRAMPct(0.26, false), MaxExpiry: 1,
+				SplitPort: PortID(core.PortsPerPipe * pipe), MergePort: PortID(core.PortsPerPipe*pipe + 1),
+			}, -1)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		sram = sw.Pipe(0).Resources().SRAMAvgPct
+	}
+	b.ReportMetric(sram, "sram-avg-%")
+}
+
+func BenchmarkS621Equivalence(b *testing.B) {
+	// The §6.2.6 functional-equivalence check via the harness.
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment("equiv", true, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Dataplane micro-benchmarks and ablations ----
+
+func benchInjectLoop(b *testing.B, cfg core.Config, size int, attach bool) {
+	sw := core.NewSwitch("bench")
+	sw.AddL2Route(sim.MACNF, 1)
+	sw.AddL2Route(sim.MACSink, 2)
+	if attach {
+		if _, err := sw.AttachPayloadPark(cfg, map[bool]int{true: 1, false: -1}[cfg.Recirculate]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flow := packet.FiveTuple{
+		SrcIP: packet.IPv4Addr{10, 0, 0, 1}, DstIP: packet.IPv4Addr{10, 1, 0, 9},
+		SrcPort: 5000, DstPort: 80, Protocol: packet.IPProtoUDP,
+	}
+	builder := packet.NewBuilder(sim.MACGen, sim.MACNF)
+	proto := builder.UDP(flow, size, 1)
+	b.ReportAllocs()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := proto.Clone()
+		em := sw.Inject(pkt, 0)
+		if em != nil && em.Pkt.PP != nil && em.Pkt.PP.Enabled {
+			em.Pkt.Eth.Dst = sim.MACSink
+			sw.Inject(em.Pkt, 1)
+		}
+	}
+}
+
+func BenchmarkDataplaneSplitMerge(b *testing.B) {
+	benchInjectLoop(b, core.Config{Slots: 8192, MaxExpiry: 1, SplitPort: 0, MergePort: 1}, 882, true)
+}
+
+func BenchmarkDataplaneBaselineL2(b *testing.B) {
+	benchInjectLoop(b, core.Config{}, 882, false)
+}
+
+func BenchmarkAblationRecirculation(b *testing.B) {
+	// Per-packet cost of the second pipeline pass (384 B parked).
+	benchInjectLoop(b, core.Config{Slots: 8192, MaxExpiry: 1, SplitPort: 0, MergePort: 1, Recirculate: true}, 882, true)
+}
+
+func BenchmarkAblationTableSize64k(b *testing.B) {
+	// Table size must not affect per-packet cost (O(1) register indexing).
+	benchInjectLoop(b, core.Config{Slots: 65536, MaxExpiry: 1, SplitPort: 0, MergePort: 1}, 882, true)
+}
+
+func BenchmarkAblationExpiry10(b *testing.B) {
+	// Conservative expiry: same per-packet cost, different policy.
+	benchInjectLoop(b, core.Config{Slots: 8192, MaxExpiry: 10, SplitPort: 0, MergePort: 1}, 882, true)
+}
+
+func BenchmarkAblationSmallPacketPath(b *testing.B) {
+	// Packets below the parking threshold take the ENB=0 path.
+	benchInjectLoop(b, core.Config{Slots: 8192, MaxExpiry: 1, SplitPort: 0, MergePort: 1}, 128, true)
+}
+
+func BenchmarkAblationBoundaryOffset(b *testing.B) {
+	// Per-packet cost with the §7 decoupling boundary at 64 B: the
+	// visible-prefix copy adds to split/merge work.
+	benchInjectLoop(b, core.Config{Slots: 8192, MaxExpiry: 1, SplitPort: 0, MergePort: 1, BoundaryOffset: 64}, 882, true)
+}

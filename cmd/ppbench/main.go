@@ -1,0 +1,68 @@
+// Command ppbench regenerates the paper's tables and figures from the
+// simulation harness.
+//
+// Usage:
+//
+//	ppbench -list
+//	ppbench -exp fig7 [-quick] [-seed N]
+//	ppbench -exp all  [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/harness"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id (e.g. fig7, table1) or 'all'")
+		quick = flag.Bool("quick", false, "shorter windows and sparser sweeps")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	run := func(e harness.Experiment) error {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("   paper: %s\n", e.Paper)
+		start := time.Now()
+		err := e.Run(opts, os.Stdout)
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		return err
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "ppbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := harness.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ppbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Multi-server example (§6.2.3): eight NF servers share one switch, two
+// per pipe, with the reserved switch memory statically sliced between
+// them. Performance isolation means every server sees the same gain.
+//
+//	go run ./examples/multiserver
+package main
+
+import (
+	"fmt"
+
+	payloadpark "github.com/payloadpark/payloadpark"
+)
+
+func run(pp bool, sendGbps float64) payloadpark.MultiServerResult {
+	return payloadpark.SimulateMultiServer(payloadpark.MultiServerConfig{
+		Servers:        8,
+		LinkBps:        10e9,
+		SendBps:        sendGbps * 1e9,
+		Dist:           payloadpark.Fixed(384), // small packets stress switch memory
+		SlotsPerServer: 12000,
+		MaxExpiry:      1,
+		PayloadPark:    pp,
+		Seed:           7,
+		WarmupNs:       5e6,
+		MeasureNs:      20e6,
+	})
+}
+
+func main() {
+	// Run just past the baseline link's saturation point so the gain shows.
+	base := run(false, 12)
+	pp := run(true, 12)
+
+	fmt.Println("8 NF servers (MAC-swap), 384B packets, 12 Gbps offered per server (baseline link caps at ~9.4)")
+	fmt.Println()
+	fmt.Println("server   baseline-goodput   payloadpark-goodput")
+	for i := range base.PerServer {
+		fmt.Printf("  %d      %.3f Gbps         %.3f Gbps\n",
+			i+1, base.PerServer[i].GoodputGbps, pp.PerServer[i].GoodputGbps)
+	}
+	fmt.Printf("\nshared switch SRAM with 8 sliced tables: %.1f%% avg / %.1f%% peak per stage\n",
+		pp.SRAMAvgPct, pp.SRAMPeakPct)
+	fmt.Println("every server improves by the same factor: static slicing isolates tenants.")
+}

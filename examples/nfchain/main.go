@@ -1,0 +1,62 @@
+// NF chain example: the paper's headline experiment (Fig. 7) in miniature.
+// A FW -> NAT -> LB chain on a 10 GbE link receives enterprise-datacenter
+// traffic; we compare baseline and PayloadPark deployments as the offered
+// load crosses the link's capacity.
+//
+//	go run ./examples/nfchain
+package main
+
+import (
+	"fmt"
+
+	payloadpark "github.com/payloadpark/payloadpark"
+)
+
+func buildChain() *payloadpark.Chain {
+	fw := payloadpark.NewFirewall(nil) // empty blacklist: nothing drops
+	nat := payloadpark.NewNAT(payloadpark.IPv4Addr{198, 51, 100, 1})
+	lb, err := payloadpark.NewLoadBalancer(map[string]payloadpark.IPv4Addr{
+		"backend-0": {10, 2, 0, 10},
+		"backend-1": {10, 2, 0, 11},
+		"backend-2": {10, 2, 0, 12},
+		"backend-3": {10, 2, 0, 13},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return payloadpark.NewChain(fw, nat, lb)
+}
+
+func run(sendGbps float64, pp bool) payloadpark.SimResult {
+	cfg := payloadpark.SimConfig{
+		Name:       "nfchain",
+		LinkBps:    10e9,
+		SendBps:    sendGbps * 1e9,
+		Dist:       payloadpark.Datacenter(),
+		Seed:       1,
+		BuildChain: buildChain,
+		Server:     payloadpark.DefaultServerModel(),
+		WarmupNs:   5e6,
+		MeasureNs:  20e6,
+	}
+	if pp {
+		cfg.PayloadPark = true
+		cfg.PP = payloadpark.Config{Slots: 16384, MaxExpiry: 1}
+	}
+	return payloadpark.Simulate(cfg)
+}
+
+func main() {
+	fmt.Println("FW->NAT->LB on 10GbE, datacenter traffic (avg 882B, 30% small)")
+	fmt.Println()
+	fmt.Println("send(G)  baseline-goodput  pp-goodput  baseline-lat   pp-lat")
+	for _, g := range []float64{4, 8, 10, 11, 12} {
+		b := run(g, false)
+		p := run(g, true)
+		fmt.Printf("%5.0f    %.3f Gbps        %.3f Gbps  %8.1f us  %8.1f us\n",
+			g, b.GoodputGbps, p.GoodputGbps, b.AvgLatencyUs, p.AvgLatencyUs)
+	}
+	fmt.Println()
+	fmt.Println("past 10G the baseline link saturates: its latency spikes and goodput")
+	fmt.Println("plateaus, while PayloadPark keeps fitting more headers into the same wire.")
+}

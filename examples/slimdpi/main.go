@@ -1,0 +1,61 @@
+// Slim-DPI example (§7, "Decoupling boundary"): a classifier that
+// inspects only the first bytes of each payload keeps working on split
+// packets when the decoupling boundary is moved past its inspection
+// window — the variable-boundary extension the paper sketches.
+//
+//	go run ./examples/slimdpi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	payloadpark "github.com/payloadpark/payloadpark"
+)
+
+func main() {
+	signature := []byte{0xde, 0xad, 0xbe, 0xef}
+
+	run := func(boundary int) (*payloadpark.Deployment, *payloadpark.SlimDPINF) {
+		dpi := payloadpark.NewSlimDPI(48, [][]byte{signature})
+		dep, err := payloadpark.New(payloadpark.DeploymentConfig{
+			Slots:          1024,
+			BoundaryOffset: boundary,
+			Chain:          payloadpark.NewChain(dpi),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return dep, dpi
+	}
+
+	// Boundary 64: the DPI's 48-byte window is fully visible to the NF
+	// even while 160 bytes behind it are parked in the switch.
+	dep, dpi := run(64)
+
+	flow := payloadpark.FiveTuple{
+		SrcIP: payloadpark.IPv4Addr{10, 0, 0, 1}, DstIP: payloadpark.IPv4Addr{10, 1, 0, 9},
+		SrcPort: 5000, DstPort: 80, Protocol: 17,
+	}
+	delivered, blocked := 0, 0
+	for i := 0; i < 1000; i++ {
+		pkt := payloadpark.NewUDPPacket(flow, 700, uint16(i))
+		if i%10 == 0 {
+			copy(pkt.Payload[20:], signature) // malicious prefix
+		}
+		if out := dep.Process(pkt); out != nil {
+			delivered++
+		} else {
+			blocked++
+		}
+	}
+
+	c := dep.Counters()
+	fmt.Printf("boundary offset: 64 B visible, %d B parked per packet\n", payloadpark.ParkBytes)
+	fmt.Printf("delivered=%d blocked=%d (DPI matched %d signatures)\n", delivered, blocked, dpi.Matched())
+	fmt.Printf("splits=%d merges=%d premature=%d\n",
+		c.Splits.Value(), c.Merges.Value(), c.PrematureEvictions.Value())
+	fmt.Println()
+	fmt.Println("the classifier saw every signature although 160 bytes of each payload")
+	fmt.Println("never left the switch — the decoupling boundary kept its window visible.")
+}

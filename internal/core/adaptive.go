@@ -1,0 +1,82 @@
+package core
+
+// AdaptiveEvictor implements the adaptive payload eviction policy the
+// paper sketches as future work (§7): "PayloadPark could start with an
+// aggressive payload eviction policy and dynamically switch to a
+// conservative eviction policy when payload evictions exceed a
+// predefined threshold."
+//
+// The controller is a control-plane component: it periodically reads the
+// premature-eviction counter (exactly what the switch CPU would poll over
+// PCIe) and rewrites the program's Expiry threshold. Aggressive mode
+// reclaims orphaned payloads quickly; when premature evictions reveal
+// that live payloads are being reclaimed (an NF latency spike), the
+// controller backs off to the conservative threshold, and returns to
+// aggressive once the spike passes.
+type AdaptiveEvictor struct {
+	prog *Program
+	// Aggressive/Conservative are the two Expiry thresholds toggled
+	// between (paper examples: 1-2 aggressive, 10 conservative).
+	Aggressive   uint32
+	Conservative uint32
+	// Threshold is the number of premature evictions per observation
+	// interval that triggers the conservative policy.
+	Threshold uint64
+	// CalmIntervals is how many consecutive clean observations are needed
+	// before returning to the aggressive policy.
+	CalmIntervals int
+
+	lastPremature uint64
+	calm          int
+	conservative  bool
+	switches      uint64
+}
+
+// NewAdaptiveEvictor attaches a controller to a program. The program
+// starts in aggressive mode.
+func NewAdaptiveEvictor(prog *Program, aggressive, conservative uint32, threshold uint64) *AdaptiveEvictor {
+	a := &AdaptiveEvictor{
+		prog:          prog,
+		Aggressive:    aggressive,
+		Conservative:  conservative,
+		Threshold:     threshold,
+		CalmIntervals: 3,
+		lastPremature: prog.C.PrematureEvictions.Value(),
+	}
+	prog.SetMaxExpiry(aggressive)
+	return a
+}
+
+// Observe runs one control interval: it samples the premature-eviction
+// counter delta and adjusts the policy. Call it periodically (e.g. every
+// few milliseconds of traffic).
+func (a *AdaptiveEvictor) Observe() {
+	now := a.prog.C.PrematureEvictions.Value()
+	delta := now - a.lastPremature
+	a.lastPremature = now
+
+	if delta > a.Threshold {
+		if !a.conservative {
+			a.conservative = true
+			a.switches++
+			a.prog.SetMaxExpiry(a.Conservative)
+		}
+		a.calm = 0
+		return
+	}
+	if a.conservative {
+		a.calm++
+		if a.calm >= a.CalmIntervals {
+			a.conservative = false
+			a.switches++
+			a.calm = 0
+			a.prog.SetMaxExpiry(a.Aggressive)
+		}
+	}
+}
+
+// ConservativeMode reports whether the controller is currently backed off.
+func (a *AdaptiveEvictor) ConservativeMode() bool { return a.conservative }
+
+// Switches returns how many policy transitions have occurred.
+func (a *AdaptiveEvictor) Switches() uint64 { return a.switches }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/stats"
+)
+
+// Counters are the monitoring counters the prototype maintains (§5
+// "We maintain eight counters for monitoring PayloadPark operation",
+// plus the drop bookkeeping the evaluation relies on).
+type Counters struct {
+	// Splits counts successful Split operations (payload parked).
+	Splits stats.Counter
+	// Merges counts successful Merge operations (payload reattached).
+	Merges stats.Counter
+	// ExplicitDrops counts Explicit Drop packets that reclaimed a slot (§6.2.4).
+	ExplicitDrops stats.Counter
+	// Evictions counts payloads evicted by the expiry mechanism.
+	Evictions stats.Counter
+	// PrematureEvictions counts Merge attempts whose payload had already
+	// been evicted (generation mismatch); these packets are dropped. Zero
+	// premature evictions is the paper's functional-equivalence
+	// prerequisite (§6.1).
+	PrematureEvictions stats.Counter
+	// SplitDisabledFromNF counts packets received from the NF server with
+	// the ENB bit zero (Split was disabled for them).
+	SplitDisabledFromNF stats.Counter
+	// SmallPayloadSkips counts Split opportunities skipped because the
+	// payload was smaller than the parked size (§5).
+	SmallPayloadSkips stats.Counter
+	// OccupiedSkips counts Split opportunities skipped because the probed
+	// slot was occupied and not yet expired.
+	OccupiedSkips stats.Counter
+
+	// BadTagDrops counts merge-port packets whose tag CRC failed
+	// validation; they are dropped before touching stateful memory (§3.2).
+	BadTagDrops stats.Counter
+	// StaleExplicitDrops counts Explicit Drop packets whose slot had
+	// already been evicted or reused; nothing is reclaimed.
+	StaleExplicitDrops stats.Counter
+}
+
+// String summarizes the counters on one line.
+func (c *Counters) String() string {
+	return fmt.Sprintf("splits=%d merges=%d explicitDrops=%d evictions=%d premature=%d enb0FromNF=%d smallSkips=%d occupiedSkips=%d badTag=%d staleExplicit=%d",
+		c.Splits.Value(), c.Merges.Value(), c.ExplicitDrops.Value(),
+		c.Evictions.Value(), c.PrematureEvictions.Value(),
+		c.SplitDisabledFromNF.Value(), c.SmallPayloadSkips.Value(),
+		c.OccupiedSkips.Value(), c.BadTagDrops.Value(), c.StaleExplicitDrops.Value())
+}
+
+// Outstanding returns how many payloads are currently parked: successful
+// splits minus every way a slot is reclaimed.
+func (c *Counters) Outstanding() int64 {
+	return int64(c.Splits.Value()) - int64(c.Merges.Value()) -
+		int64(c.ExplicitDrops.Value()) - int64(c.Evictions.Value())
+}

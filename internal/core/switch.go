@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/stats"
+)
+
+// PortsPerPipe mirrors the paper's Tofino: 64 ports in four groups of 16,
+// each group sharing one pipe and its resources (§5).
+const PortsPerPipe = 16
+
+// NumPipes is the number of pipes on the modeled switch.
+const NumPipes = 4
+
+// DropUnknownMAC is recorded when L2 forwarding has no entry for the
+// destination MAC.
+const DropUnknownMAC = "unknown dst mac"
+
+// Emission is a packet leaving the switch.
+type Emission struct {
+	Pkt *packet.Packet
+	// Port is the egress port chosen by L2 forwarding.
+	Port rmt.PortID
+	// Passes is the number of pipeline passes the packet took (2 when
+	// recirculated).
+	Passes int
+	// LatencyNs is the switch traversal latency for this packet.
+	LatencyNs int64
+}
+
+// Switch is a 4-pipe RMT switch running L2 forwarding plus any installed
+// PayloadPark programs. A Switch with no programs installed is the
+// paper's baseline deployment.
+type Switch struct {
+	name     string
+	pipes    [NumPipes]*rmt.Pipeline
+	programs []*Program
+	// recircOf maps an ingress pipe index to the pipe handling its second
+	// pass.
+	recircOf map[int]int
+	l2       map[packet.MAC]rmt.PortID
+
+	// RxPackets / TxPackets count packets entering and leaving the switch.
+	RxPackets stats.Counter
+	TxPackets stats.Counter
+	// Drops counts dropped packets by reason.
+	Drops map[string]uint64
+}
+
+// NewSwitch returns a switch with four empty pipes and an empty L2 table.
+func NewSwitch(name string) *Switch {
+	s := &Switch{
+		name:     name,
+		recircOf: make(map[int]int),
+		l2:       make(map[packet.MAC]rmt.PortID),
+		Drops:    make(map[string]uint64),
+	}
+	for i := range s.pipes {
+		s.pipes[i] = rmt.NewPipeline(fmt.Sprintf("%s/pipe%d", name, i))
+	}
+	return s
+}
+
+// Pipe returns pipe i for inspection (resource reports, tests).
+func (s *Switch) Pipe(i int) *rmt.Pipeline { return s.pipes[i] }
+
+// Programs returns the installed PayloadPark programs.
+func (s *Switch) Programs() []*Program { return s.programs }
+
+// AddL2Route maps a destination MAC to an egress port.
+func (s *Switch) AddL2Route(mac packet.MAC, port rmt.PortID) { s.l2[mac] = port }
+
+// PipeOfPort returns the pipe index serving a port.
+func PipeOfPort(port rmt.PortID) int { return int(port) / PortsPerPipe }
+
+// AttachPayloadPark installs a PayloadPark program. Both cfg ports must
+// live on the same pipe — pipes do not share stateful memory (§5). With
+// cfg.Recirculate, recircPipe names the pipe whose stages hold the
+// second-pass payload blocks.
+func (s *Switch) AttachPayloadPark(cfg Config, recircPipe int) (*Program, error) {
+	pipeIdx := PipeOfPort(cfg.SplitPort)
+	if PipeOfPort(cfg.MergePort) != pipeIdx {
+		return nil, fmt.Errorf("core: split port %d and merge port %d are on different pipes; pipes share no stateful memory",
+			cfg.SplitPort, cfg.MergePort)
+	}
+	var rp *rmt.Pipeline
+	if cfg.Recirculate {
+		if recircPipe < 0 || recircPipe >= NumPipes || recircPipe == pipeIdx {
+			return nil, fmt.Errorf("core: invalid recirculation pipe %d for ingress pipe %d", recircPipe, pipeIdx)
+		}
+		rp = s.pipes[recircPipe]
+		s.recircOf[pipeIdx] = recircPipe
+	}
+	prog, err := Install(s.pipes[pipeIdx], rp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.programs = append(s.programs, prog)
+	return prog, nil
+}
+
+// Inject runs one packet through the switch, entering on port in. It
+// returns the emission, or nil if the packet was dropped or consumed
+// (explicit drops, eviction mismatches, unknown MACs).
+//
+// The packet is mutated in place (headers rewritten, payload parked or
+// reassembled); callers that need the original must Clone first.
+func (s *Switch) Inject(pkt *packet.Packet, in rmt.PortID) *Emission {
+	em, _ := s.InjectTraced(pkt, in)
+	return em
+}
+
+// InjectTraced is Inject with the drop reason: when the emission is nil,
+// reason holds the drop cause (one of the Drop* constants or
+// DropUnknownMAC); otherwise it is empty. The simulator uses the reason to
+// separate intended consumption (explicit drops) from failures.
+func (s *Switch) InjectTraced(pkt *packet.Packet, in rmt.PortID) (*Emission, string) {
+	s.RxPackets.Inc()
+	pipeIdx := PipeOfPort(in)
+	if pipeIdx < 0 || pipeIdx >= NumPipes {
+		s.drop("invalid port")
+		return nil, "invalid port"
+	}
+	pipe := s.pipes[pipeIdx]
+	phv := pipe.Parser().ToPHV(pkt, in)
+	pipe.Process(phv)
+	passes := 1
+	if phv.Recirc {
+		phv.Recirc = false
+		phv.Pass = 1
+		s.pipes[s.recircOf[pipeIdx]].Process(phv)
+		passes = 2
+	}
+	return s.deparse(phv, passes)
+}
+
+// InjectFrame parses raw frame bytes and runs them through the switch,
+// returning the emitted frame bytes. This is the entry point for the
+// real-socket dataplane and the byte-level equivalence tests.
+func (s *Switch) InjectFrame(frame []byte, in rmt.PortID) ([]byte, *Emission, error) {
+	pipeIdx := PipeOfPort(in)
+	if pipeIdx < 0 || pipeIdx >= NumPipes {
+		s.RxPackets.Inc()
+		s.drop("invalid port")
+		return nil, nil, fmt.Errorf("core: invalid port %d", in)
+	}
+	pkt, err := packet.ParseAt(frame, s.ppOffsetFor(in))
+	if err != nil {
+		s.RxPackets.Inc()
+		s.drop("parse error")
+		return nil, nil, err
+	}
+	em := s.Inject(pkt, in)
+	if em == nil {
+		return nil, nil, nil
+	}
+	return em.Pkt.Serialize(), em, nil
+}
+
+// ppOffsetFor returns where arriving frames on port carry a PayloadPark
+// header: the owning program's decoupling-boundary offset for merge
+// ports, -1 (no header) otherwise.
+func (s *Switch) ppOffsetFor(port rmt.PortID) int {
+	for _, p := range s.programs {
+		if p.cfg.MergePort == port {
+			return p.cfg.BoundaryOffset
+		}
+	}
+	return -1
+}
+
+// deparse applies the PHV's park/reassemble effects to the packet bytes
+// and L2-forwards it.
+func (s *Switch) deparse(phv *rmt.PHV, passes int) (*Emission, string) {
+	if phv.Drop {
+		s.drop(phv.DropWhy)
+		return nil, phv.DropWhy
+	}
+	pkt := phv.Pkt
+	if phv.GetMeta(rmt.MetaSplitClaimed) == 1 {
+		// The parked region stays in the payload table; the deparser
+		// emits headers + visible prefix + PayloadPark header + the
+		// remaining payload.
+		park := int(phv.GetMeta(rmt.MetaParkBytes))
+		k := int(phv.GetMeta(rmt.MetaParkOffset))
+		if k == 0 {
+			pkt.Payload = pkt.Payload[park:]
+		} else {
+			rest := make([]byte, 0, len(pkt.Payload)-park)
+			rest = append(rest, pkt.Payload[:k]...)
+			rest = append(rest, pkt.Payload[k+park:]...)
+			pkt.Payload = rest
+		}
+	}
+	if phv.GetMeta(rmt.MetaPPEnabled) == 1 {
+		// Reassemble: parked blocks return to their boundary offset. The
+		// block views share one contiguous buffer (see makeBlockViews),
+		// so the first view's backing array is the parked region.
+		park := int(phv.GetMeta(rmt.MetaParkBytes))
+		k := int(phv.GetMeta(rmt.MetaParkOffset))
+		buf := phv.Blocks[0][:park:park] // full backing buffer
+		if k == 0 {
+			pkt.Payload = append(buf, pkt.Payload...)
+		} else {
+			merged := make([]byte, 0, k+park+len(pkt.Payload)-k)
+			merged = append(merged, pkt.Payload[:k]...)
+			merged = append(merged, buf...)
+			merged = append(merged, pkt.Payload[k:]...)
+			pkt.Payload = merged
+		}
+	}
+	out, ok := s.l2[pkt.Eth.Dst]
+	if !ok {
+		s.drop(DropUnknownMAC)
+		return nil, DropUnknownMAC
+	}
+	s.TxPackets.Inc()
+	lat := int64(rmt.PipeLatencyNs)
+	if passes > 1 {
+		lat += int64(passes-1) * rmt.RecircLatencyNs
+	}
+	return &Emission{Pkt: pkt, Port: out, Passes: passes, LatencyNs: lat}, ""
+}
+
+func (s *Switch) drop(why string) { s.Drops[why]++ }
+
+// TotalDrops sums drops across reasons.
+func (s *Switch) TotalDrops() uint64 {
+	var n uint64
+	for _, v := range s.Drops {
+		n += v
+	}
+	return n
+}

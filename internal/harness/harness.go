@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/sim"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Quick shrinks measurement windows and sweep densities for CI-speed
+	// runs; shapes survive, absolute precision drops.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) warmup() int64 {
+	if o.Quick {
+		return 2e6
+	}
+	return 10e6
+}
+
+func (o Options) measure() int64 {
+	if o.Quick {
+		return 8e6
+	}
+	return 40e6
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the CLI name, e.g. "fig7".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper summarizes what the paper reports, for side-by-side reading.
+	Paper string
+	// Run executes the experiment, writing its table/series to w.
+	Run func(o Options, w io.Writer) error
+}
+
+// registry of experiments, populated by the experiment files' init()s.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// newTable returns a tabwriter for aligned experiment output.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// pct renders a ratio as a signed percentage.
+func pct(now, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(now-base)/base)
+}
+
+// Chain builders shared by experiments. Each call returns fresh NF state.
+
+// ChainFW1 is the single-rule firewall (the paper's two-NF chain firewall
+// has one rule, §6.1). The rule blacklists 172.16/12, which generated
+// traffic (10/8) never matches, so nothing drops unless an experiment
+// wants drops.
+func ChainFW1() *nf.Chain {
+	return nf.NewChain(nf.NewFirewall([]nf.FirewallRule{
+		{Prefix: packet.IPv4Addr{172, 16, 0, 0}, Bits: 12},
+	}))
+}
+
+// ChainNAT is the single NAT NF.
+func ChainNAT() *nf.Chain {
+	return nf.NewChain(nf.NewNAT(packet.IPv4Addr{198, 51, 100, 1}))
+}
+
+// ChainFWNAT is Firewall -> NAT with the single-rule firewall.
+func ChainFWNAT() *nf.Chain {
+	return nf.NewChain(
+		nf.NewFirewall([]nf.FirewallRule{{Prefix: packet.IPv4Addr{172, 16, 0, 0}, Bits: 12}}),
+		nf.NewNAT(packet.IPv4Addr{198, 51, 100, 1}),
+	)
+}
+
+// ChainFWNATDrop is Firewall -> NAT with a blacklist dropping roughly the
+// given fraction of uniform 10/8 traffic (Fig. 12).
+func ChainFWNATDrop(fraction float64) func() *nf.Chain {
+	return func() *nf.Chain {
+		return nf.NewChain(
+			nf.NewFirewall(nf.BlacklistFraction(fraction)),
+			nf.NewNAT(packet.IPv4Addr{198, 51, 100, 1}),
+		)
+	}
+}
+
+// ChainFWNATLB is the three-NF chain with the 20-rule firewall (§6.1).
+func ChainFWNATLB() *nf.Chain {
+	rules := make([]nf.FirewallRule, 20)
+	for i := range rules {
+		// 20 specific /24s inside 172.16/12: never match generated traffic.
+		rules[i] = nf.FirewallRule{Prefix: packet.IPv4Addr{172, 16, byte(i), 0}, Bits: 24}
+	}
+	lb, err := nf.NewLoadBalancer(map[string]packet.IPv4Addr{
+		"backend-0": {10, 2, 0, 10}, "backend-1": {10, 2, 0, 11},
+		"backend-2": {10, 2, 0, 12}, "backend-3": {10, 2, 0, 13},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return nf.NewChain(
+		nf.NewFirewall(rules),
+		nf.NewNAT(packet.IPv4Addr{198, 51, 100, 1}),
+		lb,
+	)
+}
+
+// ChainSynthetic wraps one synthetic NF of the given cost.
+func ChainSynthetic(name string, cycles uint64) func() *nf.Chain {
+	return func() *nf.Chain { return nf.NewChain(nf.NewSynthetic(name, cycles)) }
+}
+
+// peakHealthySend binary-searches the highest send rate (bps) whose run
+// still satisfies ok (e.g. the <0.1% drop criterion). mk builds the run
+// configuration for a given send rate. Returns the peak rate and its
+// result.
+func peakHealthySend(mk func(sendBps float64) sim.TestbedConfig, lo, hi float64, iters int, ok func(sim.Result) bool) (float64, sim.Result) {
+	best := lo
+	bestRes := sim.RunTestbed(mk(lo))
+	if !ok(bestRes) {
+		// Even the floor is unhealthy; report it as-is.
+		return lo, bestRes
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		res := sim.RunTestbed(mk(mid))
+		if ok(res) {
+			lo = mid
+			best, bestRes = mid, res
+		} else {
+			hi = mid
+		}
+	}
+	return best, bestRes
+}
+
+// healthy is the standard <0.1% unintended-drop criterion.
+func healthy(r sim.Result) bool { return r.Healthy }
+
+// noPrematureEvictions is the Fig. 14 criterion.
+func noPrematureEvictions(r sim.Result) bool { return r.Premature == 0 && r.Healthy }

@@ -1,0 +1,146 @@
+package maglev
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func backends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("backend-%d", i)
+	}
+	return out
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 7); err != ErrNoBackends {
+		t.Errorf("err = %v, want ErrNoBackends", err)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	tbl, err := New(backends(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Size() != DefaultTableSize {
+		t.Errorf("size = %d, want %d", tbl.Size(), DefaultTableSize)
+	}
+}
+
+func TestEveryPositionFilled(t *testing.T) {
+	tbl, err := New(backends(5), 2039)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tbl.Distribution()
+	total := 0
+	for _, c := range d {
+		total += c
+	}
+	if total != 2039 {
+		t.Errorf("filled = %d, want 2039", total)
+	}
+	if len(d) != 5 {
+		t.Errorf("backends present = %d, want 5", len(d))
+	}
+}
+
+func TestBalance(t *testing.T) {
+	// Maglev guarantees near-perfect balance: max/min position counts
+	// should be within a few percent at reasonable table sizes.
+	tbl, err := New(backends(8), 2039)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tbl.Distribution()
+	min, max := 1<<30, 0
+	for _, c := range d {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max-min) > 0.05*float64(max) {
+		t.Errorf("imbalance: min=%d max=%d", min, max)
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	tbl, _ := New(backends(4), 251)
+	tbl2, _ := New([]string{"backend-3", "backend-1", "backend-0", "backend-2"}, 251)
+	for h := uint64(0); h < 1000; h++ {
+		if tbl.Lookup(h) != tbl2.Lookup(h) {
+			t.Fatalf("backend order changed assignment at hash %d", h)
+		}
+	}
+}
+
+func TestMinimalDisruptionOnRemoval(t *testing.T) {
+	all := backends(8)
+	before, _ := New(all, 2039)
+	after, _ := New(all[:7], 2039) // drop backend-7
+
+	moved := 0
+	const probes = 20000
+	for h := uint64(0); h < probes; h++ {
+		b1 := before.Lookup(h)
+		b2 := after.Lookup(h)
+		if b1 == "backend-7" {
+			continue // must move; not a disruption
+		}
+		if b1 != b2 {
+			moved++
+		}
+	}
+	// The Maglev paper reports roughly size-proportional disruption; with
+	// 2039 entries and one backend of eight removed, well under 20% of
+	// surviving flows should remap.
+	if frac := float64(moved) / probes; frac > 0.20 {
+		t.Errorf("disruption = %.2f%%, want < 20%%", 100*frac)
+	}
+}
+
+func TestSingleBackend(t *testing.T) {
+	tbl, err := New([]string{"only"}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := uint64(0); h < 100; h++ {
+		if tbl.Lookup(h) != "only" {
+			t.Fatal("single backend must own every position")
+		}
+	}
+}
+
+func TestBackendsCopy(t *testing.T) {
+	tbl, _ := New(backends(3), 13)
+	names := tbl.Backends()
+	names[0] = "mutated"
+	if tbl.Backends()[0] == "mutated" {
+		t.Error("Backends leaked internal slice")
+	}
+}
+
+func TestLookupAlwaysValidProperty(t *testing.T) {
+	tbl, _ := New(backends(6), 509)
+	valid := make(map[string]bool)
+	for _, b := range tbl.Backends() {
+		valid[b] = true
+	}
+	f := func(h uint64) bool { return valid[tbl.Lookup(h)] }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tbl, _ := New(backends(8), 2039)
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(uint64(i))
+	}
+}

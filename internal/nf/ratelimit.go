@@ -1,0 +1,84 @@
+package nf
+
+import (
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+// Rate limiter cycle-cost model: one hash, one bucket update.
+const rateLimitCycles = 120
+
+// RateLimiter is a per-flow token-bucket policer — a classic shallow NF:
+// it reads only the 5-tuple, so PayloadPark applies. Buckets are refilled
+// by a logical clock the caller advances (the simulator drives it from
+// simulated time; wire mode from wall time).
+type RateLimiter struct {
+	ratePerSec float64 // tokens (packets) per second
+	burst      float64
+	buckets    map[packet.FiveTuple]*bucket
+	nowNs      int64
+	dropped    uint64
+	passed     uint64
+}
+
+type bucket struct {
+	tokens float64
+	lastNs int64
+}
+
+// NewRateLimiter builds a policer admitting ratePerSec packets per flow
+// with the given burst allowance.
+func NewRateLimiter(ratePerSec float64, burst int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		ratePerSec: ratePerSec,
+		burst:      float64(burst),
+		buckets:    make(map[packet.FiveTuple]*bucket),
+	}
+}
+
+// Name implements NF.
+func (r *RateLimiter) Name() string { return "RateLimit" }
+
+// AdvanceTo moves the limiter's clock to nowNs (monotonic). Buckets refill
+// lazily against this clock.
+func (r *RateLimiter) AdvanceTo(nowNs int64) {
+	if nowNs > r.nowNs {
+		r.nowNs = nowNs
+	}
+}
+
+// Dropped returns packets policed away; Passed packets admitted.
+func (r *RateLimiter) Dropped() uint64 { return r.dropped }
+
+// Passed returns the number of admitted packets.
+func (r *RateLimiter) Passed() uint64 { return r.passed }
+
+// Flows returns the number of tracked flows.
+func (r *RateLimiter) Flows() int { return len(r.buckets) }
+
+// Process implements NF.
+func (r *RateLimiter) Process(pkt *packet.Packet) (Verdict, uint64) {
+	ft := pkt.FiveTuple()
+	b, ok := r.buckets[ft]
+	if !ok {
+		b = &bucket{tokens: r.burst, lastNs: r.nowNs}
+		r.buckets[ft] = b
+	}
+	// Lazy refill.
+	if r.nowNs > b.lastNs {
+		b.tokens += float64(r.nowNs-b.lastNs) / 1e9 * r.ratePerSec
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.lastNs = r.nowNs
+	}
+	if b.tokens < 1 {
+		r.dropped++
+		return Drop, rateLimitCycles
+	}
+	b.tokens--
+	r.passed++
+	return Forward, rateLimitCycles
+}

@@ -1,0 +1,80 @@
+package nf
+
+import (
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+func TestRateLimiterBurstThenPolice(t *testing.T) {
+	rl := NewRateLimiter(10, 5) // 10 pps, burst 5
+	p := func() *packet.Packet { return pktFrom(packet.IPv4Addr{10, 0, 0, 1}, 5000, 100) }
+
+	// Burst admits 5, then drops.
+	for i := 0; i < 5; i++ {
+		if v, _ := rl.Process(p()); v != Forward {
+			t.Fatalf("burst packet %d dropped", i)
+		}
+	}
+	if v, _ := rl.Process(p()); v != Drop {
+		t.Fatal("sixth packet admitted past burst")
+	}
+	if rl.Dropped() != 1 || rl.Passed() != 5 {
+		t.Errorf("dropped=%d passed=%d", rl.Dropped(), rl.Passed())
+	}
+
+	// 100 ms at 10 pps refills one token.
+	rl.AdvanceTo(100e6)
+	if v, _ := rl.Process(p()); v != Forward {
+		t.Fatal("refilled token not granted")
+	}
+	if v, _ := rl.Process(p()); v != Drop {
+		t.Fatal("second packet admitted without tokens")
+	}
+}
+
+func TestRateLimiterPerFlowIsolation(t *testing.T) {
+	rl := NewRateLimiter(1, 1)
+	a := pktFrom(packet.IPv4Addr{10, 0, 0, 1}, 5000, 100)
+	b := pktFrom(packet.IPv4Addr{10, 0, 0, 2}, 5000, 100)
+	if v, _ := rl.Process(a); v != Forward {
+		t.Fatal("flow A first packet dropped")
+	}
+	if v, _ := rl.Process(b); v != Forward {
+		t.Fatal("flow B punished for flow A's tokens")
+	}
+	if rl.Flows() != 2 {
+		t.Errorf("flows = %d", rl.Flows())
+	}
+}
+
+func TestRateLimiterBucketCap(t *testing.T) {
+	rl := NewRateLimiter(1000, 3)
+	p := func() *packet.Packet { return pktFrom(packet.IPv4Addr{10, 0, 0, 1}, 1, 100) }
+	rl.Process(p())     // create bucket (tokens 2 left)
+	rl.AdvanceTo(100e9) // huge idle: refill must cap at burst
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if v, _ := rl.Process(p()); v == Forward {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d after idle, want burst cap 3", admitted)
+	}
+}
+
+func TestRateLimiterClockMonotonic(t *testing.T) {
+	rl := NewRateLimiter(10, 1)
+	rl.AdvanceTo(50e6)
+	rl.AdvanceTo(10e6) // going backwards must be ignored
+	if rl.nowNs != 50e6 {
+		t.Errorf("clock went backwards: %d", rl.nowNs)
+	}
+	if NewRateLimiter(5, 0).burst != 1 {
+		t.Error("burst floor not applied")
+	}
+	if rl.Name() != "RateLimit" {
+		t.Error("name")
+	}
+}

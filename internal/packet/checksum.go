@@ -1,0 +1,74 @@
+package packet
+
+// Internet checksum (RFC 1071) and incremental update (RFC 1624) used for
+// IPv4 header checksums and the incremental L4 checksum maintenance that
+// keeps PayloadPark transparent: the switch never recomputes an L4 checksum
+// (it cannot — it does not hold the payload at Merge time until the final
+// stages), and NFs such as NAT patch checksums incrementally, so a checksum
+// computed over the original full packet stays consistent once the payload
+// is re-attached.
+
+// Checksum computes the 16-bit one's-complement Internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate16 incrementally updates checksum old when a 16-bit field
+// changes from oldVal to newVal, per RFC 1624 (eqn. 3):
+//
+//	HC' = ~(~HC + ~m + m')
+func ChecksumUpdate16(old, oldVal, newVal uint16) uint16 {
+	sum := uint32(^old&0xffff) + uint32(^oldVal&0xffff) + uint32(newVal)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate32 incrementally updates a checksum for a 32-bit field
+// change (e.g. an IPv4 address rewrite) by applying two 16-bit updates.
+func ChecksumUpdate32(old uint16, oldVal, newVal uint32) uint16 {
+	old = ChecksumUpdate16(old, uint16(oldVal>>16), uint16(newVal>>16))
+	return ChecksumUpdate16(old, uint16(oldVal&0xffff), uint16(newVal&0xffff))
+}
+
+// crc16Table is the CRC-16/CCITT-FALSE table (poly 0x1021), the polynomial
+// class commonly available in switch ASIC hash engines. The PayloadPark tag
+// carries a 16-bit CRC over the table-index and clock fields so the Merge
+// stage can reject corrupted or forged tags before touching stateful memory.
+var crc16Table [256]uint16
+
+func init() {
+	const poly = 0x1021
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16Table[i] = crc
+	}
+}
+
+// CRC16 computes CRC-16/CCITT-FALSE (init 0xFFFF) over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xffff)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}

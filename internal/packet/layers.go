@@ -1,0 +1,184 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Parse/serialize errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 packet")
+	ErrIPv4Options = errors.New("packet: IPv4 options unsupported")
+	ErrUnknownL4   = errors.New("packet: unknown transport protocol")
+)
+
+// Ethernet is a DIX Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType EtherType
+}
+
+// Unmarshal decodes the header from b.
+func (h *Ethernet) Unmarshal(b []byte) error {
+	if len(b) < EthernetHeaderLen {
+		return fmt.Errorf("ethernet header: %w", ErrTruncated)
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = EtherType(binary.BigEndian.Uint16(b[12:14]))
+	return nil
+}
+
+// Marshal encodes the header into b, which must hold EthernetHeaderLen bytes.
+func (h *Ethernet) Marshal(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], uint16(h.EtherType))
+}
+
+// IPv4 is an IPv4 header without options (IHL=5), as carried by the
+// paper's workloads.
+type IPv4 struct {
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	Flags       uint8 // 3 bits
+	FragOffset  uint16
+	TTL         uint8
+	Protocol    IPProtocol
+	Checksum    uint16
+	Src         IPv4Addr
+	Dst         IPv4Addr
+}
+
+// Unmarshal decodes the header from b.
+func (h *IPv4) Unmarshal(b []byte) error {
+	if len(b) < IPv4HeaderLen {
+		return fmt.Errorf("ipv4 header: %w", ErrTruncated)
+	}
+	if v := b[0] >> 4; v != 4 {
+		return ErrNotIPv4
+	}
+	if ihl := b[0] & 0x0f; ihl != 5 {
+		return ErrIPv4Options
+	}
+	h.TOS = b[1]
+	h.TotalLength = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	flagsFrag := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(flagsFrag >> 13)
+	h.FragOffset = flagsFrag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = IPProtocol(b[9])
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return nil
+}
+
+// Marshal encodes the header into b, which must hold IPv4HeaderLen bytes.
+// The stored Checksum field is written verbatim; call UpdateChecksum or
+// SetChecksum first if fields changed.
+func (h *IPv4) Marshal(b []byte) {
+	b[0] = 4<<4 | 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLength)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOffset&0x1fff)
+	b[8] = h.TTL
+	b[9] = uint8(h.Protocol)
+	binary.BigEndian.PutUint16(b[10:12], h.Checksum)
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+}
+
+// ComputeChecksum returns the correct header checksum for the current
+// field values.
+func (h *IPv4) ComputeChecksum() uint16 {
+	var tmp [IPv4HeaderLen]byte
+	saved := h.Checksum
+	h.Checksum = 0
+	h.Marshal(tmp[:])
+	h.Checksum = saved
+	return Checksum(tmp[:])
+}
+
+// UpdateChecksum recomputes and stores the header checksum.
+func (h *IPv4) UpdateChecksum() { h.Checksum = h.ComputeChecksum() }
+
+// ChecksumValid reports whether the stored checksum matches the fields.
+func (h *IPv4) ChecksumValid() bool { return h.Checksum == h.ComputeChecksum() }
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// Unmarshal decodes the header from b.
+func (h *UDP) Unmarshal(b []byte) error {
+	if len(b) < UDPHeaderLen {
+		return fmt.Errorf("udp header: %w", ErrTruncated)
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return nil
+}
+
+// Marshal encodes the header into b, which must hold UDPHeaderLen bytes.
+func (h *UDP) Marshal(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], h.Checksum)
+}
+
+// TCP is a TCP header without options (data offset 5). The paper's traffic
+// is UDP, but the decoupling-boundary discussion (§7) covers TCP, so the
+// parser understands it.
+type TCP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+}
+
+// Unmarshal decodes the header from b.
+func (h *TCP) Unmarshal(b []byte) error {
+	if len(b) < TCPHeaderLen {
+		return fmt.Errorf("tcp header: %w", ErrTruncated)
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	h.Urgent = binary.BigEndian.Uint16(b[18:20])
+	return nil
+}
+
+// Marshal encodes the header into b, which must hold TCPHeaderLen bytes.
+func (h *TCP) Marshal(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = 5 << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	binary.BigEndian.PutUint16(b[18:20], h.Urgent)
+}

@@ -1,0 +1,266 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// Packet is a parsed network packet. Exactly one of UDP or TCP is non-nil
+// after a successful parse. PP is non-nil when the packet carries a
+// PayloadPark header (inserted by the switch's Split stage).
+//
+// Header structs are authoritative: mutate them and call Serialize to get
+// wire bytes. Payload holds the payload bytes with the PayloadPark header
+// removed; for a split packet this is the original payload minus the
+// parked region — the parked bytes live in switch memory.
+//
+// PPOffset positions the PayloadPark header within the payload region:
+// 0 (the prototype's default) puts it directly after the L4 header; a
+// deployment using the §7 variable decoupling boundary leaves the first
+// PPOffset payload bytes in front of it, visible to Slim-DPI-style NFs.
+type Packet struct {
+	Eth      Ethernet
+	IP       IPv4
+	UDP      *UDP
+	TCP      *TCP
+	PP       *PPHeader
+	PPOffset int
+	Payload  []byte
+}
+
+// Parse decodes an Ethernet/IPv4/{UDP,TCP} frame. withPP tells the parser
+// whether a PayloadPark header follows the L4 header; in the real system
+// this is known from the ingress port (packets arriving from the NF server
+// carry it), not from the bytes, because the header deliberately has no
+// magic number — it replaces payload bytes that nothing else interprets.
+func Parse(frame []byte, withPP bool) (*Packet, error) {
+	off := -1
+	if withPP {
+		off = 0
+	}
+	return ParseAt(frame, off)
+}
+
+// ParseAt decodes a frame whose PayloadPark header sits ppOffset bytes
+// into the payload region (the §7 decoupling boundary). ppOffset < 0
+// parses a frame with no PayloadPark header.
+func ParseAt(frame []byte, ppOffset int) (*Packet, error) {
+	p := &Packet{}
+	if err := p.Eth.Unmarshal(frame); err != nil {
+		return nil, err
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+	off := EthernetHeaderLen
+	if err := p.IP.Unmarshal(frame[off:]); err != nil {
+		return nil, err
+	}
+	off += IPv4HeaderLen
+	switch p.IP.Protocol {
+	case IPProtoUDP:
+		p.UDP = &UDP{}
+		if err := p.UDP.Unmarshal(frame[off:]); err != nil {
+			return nil, err
+		}
+		off += UDPHeaderLen
+	case IPProtoTCP:
+		p.TCP = &TCP{}
+		if err := p.TCP.Unmarshal(frame[off:]); err != nil {
+			return nil, err
+		}
+		off += TCPHeaderLen
+	default:
+		return nil, ErrUnknownL4
+	}
+	if ppOffset >= 0 {
+		if len(frame) < off+ppOffset+PPHeaderLen {
+			return nil, fmt.Errorf("payloadpark header at offset %d: %w", ppOffset, ErrTruncated)
+		}
+		p.PP = &PPHeader{}
+		if err := p.PP.Unmarshal(frame[off+ppOffset:]); err != nil {
+			return nil, err
+		}
+		p.PPOffset = ppOffset
+		// Payload excludes the header: visible prefix + remainder.
+		payload := make([]byte, 0, len(frame)-off-PPHeaderLen)
+		payload = append(payload, frame[off:off+ppOffset]...)
+		payload = append(payload, frame[off+ppOffset+PPHeaderLen:]...)
+		p.Payload = payload
+		return p, nil
+	}
+	p.Payload = append([]byte(nil), frame[off:]...)
+	return p, nil
+}
+
+// l4Len returns the length of the transport header.
+func (p *Packet) l4Len() int {
+	if p.UDP != nil {
+		return UDPHeaderLen
+	}
+	if p.TCP != nil {
+		return TCPHeaderLen
+	}
+	return 0
+}
+
+// HeaderLen returns the total header bytes on the wire, including the
+// PayloadPark header when present.
+func (p *Packet) HeaderLen() int {
+	n := EthernetHeaderLen + IPv4HeaderLen + p.l4Len()
+	if p.PP != nil {
+		n += PPHeaderLen
+	}
+	return n
+}
+
+// Len returns the full wire length of the packet in bytes (excluding
+// Ethernet FCS/preamble, which the link model accounts separately).
+func (p *Packet) Len() int { return p.HeaderLen() + len(p.Payload) }
+
+// Serialize renders the packet to a freshly allocated frame buffer.
+func (p *Packet) Serialize() []byte {
+	buf := make([]byte, p.Len())
+	p.SerializeTo(buf)
+	return buf
+}
+
+// SerializeTo renders the packet into buf, which must hold Len() bytes,
+// and returns the number of bytes written. A PayloadPark header, when
+// present, is emitted PPOffset bytes into the payload region.
+func (p *Packet) SerializeTo(buf []byte) int {
+	off := 0
+	p.Eth.Marshal(buf[off:])
+	off += EthernetHeaderLen
+	p.IP.Marshal(buf[off:])
+	off += IPv4HeaderLen
+	switch {
+	case p.UDP != nil:
+		p.UDP.Marshal(buf[off:])
+		off += UDPHeaderLen
+	case p.TCP != nil:
+		p.TCP.Marshal(buf[off:])
+		off += TCPHeaderLen
+	}
+	if p.PP != nil {
+		k := p.PPOffset
+		if k > len(p.Payload) {
+			k = len(p.Payload)
+		}
+		off += copy(buf[off:], p.Payload[:k])
+		p.PP.Marshal(buf[off:])
+		off += PPHeaderLen
+		off += copy(buf[off:], p.Payload[k:])
+		return off
+	}
+	copy(buf[off:], p.Payload)
+	return off + len(p.Payload)
+}
+
+// Clone deep-copies the packet.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	if p.UDP != nil {
+		u := *p.UDP
+		c.UDP = &u
+	}
+	if p.TCP != nil {
+		t := *p.TCP
+		c.TCP = &t
+	}
+	if p.PP != nil {
+		pp := *p.PP
+		c.PP = &pp
+	}
+	c.Payload = append([]byte(nil), p.Payload...)
+	return &c
+}
+
+// FiveTuple returns the flow key examined by shallow NFs.
+func (p *Packet) FiveTuple() FiveTuple {
+	ft := FiveTuple{SrcIP: p.IP.Src, DstIP: p.IP.Dst, Protocol: p.IP.Protocol}
+	switch {
+	case p.UDP != nil:
+		ft.SrcPort, ft.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	case p.TCP != nil:
+		ft.SrcPort, ft.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return ft
+}
+
+// SrcPort returns the L4 source port (0 if no transport header).
+func (p *Packet) SrcPort() uint16 {
+	switch {
+	case p.UDP != nil:
+		return p.UDP.SrcPort
+	case p.TCP != nil:
+		return p.TCP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the L4 destination port (0 if no transport header).
+func (p *Packet) DstPort() uint16 {
+	switch {
+	case p.UDP != nil:
+		return p.UDP.DstPort
+	case p.TCP != nil:
+		return p.TCP.DstPort
+	}
+	return 0
+}
+
+// SetPorts rewrites the L4 ports, applying incremental checksum updates so
+// that a checksum computed over the original full payload remains
+// consistent (this is what keeps NAT transparent to PayloadPark: the switch
+// never needs to recompute an L4 checksum).
+func (p *Packet) SetPorts(src, dst uint16) {
+	switch {
+	case p.UDP != nil:
+		if p.UDP.Checksum != 0 {
+			p.UDP.Checksum = ChecksumUpdate16(p.UDP.Checksum, p.UDP.SrcPort, src)
+			p.UDP.Checksum = ChecksumUpdate16(p.UDP.Checksum, p.UDP.DstPort, dst)
+		}
+		p.UDP.SrcPort, p.UDP.DstPort = src, dst
+	case p.TCP != nil:
+		p.TCP.Checksum = ChecksumUpdate16(p.TCP.Checksum, p.TCP.SrcPort, src)
+		p.TCP.Checksum = ChecksumUpdate16(p.TCP.Checksum, p.TCP.DstPort, dst)
+		p.TCP.SrcPort, p.TCP.DstPort = src, dst
+	}
+}
+
+// SetSrcIP rewrites the IPv4 source address with incremental updates to the
+// IPv4 header checksum and the L4 checksum (which covers the pseudo-header).
+func (p *Packet) SetSrcIP(ip IPv4Addr) {
+	old := p.IP.Src.Uint32()
+	p.IP.Checksum = ChecksumUpdate32(p.IP.Checksum, old, ip.Uint32())
+	p.updateL4PseudoChecksum(old, ip.Uint32())
+	p.IP.Src = ip
+}
+
+// SetDstIP rewrites the IPv4 destination address; see SetSrcIP.
+func (p *Packet) SetDstIP(ip IPv4Addr) {
+	old := p.IP.Dst.Uint32()
+	p.IP.Checksum = ChecksumUpdate32(p.IP.Checksum, old, ip.Uint32())
+	p.updateL4PseudoChecksum(old, ip.Uint32())
+	p.IP.Dst = ip
+}
+
+func (p *Packet) updateL4PseudoChecksum(oldIP, newIP uint32) {
+	switch {
+	case p.UDP != nil:
+		if p.UDP.Checksum != 0 {
+			p.UDP.Checksum = ChecksumUpdate32(p.UDP.Checksum, oldIP, newIP)
+		}
+	case p.TCP != nil:
+		p.TCP.Checksum = ChecksumUpdate32(p.TCP.Checksum, oldIP, newIP)
+	}
+}
+
+// String renders a compact one-line description for debugging.
+func (p *Packet) String() string {
+	pp := ""
+	if p.PP != nil {
+		pp = fmt.Sprintf(" pp{enb=%t op=%d ti=%d clk=%d}", p.PP.Enabled, p.PP.Op, p.PP.Tag.TableIndex, p.PP.Tag.Clock)
+	}
+	return fmt.Sprintf("%s len=%d%s", p.FiveTuple(), p.Len(), pp)
+}

@@ -1,0 +1,376 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	testSrcMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	testDstMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	testFT     = FiveTuple{
+		SrcIP:    IPv4Addr{10, 0, 0, 1},
+		DstIP:    IPv4Addr{10, 0, 0, 2},
+		SrcPort:  12345,
+		DstPort:  80,
+		Protocol: IPProtoUDP,
+	}
+)
+
+func buildUDP(t testing.TB, size int) *Packet {
+	t.Helper()
+	return NewBuilder(testSrcMAC, testDstMAC).UDP(testFT, size, 7)
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	for _, size := range []int{42, 64, 256, 384, 512, 882, 1024, 1492} {
+		p := buildUDP(t, size)
+		if p.Len() != size {
+			t.Fatalf("built size = %d, want %d", p.Len(), size)
+		}
+		frame := p.Serialize()
+		got, err := Parse(frame, false)
+		if err != nil {
+			t.Fatalf("Parse(%d bytes): %v", size, err)
+		}
+		if !bytes.Equal(got.Serialize(), frame) {
+			t.Errorf("round trip mismatch at size %d", size)
+		}
+		if got.FiveTuple() != testFT {
+			t.Errorf("five tuple = %v, want %v", got.FiveTuple(), testFT)
+		}
+	}
+}
+
+func TestParsePPRoundTrip(t *testing.T) {
+	p := buildUDP(t, 512)
+	p.PP = &PPHeader{
+		Enabled: true,
+		Op:      PPOpMerge,
+		Tag:     Tag{TableIndex: 1000, Clock: 42}.Seal(),
+	}
+	frame := p.Serialize()
+	got, err := Parse(frame, true)
+	if err != nil {
+		t.Fatalf("Parse with PP: %v", err)
+	}
+	if got.PP == nil {
+		t.Fatal("PP header lost in round trip")
+	}
+	if *got.PP != *p.PP {
+		t.Errorf("PP = %+v, want %+v", *got.PP, *p.PP)
+	}
+	if !got.PP.Tag.Valid() {
+		t.Error("tag CRC invalid after round trip")
+	}
+	if !bytes.Equal(got.Serialize(), frame) {
+		t.Error("byte-level mismatch")
+	}
+}
+
+func TestParseRejectsMalformedPP(t *testing.T) {
+	p := buildUDP(t, 512)
+	p.PP = &PPHeader{Enabled: true, Tag: Tag{TableIndex: 9, Clock: 9}.Seal()}
+	frame := p.Serialize()
+	frame[EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen] |= 0x15 // dirty ALIGN bits
+	if _, err := Parse(frame, true); !errors.Is(err, ErrBadPPHeader) {
+		t.Errorf("err = %v, want ErrBadPPHeader", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := buildUDP(t, 200)
+	frame := p.Serialize()
+
+	tests := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"eth only", frame[:10], ErrTruncated},
+		{"cut ip", frame[:EthernetHeaderLen+4], ErrTruncated},
+		{"cut udp", frame[:EthernetHeaderLen+IPv4HeaderLen+3], ErrTruncated},
+	}
+	for _, tc := range tests {
+		if _, err := Parse(tc.frame, false); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	bad := append([]byte(nil), frame...)
+	bad[12], bad[13] = 0x86, 0xdd // IPv6 ethertype
+	if _, err := Parse(bad, false); !errors.Is(err, ErrNotIPv4) {
+		t.Errorf("non-IPv4: err = %v, want ErrNotIPv4", err)
+	}
+
+	bad = append([]byte(nil), frame...)
+	bad[EthernetHeaderLen] = 4<<4 | 6 // IHL 6: options
+	if _, err := Parse(bad, false); !errors.Is(err, ErrIPv4Options) {
+		t.Errorf("options: err = %v, want ErrIPv4Options", err)
+	}
+
+	bad = append([]byte(nil), frame...)
+	bad[EthernetHeaderLen+9] = 47 // GRE
+	if _, err := Parse(bad, false); !errors.Is(err, ErrUnknownL4) {
+		t.Errorf("GRE: err = %v, want ErrUnknownL4", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	p := &Packet{
+		Eth: Ethernet{Dst: testDstMAC, Src: testSrcMAC, EtherType: EtherTypeIPv4},
+		IP: IPv4{
+			TotalLength: uint16(IPv4HeaderLen + TCPHeaderLen + 100),
+			TTL:         64,
+			Protocol:    IPProtoTCP,
+			Src:         testFT.SrcIP,
+			Dst:         testFT.DstIP,
+		},
+		TCP:     &TCP{SrcPort: 443, DstPort: 55000, Seq: 1 << 30, Ack: 99, Flags: 0x18, Window: 65535},
+		Payload: bytes.Repeat([]byte{0xab}, 100),
+	}
+	p.IP.UpdateChecksum()
+	frame := p.Serialize()
+	got, err := Parse(frame, false)
+	if err != nil {
+		t.Fatalf("Parse TCP: %v", err)
+	}
+	if got.TCP == nil || *got.TCP != *p.TCP {
+		t.Errorf("TCP header mismatch: %+v vs %+v", got.TCP, p.TCP)
+	}
+	if !bytes.Equal(got.Serialize(), frame) {
+		t.Error("TCP round trip bytes differ")
+	}
+}
+
+func TestIPv4Checksum(t *testing.T) {
+	p := buildUDP(t, 100)
+	if !p.IP.ChecksumValid() {
+		t.Fatal("builder produced invalid IP checksum")
+	}
+	p.IP.TTL--
+	if p.IP.ChecksumValid() {
+		t.Fatal("checksum still valid after TTL change")
+	}
+	p.IP.UpdateChecksum()
+	if !p.IP.ChecksumValid() {
+		t.Fatal("UpdateChecksum did not fix checksum")
+	}
+}
+
+// TestChecksumRFC1071Example checks against the classic worked example.
+func TestChecksumRFC1071Example(t *testing.T) {
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestIncrementalChecksumMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewBuilder(testSrcMAC, testDstMAC).UDP(testFT, 100+rng.Intn(1000), uint16(rng.Int()))
+		newSrc := IPv4AddrFrom(rng.Uint32())
+		newDst := IPv4AddrFrom(rng.Uint32())
+		p.SetSrcIP(newSrc)
+		p.SetDstIP(newDst)
+		return p.IP.ChecksumValid() && p.IP.Src == newSrc && p.IP.Dst == newDst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetPortsUpdatesUDPChecksumIncrementally(t *testing.T) {
+	p := buildUDP(t, 300)
+	// Give the packet a real UDP checksum over pseudo-header+payload.
+	p.UDP.Checksum = 0x1234
+	before := p.UDP.Checksum
+	p.SetPorts(1111, 2222)
+	if p.UDP.SrcPort != 1111 || p.UDP.DstPort != 2222 {
+		t.Fatal("ports not set")
+	}
+	if p.UDP.Checksum == before {
+		t.Error("UDP checksum not updated")
+	}
+	// Reversing the rewrite must restore the original checksum: incremental
+	// updates are an involution over field swaps.
+	p.SetPorts(testFT.SrcPort, testFT.DstPort)
+	if p.UDP.Checksum != before {
+		t.Errorf("checksum = %#x after undo, want %#x", p.UDP.Checksum, before)
+	}
+}
+
+func TestSetPortsLeavesZeroUDPChecksum(t *testing.T) {
+	p := buildUDP(t, 300)
+	p.UDP.Checksum = 0 // checksum disabled: must stay disabled
+	p.SetPorts(5, 6)
+	if p.UDP.Checksum != 0 {
+		t.Errorf("zero UDP checksum was modified to %#x", p.UDP.Checksum)
+	}
+}
+
+func TestTagCRC(t *testing.T) {
+	tag := Tag{TableIndex: 512, Clock: 9999}.Seal()
+	if !tag.Valid() {
+		t.Fatal("sealed tag invalid")
+	}
+	tamper := tag
+	tamper.TableIndex++
+	if tamper.Valid() {
+		t.Error("tag with modified index still valid")
+	}
+	tamper = tag
+	tamper.Clock ^= 0x8000
+	if tamper.Valid() {
+		t.Error("tag with modified clock still valid")
+	}
+}
+
+func TestTagCRCProperty(t *testing.T) {
+	f := func(ti, clk, flip uint16) bool {
+		tag := Tag{TableIndex: ti, Clock: clk}.Seal()
+		if !tag.Valid() {
+			return false
+		}
+		if flip == 0 {
+			return true
+		}
+		// Any single-bit-pattern corruption of index or clock must be caught.
+		bad := tag
+		bad.TableIndex ^= flip
+		if bad.Valid() && flip != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPPHeaderAllFieldCombos(t *testing.T) {
+	for _, enb := range []bool{false, true} {
+		for _, op := range []PPOp{PPOpMerge, PPOpExplicitDrop} {
+			h := PPHeader{Enabled: enb, Op: op, Tag: Tag{TableIndex: 3, Clock: 4}.Seal()}
+			var buf [PPHeaderLen]byte
+			h.Marshal(buf[:])
+			var got PPHeader
+			if err := got.Unmarshal(buf[:]); err != nil {
+				t.Fatalf("unmarshal enb=%t op=%d: %v", enb, op, err)
+			}
+			if got != h {
+				t.Errorf("round trip enb=%t op=%d: got %+v", enb, op, got)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildUDP(t, 500)
+	p.PP = &PPHeader{Enabled: true, Tag: Tag{TableIndex: 1, Clock: 2}.Seal()}
+	c := p.Clone()
+	c.UDP.SrcPort = 1
+	c.PP.Tag.Clock = 77
+	c.Payload[0] ^= 0xff
+	c.IP.TTL = 1
+	if p.UDP.SrcPort == 1 || p.PP.Tag.Clock == 77 || p.IP.TTL == 1 {
+		t.Error("clone shares header state with original")
+	}
+	if p.Payload[0] == c.Payload[0] {
+		t.Error("clone shares payload bytes")
+	}
+}
+
+func TestBuilderDeterministicPayload(t *testing.T) {
+	b := NewBuilder(testSrcMAC, testDstMAC)
+	p1 := b.UDP(testFT, 512, 9)
+	p2 := b.UDP(testFT, 512, 9)
+	if !bytes.Equal(p1.Payload, p2.Payload) {
+		t.Error("same id produced different payloads")
+	}
+	p3 := b.UDP(testFT, 512, 10)
+	if bytes.Equal(p1.Payload, p3.Payload) {
+		t.Error("different ids produced identical payloads")
+	}
+}
+
+func TestBuilderMinimumSize(t *testing.T) {
+	p := NewBuilder(testSrcMAC, testDstMAC).UDP(testFT, 10, 0)
+	if p.Len() != HeaderUnitLen {
+		t.Errorf("undersized request built %d bytes, want %d", p.Len(), HeaderUnitLen)
+	}
+	if len(p.Payload) != 0 {
+		t.Errorf("payload len = %d, want 0", len(p.Payload))
+	}
+}
+
+func TestHeaderLenWithPP(t *testing.T) {
+	p := buildUDP(t, 512)
+	base := p.HeaderLen()
+	if base != HeaderUnitLen {
+		t.Fatalf("header len = %d, want %d", base, HeaderUnitLen)
+	}
+	p.PP = &PPHeader{}
+	if p.HeaderLen() != HeaderUnitLen+PPHeaderLen {
+		t.Errorf("header len with PP = %d, want %d", p.HeaderLen(), HeaderUnitLen+PPHeaderLen)
+	}
+}
+
+func TestParsePropertyRandomSizes(t *testing.T) {
+	f := func(sz uint16, id uint16) bool {
+		size := 42 + int(sz)%1459 // 42..1500
+		p := NewBuilder(testSrcMAC, testDstMAC).UDP(testFT, size, id)
+		frame := p.Serialize()
+		got, err := Parse(frame, false)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Serialize(), frame) && got.Len() == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := testSrcMAC.String(); got != "02:00:00:00:00:01" {
+		t.Errorf("MAC string = %q", got)
+	}
+	if got := (IPv4Addr{192, 168, 1, 200}).String(); got != "192.168.1.200" {
+		t.Errorf("IP string = %q", got)
+	}
+	p := buildUDP(t, 100)
+	if p.String() == "" {
+		t.Error("packet String empty")
+	}
+	p.PP = &PPHeader{Enabled: true}
+	if p.String() == "" {
+		t.Error("packet String with PP empty")
+	}
+}
+
+func BenchmarkParseUDP(b *testing.B) {
+	frame := buildUDP(b, 882).Serialize()
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(frame, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeUDP(b *testing.B) {
+	p := buildUDP(b, 882)
+	buf := make([]byte, p.Len())
+	b.SetBytes(int64(p.Len()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.SerializeTo(buf)
+	}
+}

@@ -1,0 +1,181 @@
+// Package pcap reads and writes classic libpcap capture files (the
+// tcpdump format, magic 0xa1b2c3d4), which the paper uses twice: replayed
+// PCAPs drive the datacenter workload (§6.1) and DPDK-pdump captures are
+// compared byte-for-byte for the functional-equivalence experiment
+// (§6.2.6). Only the subset the reproduction needs is implemented:
+// Ethernet link type, microsecond timestamps, stdlib only.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format constants.
+const (
+	magicMicros   = 0xa1b2c3d4
+	versionMajor  = 2
+	versionMinor  = 4
+	LinkTypeEther = 1
+	// MaxSnapLen is the snap length written to file headers.
+	MaxSnapLen = 65535
+)
+
+// Format errors.
+var (
+	ErrBadMagic    = errors.New("pcap: bad magic")
+	ErrBadVersion  = errors.New("pcap: unsupported version")
+	ErrBadLinkType = errors.New("pcap: unsupported link type")
+)
+
+// Record is one captured packet.
+type Record struct {
+	// TimestampNs is the capture time in nanoseconds (stored with
+	// microsecond resolution).
+	TimestampNs int64
+	// Data holds the frame bytes.
+	Data []byte
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	started bool
+}
+
+// NewWriter wraps w; the file header is emitted lazily on first write so
+// an unused writer produces no bytes.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+func (pw *Writer) writeHeader() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(h[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:8], versionMinor)
+	// thiszone(4) and sigfigs(4) stay zero.
+	binary.LittleEndian.PutUint32(h[16:20], MaxSnapLen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEther)
+	_, err := pw.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one record.
+func (pw *Writer) WritePacket(r Record) error {
+	if !pw.started {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.started = true
+	}
+	var h [16]byte
+	us := r.TimestampNs / 1e3
+	binary.LittleEndian.PutUint32(h[0:4], uint32(us/1e6))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(us%1e6))
+	n := len(r.Data)
+	if n > MaxSnapLen {
+		n = MaxSnapLen
+	}
+	binary.LittleEndian.PutUint32(h[8:12], uint32(n))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(r.Data)))
+	if _, err := pw.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(r.Data[:n])
+	return err
+}
+
+// Reader parses a pcap stream.
+type Reader struct {
+	r       io.Reader
+	started bool
+}
+
+// NewReader wraps r; the file header is validated on the first Next call.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+func (pr *Reader) readHeader() error {
+	var h [24]byte
+	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(h[0:4]) != magicMicros {
+		return ErrBadMagic
+	}
+	if binary.LittleEndian.Uint16(h[4:6]) != versionMajor {
+		return fmt.Errorf("%w: %d.%d", ErrBadVersion,
+			binary.LittleEndian.Uint16(h[4:6]), binary.LittleEndian.Uint16(h[6:8]))
+	}
+	if lt := binary.LittleEndian.Uint32(h[20:24]); lt != LinkTypeEther {
+		return fmt.Errorf("%w: %d", ErrBadLinkType, lt)
+	}
+	return nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (pr *Reader) Next() (Record, error) {
+	if !pr.started {
+		if err := pr.readHeader(); err != nil {
+			return Record{}, err
+		}
+		pr.started = true
+	}
+	var h [16]byte
+	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	sec := int64(binary.LittleEndian.Uint32(h[0:4]))
+	usec := int64(binary.LittleEndian.Uint32(h[4:8]))
+	caplen := binary.LittleEndian.Uint32(h[8:12])
+	if caplen > MaxSnapLen {
+		return Record{}, fmt.Errorf("pcap: caplen %d exceeds snaplen", caplen)
+	}
+	data := make([]byte, caplen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Record{}, io.ErrUnexpectedEOF
+	}
+	return Record{TimestampNs: (sec*1e6 + usec) * 1e3, Data: data}, nil
+}
+
+// ReadAll consumes the stream into memory.
+func ReadAll(r io.Reader) ([]Record, error) {
+	pr := NewReader(r)
+	var out []Record
+	for {
+		rec, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Equal reports whether two captures hold identical frame bytes in the
+// same order (timestamps ignored) — the §6.2.6 equivalence check.
+func Equal(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Data) != len(b[i].Data) {
+			return false
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

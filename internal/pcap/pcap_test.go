@@ -1,0 +1,150 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{TimestampNs: 1_000_000, Data: []byte{1, 2, 3}},
+		{TimestampNs: 2_500_000, Data: bytes.Repeat([]byte{0xab}, 1500)},
+		{TimestampNs: 2_500_000, Data: nil},
+	}
+	for _, r := range recs {
+		if err := w.WritePacket(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Errorf("record %d data mismatch", i)
+		}
+		// Microsecond storage truncates to 1e3 ns granularity.
+		if got[i].TimestampNs != recs[i].TimestampNs/1e3*1e3 {
+			t.Errorf("record %d ts = %d", i, got[i].TimestampNs)
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	// A writer that never wrote emits nothing.
+	var buf bytes.Buffer
+	NewWriter(&buf)
+	if buf.Len() != 0 {
+		t.Error("unused writer produced bytes")
+	}
+	// Reading an empty stream yields zero records: the header read hits
+	// io.EOF, which ReadAll reports as a clean end of stream.
+	recs, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty stream: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 24)
+	if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersionAndLinkType(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(Record{Data: []byte{1}})
+	raw := buf.Bytes()
+
+	bad := append([]byte(nil), raw...)
+	bad[4] = 9 // version major
+	if _, err := ReadAll(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version err = %v", err)
+	}
+
+	bad = append([]byte(nil), raw...)
+	bad[20] = 101 // link type
+	if _, err := ReadAll(bytes.NewReader(bad)); !errors.Is(err, ErrBadLinkType) {
+		t.Errorf("linktype err = %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(Record{Data: bytes.Repeat([]byte{1}, 100)})
+	raw := buf.Bytes()
+	// Cut the record body short.
+	if _, err := ReadAll(bytes.NewReader(raw[:len(raw)-10])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Cut inside the record header.
+	if _, err := ReadAll(bytes.NewReader(raw[:30])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("header cut err = %v", err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := []Record{{Data: []byte{1, 2}}, {Data: []byte{3}}}
+	b := []Record{{TimestampNs: 99, Data: []byte{1, 2}}, {Data: []byte{3}}}
+	if !Equal(a, b) {
+		t.Error("timestamp-differing captures should be Equal")
+	}
+	c := []Record{{Data: []byte{1, 2}}, {Data: []byte{4}}}
+	if Equal(a, c) {
+		t.Error("differing captures reported Equal")
+	}
+	if Equal(a, a[:1]) {
+		t.Error("length-differing captures reported Equal")
+	}
+	d := []Record{{Data: []byte{1, 2}}, {Data: []byte{3, 4}}}
+	if Equal(a, d) {
+		t.Error("data-length-differing records reported Equal")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, p := range payloads {
+			if len(p) > MaxSnapLen {
+				p = p[:MaxSnapLen]
+			}
+			if err := w.WritePacket(Record{TimestampNs: int64(i) * 1e3, Data: p}); err != nil {
+				return false
+			}
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			want := payloads[i]
+			if len(want) > MaxSnapLen {
+				want = want[:MaxSnapLen]
+			}
+			if !bytes.Equal(got[i].Data, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package rmt
+
+import (
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+// Parser models the programmable parser in front of the match-action
+// pipeline. It turns a parsed packet into a PHV: header fields become
+// visible to MATs, and — when configured — the leading payload bytes are
+// lifted into PHV payload blocks so stages can park them in registers.
+//
+// The parser also knows, per port, whether arriving packets carry a
+// PayloadPark header (the paper disambiguates Split vs. Merge traffic by
+// switch port, §5).
+type Parser struct {
+	blocks     int // payload blocks extracted into the PHV
+	blockBytes int // bytes per block
+	parkOffset int // payload bytes left in front of the parked region
+	ppPorts    map[PortID]bool
+}
+
+// NewParser returns a parser that extracts no payload blocks.
+func NewParser() *Parser {
+	return &Parser{ppPorts: make(map[PortID]bool)}
+}
+
+// ExtractPayloadBlocks configures the parser to lift blocks x blockBytes
+// payload bytes into the PHV. The PHV budget check happens when the owning
+// pipeline computes PHVBitsUsed.
+func (p *Parser) ExtractPayloadBlocks(blocks, blockBytes int) {
+	p.blocks = blocks
+	p.blockBytes = blockBytes
+}
+
+// SetParkOffset moves the decoupling boundary (§7): the first offset
+// payload bytes stay with the headers, and block extraction starts after
+// them. The visible prefix consumes PHV space like any parsed bytes.
+func (p *Parser) SetParkOffset(offset int) { p.parkOffset = offset }
+
+// ParkOffset returns the configured boundary offset.
+func (p *Parser) ParkOffset() int { return p.parkOffset }
+
+// Blocks returns the configured payload block count.
+func (p *Parser) Blocks() int { return p.blocks }
+
+// BlockBytes returns the configured payload block width.
+func (p *Parser) BlockBytes() int { return p.blockBytes }
+
+// ParkBytes returns the number of payload bytes the parser lifts into the
+// PHV (block count x width).
+func (p *Parser) ParkBytes() int { return p.blocks * p.blockBytes }
+
+// ExpectPPHeader marks a port whose arriving packets carry the PayloadPark
+// header (i.e. ports facing the NF server).
+func (p *Parser) ExpectPPHeader(port PortID) { p.ppPorts[port] = true }
+
+// phvBits reports the PHV bits the payload blocks and the visible prefix
+// consume.
+func (p *Parser) phvBits() int { return (p.blocks*p.blockBytes + p.parkOffset) * 8 }
+
+// ToPHV builds a PHV from an already-parsed packet arriving on port.
+//
+// Payload-block extraction only succeeds when the payload is large enough
+// to fill every configured block; otherwise Blocks stays nil and the
+// MetaPayloadOK flag stays 0, which is how the dataplane program knows to
+// skip the Split path for small payloads (§5: "We apply the Split
+// operation only when the payload length exceeds the number of per-packet
+// bytes that we can store").
+func (p *Parser) ToPHV(pkt *packet.Packet, port PortID) *PHV {
+	phv := &PHV{Pkt: pkt, InPort: port}
+	if p.blocks > 0 && len(pkt.Payload) >= p.parkOffset+p.ParkBytes() && pkt.PP == nil {
+		phv.Blocks = make([][]byte, p.blocks)
+		for i := 0; i < p.blocks; i++ {
+			off := p.parkOffset + i*p.blockBytes
+			phv.Blocks[i] = pkt.Payload[off : off+p.blockBytes]
+		}
+		phv.SetMeta(MetaPayloadOK, 1)
+	}
+	return phv
+}
+
+// ParseFrame parses raw frame bytes arriving on port and builds the PHV.
+// Whether a PayloadPark header is expected is decided by the port, exactly
+// as in the hardware prototype.
+func (p *Parser) ParseFrame(frame []byte, port PortID) (*PHV, error) {
+	off := -1
+	if p.ppPorts[port] {
+		off = p.parkOffset
+	}
+	pkt, err := packet.ParseAt(frame, off)
+	if err != nil {
+		return nil, err
+	}
+	return p.ToPHV(pkt, port), nil
+}

@@ -1,0 +1,240 @@
+package rmt
+
+import (
+	"fmt"
+)
+
+// Tofino-like per-pipe hardware budgets. The paper withholds exact figures
+// for confidentiality (§5 footnote 2); these are the publicly circulated
+// Tofino-1 approximations recorded in DESIGN.md §6. All Table 1 numbers in
+// EXPERIMENTS.md are computed against these budgets.
+const (
+	// StageCount is the number of match-action stages per pipe.
+	StageCount = 12
+	// StageSRAMBytes is the stateful+match SRAM budget per stage
+	// (80 blocks x 16 KB).
+	StageSRAMBytes = 80 * 16 * 1024
+	// StageTCAMBytes is the ternary match budget per stage (24 blocks x 1.28 KB).
+	StageTCAMBytes = 24 * 1280
+	// StageVLIWSlots is the number of VLIW action slots per stage.
+	StageVLIWSlots = 32
+	// StageExactXbarBits is the exact-match crossbar width per stage.
+	StageExactXbarBits = 1024
+	// StageTernXbarBits is the ternary-match crossbar width per stage.
+	StageTernXbarBits = 544
+	// PHVBits is the packet header vector capacity per packet, including
+	// tagalong containers.
+	PHVBits = 4800
+	// MaxRegisterMATsPerStage bounds how many register-backed MATs can
+	// share one stage (stateful ALU ports).
+	MaxRegisterMATsPerStage = 4
+
+	// PipeLatencyNs is the fixed ingress-to-egress traversal latency of one
+	// pass through the pipe.
+	PipeLatencyNs = 400
+	// RecircLatencyNs is the added latency of one recirculation ("on the
+	// order of 10s of ns", §6.2.5).
+	RecircLatencyNs = 50
+	// maxPasses guards against recirculation loops in buggy programs.
+	maxPasses = 4
+)
+
+// Stage is one match-action stage of a pipe.
+type Stage struct {
+	index int
+	mats  []*MAT
+	regs  []*Register
+}
+
+// Pipeline is one switch pipe: a parser feeding StageCount match-action
+// stages. Ports are attached to pipes; ports on different pipes share no
+// stateful memory (paper §5).
+type Pipeline struct {
+	name      string
+	stages    [StageCount]*Stage
+	parser    *Parser
+	phvBits   int
+	processed uint64
+}
+
+// NewPipeline returns an empty pipe with the given diagnostic name.
+func NewPipeline(name string) *Pipeline {
+	p := &Pipeline{name: name, parser: NewParser()}
+	for i := range p.stages {
+		p.stages[i] = &Stage{index: i}
+	}
+	return p
+}
+
+// Name returns the pipe's diagnostic name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Parser returns the pipe's parser for configuration.
+func (p *Pipeline) Parser() *Parser { return p.parser }
+
+// DeclarePHVBits records the PHV bits the program's headers+metadata use;
+// the parser adds its own payload-block usage. Panics if the total exceeds
+// the PHV capacity — the compiler would reject such a program.
+func (p *Pipeline) DeclarePHVBits(bits int) {
+	p.phvBits += bits
+	if p.PHVBitsUsed() > PHVBits {
+		panic(fmt.Sprintf("rmt: PHV overflow: %d bits used, %d available", p.PHVBitsUsed(), PHVBits))
+	}
+}
+
+// PHVBitsUsed returns total PHV bits consumed by declarations and the
+// parser's payload blocks.
+func (p *Pipeline) PHVBitsUsed() int {
+	return p.phvBits + p.parser.phvBits()
+}
+
+// NewRegister allocates a register array local to stage. It panics when
+// the stage index is invalid or the stage's SRAM budget would overflow,
+// mirroring a compiler placement failure.
+func (p *Pipeline) NewRegister(stage int, name string, widthBytes, cells int) *Register {
+	s := p.stage(stage)
+	if widthBytes <= 0 || widthBytes > 16 {
+		panic(fmt.Sprintf("rmt: register %q width %dB outside (0,16]", name, widthBytes))
+	}
+	if cells <= 0 {
+		panic(fmt.Sprintf("rmt: register %q needs at least one cell", name))
+	}
+	r := &Register{name: name, stage: stage, width: widthBytes, cells: cells, data: make([]byte, widthBytes*cells)}
+	if s.sramBytes()+r.SRAMBytes() > StageSRAMBytes {
+		panic(fmt.Sprintf("rmt: stage %d SRAM overflow placing register %q (%d B used, %d B budget)",
+			stage, name, s.sramBytes()+r.SRAMBytes(), StageSRAMBytes))
+	}
+	s.regs = append(s.regs, r)
+	return r
+}
+
+// AddMAT places a MAT in a stage. It validates stage locality of the bound
+// register, the stateful-ALU port budget, and the stage resource budgets.
+func (p *Pipeline) AddMAT(stage int, m *MAT) {
+	s := p.stage(stage)
+	if m.Reg != nil {
+		if m.Reg.stage != stage {
+			panic(fmt.Sprintf("rmt: MAT %q in stage %d binds register %q from stage %d (registers are stage-local)",
+				m.Name, stage, m.Reg.name, m.Reg.stage))
+		}
+		n := 0
+		for _, other := range s.mats {
+			if other.Reg != nil {
+				n++
+			}
+		}
+		if n+1 > MaxRegisterMATsPerStage {
+			panic(fmt.Sprintf("rmt: stage %d exceeds %d register MATs", stage, MaxRegisterMATsPerStage))
+		}
+	}
+	if got, budget := s.vliwSlots()+m.Res.VLIWSlots, StageVLIWSlots; got > budget {
+		panic(fmt.Sprintf("rmt: stage %d VLIW overflow: %d slots, %d budget", stage, got, budget))
+	}
+	if got, budget := s.tcamBytes()+m.Res.TCAMBytes, StageTCAMBytes; got > budget {
+		panic(fmt.Sprintf("rmt: stage %d TCAM overflow: %d B, %d budget", stage, got, budget))
+	}
+	s.mats = append(s.mats, m)
+}
+
+func (p *Pipeline) stage(i int) *Stage {
+	if i < 0 || i >= StageCount {
+		panic(fmt.Sprintf("rmt: stage %d outside [0,%d)", i, StageCount))
+	}
+	return p.stages[i]
+}
+
+// Process runs one pass of the PHV through all stages. The caller (switch
+// wrapper) handles parsing, recirculation, and deparsing.
+func (p *Pipeline) Process(phv *PHV) {
+	p.processed++
+	for _, s := range p.stages {
+		for _, m := range s.mats {
+			m.run(phv)
+		}
+	}
+}
+
+// Processed returns how many passes this pipe has executed.
+func (p *Pipeline) Processed() uint64 { return p.processed }
+
+func (s *Stage) sramBytes() int {
+	n := 0
+	for _, r := range s.regs {
+		n += r.SRAMBytes()
+	}
+	for _, m := range s.mats {
+		n += m.Res.SRAMMatchBytes
+	}
+	return n
+}
+
+func (s *Stage) tcamBytes() int {
+	n := 0
+	for _, m := range s.mats {
+		n += m.Res.TCAMBytes
+	}
+	return n
+}
+
+func (s *Stage) vliwSlots() int {
+	n := 0
+	for _, m := range s.mats {
+		n += m.Res.VLIWSlots
+	}
+	return n
+}
+
+func (s *Stage) exactXbarBits() int {
+	n := 0
+	for _, m := range s.mats {
+		n += m.Res.ExactXbarBits
+	}
+	return n
+}
+
+func (s *Stage) ternXbarBits() int {
+	n := 0
+	for _, m := range s.mats {
+		n += m.Res.TernXbarBits
+	}
+	return n
+}
+
+// Usage reports hardware utilization of one pipe against the Tofino-like
+// budgets, in the shape of the paper's Table 1.
+type Usage struct {
+	SRAMBytesPerStage [StageCount]int
+	SRAMAvgPct        float64 // average per-stage SRAM utilization
+	SRAMPeakPct       float64 // peak per-stage SRAM utilization
+	TCAMPct           float64
+	VLIWPct           float64
+	ExactXbarPct      float64
+	TernXbarPct       float64
+	PHVPct            float64
+}
+
+// Resources computes the pipe's current utilization.
+func (p *Pipeline) Resources() Usage {
+	var u Usage
+	var sramSum, tcam, vliw, exact, tern int
+	for i, s := range p.stages {
+		b := s.sramBytes()
+		u.SRAMBytesPerStage[i] = b
+		sramSum += b
+		pct := 100 * float64(b) / StageSRAMBytes
+		if pct > u.SRAMPeakPct {
+			u.SRAMPeakPct = pct
+		}
+		tcam += s.tcamBytes()
+		vliw += s.vliwSlots()
+		exact += s.exactXbarBits()
+		tern += s.ternXbarBits()
+	}
+	u.SRAMAvgPct = 100 * float64(sramSum) / (StageCount * StageSRAMBytes)
+	u.TCAMPct = 100 * float64(tcam) / (StageCount * StageTCAMBytes)
+	u.VLIWPct = 100 * float64(vliw) / (StageCount * StageVLIWSlots)
+	u.ExactXbarPct = 100 * float64(exact) / (StageCount * StageExactXbarBits)
+	u.TernXbarPct = 100 * float64(tern) / (StageCount * StageTernXbarBits)
+	u.PHVPct = 100 * float64(p.PHVBitsUsed()) / PHVBits
+	return u
+}

@@ -1,0 +1,186 @@
+// Package rmt models a Reconfigurable Match-Action Table (RMT) switch
+// dataplane of the kind PayloadPark targets (Barefoot Tofino): a parser
+// feeding a fixed sequence of match-action stages, each with stage-local
+// SRAM register arrays, followed by a deparser, with optional packet
+// recirculation.
+//
+// The model is register-accurate where it matters to the paper's design:
+//
+//   - A match-action table (MAT) may perform at most ONE stateful register
+//     access per packet pass. The access is a read-modify-write executed
+//     atomically, mirroring the Tofino stateful ALU. Violations panic,
+//     because they correspond to P4 programs the Tofino compiler rejects.
+//   - Registers are stage-local: a register created in stage k can only be
+//     bound to MATs in stage k.
+//   - Actions may only touch the packet header vector (PHV): parsed header
+//     fields, user metadata, and parsed payload blocks. They never see raw
+//     packet memory.
+//   - Stages execute in order; information flows forward only (via PHV
+//     metadata), never backward.
+//
+// Timing is not cycle-accurate — the pipeline reports a fixed traversal
+// latency plus a per-recirculation penalty, which is the granularity the
+// paper's evaluation needs (§6.2.5 quotes "10s of ns" per recirculation).
+package rmt
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+// PortID names a front-panel switch port.
+type PortID uint16
+
+// MetaWords is the number of 32-bit user metadata words carried in the PHV
+// between stages ("user-defined struct for intermediate results" in the
+// paper's algorithms).
+const MetaWords = 8
+
+// Well-known metadata word indexes used by programs built on this package.
+// They are ordinary PHV metadata; the names exist so programs and tests
+// agree on slots.
+const (
+	MetaTableIndex   = 0 // meta.tbl_idx in Alg. 1
+	MetaClock        = 1 // meta.clk in Alg. 1
+	MetaPPEnabled    = 2 // meta.is_pp_enb in Alg. 2
+	MetaPayloadOK    = 3 // parser flag: payload large enough to park
+	MetaSplitClaimed = 4 // split path claimed a slot this pass
+	MetaParkBytes    = 5 // park size for the deparser (truncate/reassemble)
+	MetaParkOffset   = 6 // decoupling-boundary offset within the payload
+)
+
+// PHV is the packet header vector: everything the match-action pipeline is
+// allowed to see and modify. Pkt points at the parsed header structs; the
+// deparser makes header edits effective. Blocks are the payload blocks the
+// parser lifted into the PHV (the paper stores up to 160 B of payload in
+// the PHV so stages can write it to register arrays).
+type PHV struct {
+	Pkt     *packet.Packet
+	InPort  PortID
+	Egress  PortID
+	Drop    bool
+	DropWhy string
+
+	// Recirc is set by an action to request another pass. Pass counts the
+	// passes completed so far (0 on first traversal).
+	Recirc bool
+	Pass   int
+
+	Meta   [MetaWords]uint32
+	Blocks [][]byte
+}
+
+// SetMeta stores a metadata word.
+func (p *PHV) SetMeta(i int, v uint32) { p.Meta[i] = v }
+
+// GetMeta loads a metadata word.
+func (p *PHV) GetMeta(i int) uint32 { return p.Meta[i] }
+
+// MarkDrop drops the packet at end of pipeline, recording a reason for
+// diagnostics and counters.
+func (p *PHV) MarkDrop(why string) {
+	p.Drop = true
+	p.DropWhy = why
+}
+
+// Register is a stage-local SRAM register array with fixed-width cells,
+// accessed through the single-RMW-per-MAT discipline via Ctx.
+type Register struct {
+	name  string
+	stage int
+	width int // bytes per cell
+	cells int
+	data  []byte
+}
+
+// Name returns the register's name.
+func (r *Register) Name() string { return r.name }
+
+// Cells returns the number of cells.
+func (r *Register) Cells() int { return r.cells }
+
+// Width returns the cell width in bytes.
+func (r *Register) Width() int { return r.width }
+
+// SRAMBytes returns the SRAM footprint of the array.
+func (r *Register) SRAMBytes() int { return r.cells * r.width }
+
+// cell returns the backing slice for cell i. Only Ctx and test helpers use it.
+func (r *Register) cell(i int) []byte {
+	off := i * r.width
+	return r.data[off : off+r.width]
+}
+
+// Snapshot copies cell i's contents; intended for tests and debugging, not
+// for dataplane logic (which must go through Ctx).
+func (r *Register) Snapshot(i int) []byte {
+	return append([]byte(nil), r.cell(i)...)
+}
+
+// Ctx is the action execution context handed to a MAT's action. It
+// enforces the one-stateful-access-per-MAT-per-packet restriction.
+type Ctx struct {
+	PHV      *PHV
+	reg      *Register
+	accessed bool
+}
+
+// RMW executes one atomic read-modify-write on the MAT's bound register
+// cell idx. The closure may read and rewrite the cell in place; that is
+// the full power of the stateful ALU. Calling RMW twice in one action, on
+// a MAT with no bound register, or with idx out of range panics: those are
+// programs the hardware cannot run.
+func (c *Ctx) RMW(idx int, f func(cell []byte)) {
+	if c.reg == nil {
+		panic("rmt: action accessed a register but its MAT binds none")
+	}
+	if c.accessed {
+		panic(fmt.Sprintf("rmt: MAT exceeded one stateful access per packet on register %q", c.reg.name))
+	}
+	if idx < 0 || idx >= c.reg.cells {
+		panic(fmt.Sprintf("rmt: register %q index %d out of range [0,%d)", c.reg.name, idx, c.reg.cells))
+	}
+	c.accessed = true
+	f(c.reg.cell(idx))
+}
+
+// Rule is one match-action entry of a MAT: Match inspects the PHV (headers
+// and metadata only), Action runs when Match returns true. Rules are
+// evaluated in order; the first hit fires; at most one rule fires per MAT
+// per pass, as in hardware.
+type Rule struct {
+	Name   string
+	Match  func(*PHV) bool
+	Action func(*Ctx)
+}
+
+// Resources declares what a MAT consumes of the per-stage hardware budgets.
+// The P4 compiler derives these from the program; here the program author
+// declares them and the declarations are validated against stage budgets.
+type Resources struct {
+	TCAMBytes      int // ternary match storage
+	SRAMMatchBytes int // exact match storage (excluding bound registers)
+	VLIWSlots      int // action instruction slots
+	ExactXbarBits  int // exact match crossbar input bits
+	TernXbarBits   int // ternary match crossbar input bits
+}
+
+// MAT is one match-action table placed in a stage, optionally bound to a
+// stage-local register.
+type MAT struct {
+	Name  string
+	Rules []Rule
+	Reg   *Register
+	Res   Resources
+}
+
+func (m *MAT) run(phv *PHV) {
+	for i := range m.Rules {
+		if m.Rules[i].Match(phv) {
+			ctx := Ctx{PHV: phv, reg: m.Reg}
+			m.Rules[i].Action(&ctx)
+			return
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package rmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+var (
+	mac1 = packet.MAC{2, 0, 0, 0, 0, 1}
+	mac2 = packet.MAC{2, 0, 0, 0, 0, 2}
+	ft   = packet.FiveTuple{
+		SrcIP: packet.IPv4Addr{10, 0, 0, 1}, DstIP: packet.IPv4Addr{10, 0, 0, 2},
+		SrcPort: 7777, DstPort: 80, Protocol: packet.IPProtoUDP,
+	}
+)
+
+func testPkt(t testing.TB, size int) *packet.Packet {
+	t.Helper()
+	return packet.NewBuilder(mac1, mac2).UDP(ft, size, 1)
+}
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want substring %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestRegisterRMWSemantics(t *testing.T) {
+	p := NewPipeline("test")
+	reg := p.NewRegister(0, "counter", 8, 4)
+	mat := &MAT{
+		Name: "inc",
+		Reg:  reg,
+		Rules: []Rule{{
+			Name:  "always",
+			Match: func(*PHV) bool { return true },
+			Action: func(c *Ctx) {
+				c.RMW(2, func(cell []byte) {
+					v := binary.BigEndian.Uint64(cell)
+					binary.BigEndian.PutUint64(cell, v+1)
+				})
+			},
+		}},
+	}
+	p.AddMAT(0, mat)
+	phv := &PHV{Pkt: testPkt(t, 100)}
+	for i := 0; i < 5; i++ {
+		p.Process(phv)
+	}
+	if got := binary.BigEndian.Uint64(reg.Snapshot(2)); got != 5 {
+		t.Errorf("cell 2 = %d, want 5", got)
+	}
+	if got := binary.BigEndian.Uint64(reg.Snapshot(0)); got != 0 {
+		t.Errorf("cell 0 = %d, want 0 (untouched)", got)
+	}
+	if p.Processed() != 5 {
+		t.Errorf("processed = %d, want 5", p.Processed())
+	}
+}
+
+func TestDoubleRegisterAccessPanics(t *testing.T) {
+	p := NewPipeline("test")
+	reg := p.NewRegister(1, "r", 4, 2)
+	p.AddMAT(1, &MAT{
+		Name: "double",
+		Reg:  reg,
+		Rules: []Rule{{
+			Match: func(*PHV) bool { return true },
+			Action: func(c *Ctx) {
+				c.RMW(0, func([]byte) {})
+				c.RMW(1, func([]byte) {}) // illegal second access
+			},
+		}},
+	})
+	mustPanic(t, "one stateful access", func() {
+		p.Process(&PHV{Pkt: testPkt(t, 100)})
+	})
+}
+
+func TestRegisterAccessWithoutBindingPanics(t *testing.T) {
+	p := NewPipeline("test")
+	p.AddMAT(0, &MAT{
+		Name: "nobind",
+		Rules: []Rule{{
+			Match:  func(*PHV) bool { return true },
+			Action: func(c *Ctx) { c.RMW(0, func([]byte) {}) },
+		}},
+	})
+	mustPanic(t, "binds none", func() {
+		p.Process(&PHV{Pkt: testPkt(t, 100)})
+	})
+}
+
+func TestRegisterIndexOutOfRangePanics(t *testing.T) {
+	p := NewPipeline("test")
+	reg := p.NewRegister(0, "r", 4, 2)
+	p.AddMAT(0, &MAT{
+		Name: "oob",
+		Reg:  reg,
+		Rules: []Rule{{
+			Match:  func(*PHV) bool { return true },
+			Action: func(c *Ctx) { c.RMW(2, func([]byte) {}) },
+		}},
+	})
+	mustPanic(t, "out of range", func() {
+		p.Process(&PHV{Pkt: testPkt(t, 100)})
+	})
+}
+
+func TestStageLocalityEnforced(t *testing.T) {
+	p := NewPipeline("test")
+	reg := p.NewRegister(3, "r", 4, 1)
+	mustPanic(t, "stage-local", func() {
+		p.AddMAT(4, &MAT{Name: "wrongstage", Reg: reg})
+	})
+}
+
+func TestFirstMatchingRuleFires(t *testing.T) {
+	p := NewPipeline("test")
+	var fired []string
+	p.AddMAT(0, &MAT{
+		Name: "ordered",
+		Rules: []Rule{
+			{Name: "a", Match: func(phv *PHV) bool { return phv.InPort == 1 },
+				Action: func(*Ctx) { fired = append(fired, "a") }},
+			{Name: "b", Match: func(phv *PHV) bool { return true },
+				Action: func(*Ctx) { fired = append(fired, "b") }},
+		},
+	})
+	p.Process(&PHV{Pkt: testPkt(t, 64), InPort: 1})
+	p.Process(&PHV{Pkt: testPkt(t, 64), InPort: 9})
+	if got := strings.Join(fired, ","); got != "a,b" {
+		t.Errorf("fired = %s, want a,b", got)
+	}
+}
+
+func TestStageBudgets(t *testing.T) {
+	p := NewPipeline("test")
+	// SRAM overflow: a register bigger than a stage's budget.
+	mustPanic(t, "SRAM overflow", func() {
+		p.NewRegister(0, "huge", 16, StageSRAMBytes) // 16x budget
+	})
+	// VLIW overflow.
+	p2 := NewPipeline("test2")
+	mustPanic(t, "VLIW overflow", func() {
+		p2.AddMAT(0, &MAT{Name: "wide", Res: Resources{VLIWSlots: StageVLIWSlots + 1}})
+	})
+	// Register MAT port limit.
+	p3 := NewPipeline("test3")
+	for i := 0; i < MaxRegisterMATsPerStage; i++ {
+		r := p3.NewRegister(0, "r", 4, 1)
+		p3.AddMAT(0, &MAT{Name: "m", Reg: r})
+	}
+	r := p3.NewRegister(0, "r-extra", 4, 1)
+	mustPanic(t, "register MATs", func() {
+		p3.AddMAT(0, &MAT{Name: "m-extra", Reg: r})
+	})
+	// Bad stage index.
+	mustPanic(t, "outside", func() { p.NewRegister(StageCount, "r", 4, 1) })
+	// Bad register shapes.
+	mustPanic(t, "width", func() { p.NewRegister(0, "w", 17, 1) })
+	mustPanic(t, "at least one cell", func() { p.NewRegister(0, "c", 4, 0) })
+}
+
+func TestResourceAccounting(t *testing.T) {
+	p := NewPipeline("test")
+	// One register of 1/4 the stage budget in stage 2, plus a ternary MAT.
+	cells := StageSRAMBytes / 4 / 8
+	p.NewRegister(2, "quarter", 8, cells)
+	p.AddMAT(0, &MAT{Name: "tern", Res: Resources{
+		TCAMBytes: StageTCAMBytes / 2, VLIWSlots: 4, ExactXbarBits: 128, TernXbarBits: 136,
+	}})
+	u := p.Resources()
+	if got := u.SRAMBytesPerStage[2]; got != cells*8 {
+		t.Errorf("stage 2 SRAM = %d, want %d", got, cells*8)
+	}
+	wantPeak := 100 * float64(cells*8) / StageSRAMBytes
+	if diff := u.SRAMPeakPct - wantPeak; diff < -0.01 || diff > 0.01 {
+		t.Errorf("peak SRAM%% = %v, want %v", u.SRAMPeakPct, wantPeak)
+	}
+	wantAvg := wantPeak / StageCount
+	if diff := u.SRAMAvgPct - wantAvg; diff < -0.01 || diff > 0.01 {
+		t.Errorf("avg SRAM%% = %v, want %v", u.SRAMAvgPct, wantAvg)
+	}
+	if u.TCAMPct <= 0 || u.VLIWPct <= 0 || u.ExactXbarPct <= 0 || u.TernXbarPct <= 0 {
+		t.Errorf("expected nonzero resource percentages: %+v", u)
+	}
+}
+
+func TestPHVOverflowPanics(t *testing.T) {
+	p := NewPipeline("test")
+	p.DeclarePHVBits(PHVBits - 10)
+	mustPanic(t, "PHV overflow", func() { p.DeclarePHVBits(11) })
+}
+
+func TestParserExtractsBlocks(t *testing.T) {
+	p := NewPipeline("test")
+	p.Parser().ExtractPayloadBlocks(20, 8) // 160 bytes
+	pkt := testPkt(t, 42+200)              // 200B payload
+	phv := p.Parser().ToPHV(pkt, 5)
+	if phv.GetMeta(MetaPayloadOK) != 1 {
+		t.Fatal("payload OK flag not set for 200B payload")
+	}
+	if len(phv.Blocks) != 20 {
+		t.Fatalf("blocks = %d, want 20", len(phv.Blocks))
+	}
+	// Blocks must be contiguous views of the payload prefix.
+	joined := bytes.Join(phv.Blocks, nil)
+	if !bytes.Equal(joined, pkt.Payload[:160]) {
+		t.Error("blocks do not reproduce the payload prefix")
+	}
+	if phv.InPort != 5 {
+		t.Errorf("inPort = %d, want 5", phv.InPort)
+	}
+}
+
+func TestParserSkipsSmallPayload(t *testing.T) {
+	p := NewPipeline("test")
+	p.Parser().ExtractPayloadBlocks(20, 8)
+	pkt := testPkt(t, 42+159) // payload one byte short
+	phv := p.Parser().ToPHV(pkt, 0)
+	if phv.GetMeta(MetaPayloadOK) != 0 || phv.Blocks != nil {
+		t.Error("small payload must not be lifted into blocks")
+	}
+}
+
+func TestParserSkipsPPPackets(t *testing.T) {
+	p := NewPipeline("test")
+	p.Parser().ExtractPayloadBlocks(20, 8)
+	pkt := testPkt(t, 42+200)
+	pkt.PP = &packet.PPHeader{Enabled: true}
+	phv := p.Parser().ToPHV(pkt, 0)
+	if phv.GetMeta(MetaPayloadOK) != 0 {
+		t.Error("packets already carrying a PP header must not re-split")
+	}
+}
+
+func TestParserPHVBudgetIncludesBlocks(t *testing.T) {
+	p := NewPipeline("test")
+	p.Parser().ExtractPayloadBlocks(20, 8)
+	if got := p.PHVBitsUsed(); got != 20*8*8 {
+		t.Errorf("PHV bits = %d, want %d", got, 20*8*8)
+	}
+}
+
+func TestParseFrameByPort(t *testing.T) {
+	p := NewPipeline("test")
+	p.Parser().ExpectPPHeader(7)
+	pkt := testPkt(t, 300)
+	pkt.PP = &packet.PPHeader{Enabled: true, Tag: packet.Tag{TableIndex: 1, Clock: 2}.Seal()}
+	frame := pkt.Serialize()
+
+	phv, err := p.Parser().ParseFrame(frame, 7)
+	if err != nil {
+		t.Fatalf("ParseFrame(pp port): %v", err)
+	}
+	if phv.Pkt.PP == nil || !phv.Pkt.PP.Enabled {
+		t.Error("PP header not parsed on PP-expected port")
+	}
+
+	plain := testPkt(t, 300).Serialize()
+	phv, err = p.Parser().ParseFrame(plain, 3)
+	if err != nil {
+		t.Fatalf("ParseFrame(plain port): %v", err)
+	}
+	if phv.Pkt.PP != nil {
+		t.Error("PP header parsed on non-PP port")
+	}
+
+	if _, err := p.Parser().ParseFrame(frame[:10], 3); err == nil {
+		t.Error("truncated frame parsed without error")
+	}
+}
+
+func TestMarkDrop(t *testing.T) {
+	phv := &PHV{}
+	phv.MarkDrop("premature eviction")
+	if !phv.Drop || phv.DropWhy != "premature eviction" {
+		t.Errorf("drop state = %v %q", phv.Drop, phv.DropWhy)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	phv := &PHV{}
+	phv.SetMeta(MetaTableIndex, 1234)
+	phv.SetMeta(MetaClock, 77)
+	if phv.GetMeta(MetaTableIndex) != 1234 || phv.GetMeta(MetaClock) != 77 {
+		t.Error("meta words lost")
+	}
+}

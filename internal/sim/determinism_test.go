@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestRunsAreDeterministic: identical configurations produce bit-identical
+// results — the property that makes every experiment in this repository
+// reproducible.
+func TestRunsAreDeterministic(t *testing.T) {
+	cfg := smokeConfig(true, 9)
+	cfg.WarmupNs = 2e6
+	cfg.MeasureNs = 8e6
+	a := RunTestbed(cfg)
+	b := RunTestbed(cfg)
+	if a != b {
+		t.Errorf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSeedChangesResults: different seeds genuinely change the workload.
+func TestSeedChangesResults(t *testing.T) {
+	cfg := smokeConfig(true, 9)
+	cfg.WarmupNs = 2e6
+	cfg.MeasureNs = 8e6
+	a := RunTestbed(cfg)
+	cfg.Seed = 2
+	b := RunTestbed(cfg)
+	if a.Delivered == b.Delivered && a.AvgLatencyUs == b.AvgLatencyUs {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestJitterPreservesMeanService: with jitter on, throughput at moderate
+// load stays near the no-jitter value (mean service time unchanged).
+func TestJitterPreservesMeanService(t *testing.T) {
+	mk := func(jitter float64) TestbedConfig {
+		cfg := smokeConfig(true, 6)
+		cfg.Server = DefaultServerModel()
+		cfg.Server.ServiceJitterPct = jitter
+		cfg.WarmupNs = 2e6
+		cfg.MeasureNs = 10e6
+		return cfg
+	}
+	a := RunTestbed(mk(0))
+	b := RunTestbed(mk(0.4))
+	if diff := b.GoodputGbps/a.GoodputGbps - 1; diff > 0.02 || diff < -0.02 {
+		t.Errorf("jitter changed mean throughput by %.1f%%", 100*diff)
+	}
+	// But jitter raises latency variance (queueing).
+	if b.MaxLatencyUs <= a.MaxLatencyUs {
+		t.Logf("note: jitter did not raise max latency (a=%.1f b=%.1f)", a.MaxLatencyUs, b.MaxLatencyUs)
+	}
+}
+
+// TestStallModelInjectsLatency: the Fig. 14 stall mechanism visibly
+// lengthens the latency tail without changing low-load goodput.
+func TestStallModelInjectsLatency(t *testing.T) {
+	mk := func(stall bool) TestbedConfig {
+		cfg := smokeConfig(true, 4)
+		cfg.Server = DefaultServerModel() // set first: fillDefaults replaces a zero model
+		if stall {
+			cfg.Server.StallPeriodNs = 5e6
+			cfg.Server.StallNs = 1e6
+		}
+		cfg.Server.NICRing = 65536
+		cfg.Server.StageQueue = 65536
+		cfg.WarmupNs = 2e6
+		cfg.MeasureNs = 15e6
+		return cfg
+	}
+	calm := RunTestbed(mk(false))
+	stalled := RunTestbed(mk(true))
+	if stalled.MaxLatencyUs < 5*calm.MaxLatencyUs {
+		t.Errorf("stalls not visible in latency tail: calm=%.1fus stalled=%.1fus",
+			calm.MaxLatencyUs, stalled.MaxLatencyUs)
+	}
+	if diff := stalled.GoodputGbps/calm.GoodputGbps - 1; diff > 0.02 || diff < -0.02 {
+		t.Errorf("stalls changed low-load goodput by %.1f%%", 100*diff)
+	}
+}

@@ -1,0 +1,91 @@
+// Package sim is the discrete-event network simulator that reproduces the
+// paper's testbed: links with serialization and propagation delay, finite
+// NIC and switch queues, a PCIe bus model, and an NF-server timing model,
+// all wrapped around the byte-accurate dataplane of internal/core and the
+// behavioural NFs of internal/nf.
+//
+// Time is int64 nanoseconds. The simulator is single-threaded and
+// deterministic: identical configurations and seeds produce identical
+// results.
+package sim
+
+import (
+	"container/heap"
+)
+
+// Engine is a discrete-event executor.
+type Engine struct {
+	now   int64
+	seq   uint64
+	queue eventHeap
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Schedule runs fn after delay nanoseconds (>= 0).
+func (e *Engine) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t (clamped to now).
+func (e *Engine) ScheduleAt(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events in timestamp order until the queue drains or the
+// clock passes until.
+func (e *Engine) Run(until int64) {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of queued events (for tests).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+type event struct {
+	at  int64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/stats"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// MultiServerConfig describes the §6.2.3 deployment: up to 8 NF servers
+// (each running a MAC swapper) sharing one switch, two servers per pipe,
+// with the reserved switch memory statically sliced between them.
+type MultiServerConfig struct {
+	// Servers is the NF server count (1..8).
+	Servers int
+	// LinkBps is each server's link rate; SendBps the per-server offered load.
+	LinkBps float64
+	SendBps float64
+	// Dist draws packet sizes (the paper uses Fixed(384)).
+	Dist trafficgen.SizeDist
+	// SlotsPerServer sizes each server's sliced lookup table.
+	SlotsPerServer int
+	// MaxExpiry is the eviction threshold.
+	MaxExpiry uint32
+	// Server calibrates the NF server machines (8-core 2.4 GHz Xeons in
+	// the paper).
+	Server ServerModel
+	// PayloadPark toggles the optimization (false = baseline).
+	PayloadPark bool
+	Seed        int64
+	WarmupNs    int64
+	MeasureNs   int64
+}
+
+// MultiServerResult reports per-server and aggregate outcomes.
+type MultiServerResult struct {
+	PerServer []Result
+	// Switch resource utilization with all programs installed (Table 1's
+	// SRAM rows): average and peak per-stage SRAM over used pipes.
+	SRAMAvgPct  float64
+	SRAMPeakPct float64
+}
+
+// RunMultiServer simulates all servers against one shared switch in a
+// single discrete-event run.
+func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
+	if cfg.Servers < 1 || cfg.Servers > 8 {
+		panic(fmt.Sprintf("sim: servers = %d outside [1,8]", cfg.Servers))
+	}
+	if cfg.WarmupNs == 0 {
+		cfg.WarmupNs = 10e6
+	}
+	if cfg.MeasureNs == 0 {
+		cfg.MeasureNs = 50e6
+	}
+	if cfg.Server.FreqHz == 0 {
+		cfg.Server = DefaultServerModel()
+	}
+	eng := NewEngine()
+	sw := core.NewSwitch("multiserver")
+	windowStart := cfg.WarmupNs
+	windowEnd := cfg.WarmupNs + cfg.MeasureNs
+
+	results := make([]Result, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		wireServer(eng, sw, cfg, i, windowStart, windowEnd, &results[i])
+	}
+	eng.Run(windowEnd + cfg.WarmupNs)
+
+	out := MultiServerResult{PerServer: results}
+	pipes := (cfg.Servers + 1) / 2
+	for p := 0; p < pipes; p++ {
+		u := sw.Pipe(p).Resources()
+		out.SRAMAvgPct += u.SRAMAvgPct
+		if u.SRAMPeakPct > out.SRAMPeakPct {
+			out.SRAMPeakPct = u.SRAMPeakPct
+		}
+	}
+	out.SRAMAvgPct /= float64(pipes)
+	return out
+}
+
+// wireServer attaches one generator/server pair to the shared switch.
+// Server i lives on pipe i/2; the second server of a pipe uses the upper
+// port block.
+func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, windowStart, windowEnd int64, res *Result) {
+	pipe := i / 2
+	base := rmt.PortID(core.PortsPerPipe*pipe + 8*(i%2))
+	split, nfPort, sinkPort := base, base+1, base+2
+
+	macGen := packet.MAC{0x02, 0x10, 0, 0, 0, byte(i)}
+	macNF := packet.MAC{0x02, 0x20, 0, 0, 0, byte(i)}
+	macSink := packet.MAC{0x02, 0x30, 0, 0, 0, byte(i)}
+	sw.AddL2Route(macNF, nfPort)
+	sw.AddL2Route(macSink, sinkPort)
+	sw.AddL2Route(macGen, sinkPort) // MAC swap returns toward the generator
+
+	if cfg.PayloadPark {
+		_, err := sw.AttachPayloadPark(core.Config{
+			Slots: cfg.SlotsPerServer, MaxExpiry: cfg.MaxExpiry,
+			SplitPort: split, MergePort: nfPort,
+		}, -1)
+		if err != nil {
+			panic(fmt.Sprintf("sim: multiserver attach %d: %v", i, err))
+		}
+	}
+
+	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.MACSwap{})})
+	gen := trafficgen.New(trafficgen.Config{
+		Sizes: cfg.Dist, Flows: 512,
+		SrcMAC: macGen, DstMAC: macNF,
+		DstIP: packet.IPv4Addr{10, 1, byte(i), 9}, DstPort: 80,
+		Seed: cfg.Seed + int64(i),
+	})
+
+	res.Name = fmt.Sprintf("server-%d", i+1)
+	goodput := stats.NewRateMeter(windowStart)
+	var latency stats.Summary
+	var sent, drops uint64
+	onDrop := func(p Parcel, _ string) {
+		if p.InWindow {
+			drops++
+		}
+	}
+
+	var handle func(p Parcel, in rmt.PortID)
+	returnLink := NewLink(eng, cfg.LinkBps, 500, 1<<20,
+		func(p Parcel) { handle(p, nfPort) }, onDrop)
+	srvSim := NewServerSim(eng, cfg.Server, srv, returnLink.Send, onDrop, nil)
+	toNFLink := NewLink(eng, cfg.LinkBps, 500, 1<<20,
+		func(p Parcel) {
+			if now := eng.Now(); p.InWindow && now <= windowEnd {
+				goodput.Record(now, packet.HeaderUnitLen*8)
+			}
+			srvSim.Receive(p)
+		}, onDrop)
+	sinkLink := NewLink(eng, 2*cfg.LinkBps, 500, 2<<20,
+		func(p Parcel) {
+			if p.InWindow && eng.Now() <= windowEnd {
+				latency.Observe(float64(eng.Now()-p.Born) / 1e3)
+			}
+		}, onDrop)
+	genLink := NewLink(eng, 2*cfg.LinkBps, 500, 4<<20,
+		func(p Parcel) { handle(p, split) }, onDrop)
+
+	handle = func(p Parcel, in rmt.PortID) {
+		em, reason := sw.InjectTraced(p.Pkt, in)
+		if em == nil {
+			if reason != core.DropExplicitDrop {
+				onDrop(p, reason)
+			}
+			return
+		}
+		p.Pkt = em.Pkt
+		eng.Schedule(em.LatencyNs, func() {
+			switch em.Port {
+			case nfPort:
+				toNFLink.Send(p)
+			case sinkPort:
+				sinkLink.Send(p)
+			default:
+				onDrop(p, "no route")
+			}
+		})
+	}
+
+	var sendNext func()
+	sendNext = func() {
+		pkt := gen.Next()
+		now := eng.Now()
+		p := Parcel{Pkt: pkt, Born: now, InWindow: now >= windowStart && now < windowEnd}
+		if p.InWindow {
+			sent++
+		}
+		genLink.Send(p)
+		gap := int64(float64(pkt.Len()*8) / cfg.SendBps * 1e9)
+		if gap < 1 {
+			gap = 1
+		}
+		if now+gap < windowEnd+cfg.WarmupNs/2 {
+			eng.Schedule(gap, sendNext)
+		}
+	}
+	eng.Schedule(int64(i)*97, sendNext) // desynchronize servers slightly
+
+	// Finalize this server's result when the run ends.
+	eng.ScheduleAt(windowEnd+cfg.WarmupNs-1, func() {
+		goodput.CloseAt(windowEnd)
+		res.GoodputGbps = goodput.Gbps()
+		res.AvgLatencyUs = latency.Mean()
+		res.MaxLatencyUs = latency.Max()
+		res.JitterUs = latency.Max() - latency.Mean()
+		if sent > 0 {
+			res.UnintendedDropRate = float64(drops) / float64(sent)
+		}
+		res.Healthy = res.UnintendedDropRate < HealthyDropRate
+	})
+}

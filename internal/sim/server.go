@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/stats"
+)
+
+// ServerModel calibrates the NF server's timing: the DPDK framework's
+// per-packet and per-byte RX cost, the NIC descriptor ring, the inter-NF
+// rings, core frequency, and the PCIe bus. Presets matching the paper's
+// machines live in internal/harness (calibration.go) with the paper
+// quotes that justify them.
+type ServerModel struct {
+	// FreqHz converts NF cycle costs to time (paper NF server: 2.3 GHz
+	// Xeon E7-4870 v2).
+	FreqHz float64
+	// RxFixedNs is the framework's fixed per-packet receive cost
+	// (descriptor handling, mbuf bookkeeping, dispatch).
+	RxFixedNs float64
+	// RxPerByteNs is the per-wire-byte receive cost (copies, cache
+	// traffic). PayloadPark's benefit on the compute side comes from
+	// shrinking this term.
+	RxPerByteNs float64
+	// NICRing is the RX descriptor ring size in packets; overflow is
+	// where "packet drops at the NF server NIC" (§6.3.3) happen.
+	NICRing int
+	// StageQueue is the capacity of the rings between pipelined NFs.
+	StageQueue int
+	// PCIeBps is the usable PCIe bandwidth shared by RX and TX DMA
+	// (x8 Gen3 after framing, ~66 Gbps).
+	PCIeBps float64
+	// PCIeOverheadBytes is the per-packet DMA overhead (descriptors,
+	// TLP headers) charged to the bus.
+	PCIeOverheadBytes int
+	// ServiceJitterPct adds uniform ±pct jitter to RX and NF service
+	// times (container scheduling, interrupts). Zero disables it. With
+	// jitter, queueing delay grows gradually as load approaches
+	// saturation — the effect behind Fig. 14's eviction onset.
+	ServiceJitterPct float64
+	// StallPeriodNs/StallNs model periodic receive-path stalls (container
+	// scheduling, interrupt storms): every StallPeriodNs the RX core
+	// pauses for StallNs. During the stall and its drain, in-flight
+	// residence grows with offered load; whether parked payloads survive
+	// the excursion depends on the lookup-table size — the effect the
+	// Fig. 14 memory sweep measures. Zero disables stalls.
+	StallPeriodNs int64
+	StallNs       int64
+}
+
+// DefaultServerModel is the OpenNetVM-on-Xeon calibration used unless an
+// experiment overrides it.
+func DefaultServerModel() ServerModel {
+	return ServerModel{
+		FreqHz:            2.3e9,
+		RxFixedNs:         65,
+		RxPerByteNs:       0.023,
+		NICRing:           1024,
+		StageQueue:        4096,
+		PCIeBps:           66e9,
+		PCIeOverheadBytes: 8,
+	}
+}
+
+// station is a single-server FIFO service center.
+type station struct {
+	busyUntil int64
+	queued    int
+}
+
+// ServerSim wraps an nf.Server with the timing model: NIC ring -> PCIe
+// DMA -> RX core -> one pipelined station per NF -> PCIe DMA -> out.
+type ServerSim struct {
+	eng   *Engine
+	model ServerModel
+	srv   *nf.Server
+
+	out        func(Parcel)         // transmit toward the switch
+	onDrop     func(Parcel, string) // unintended drops (ring/stage overflow)
+	onConsumed func(Parcel)         // intended NF drops (no notification)
+
+	rxOccupancy int
+	rx          station
+	stages      []station
+	pcieBusy    int64
+	rng         *rand.Rand
+
+	// RxDrops counts NIC ring overflows; StageDrops inter-NF ring
+	// overflows; PCIeBytes total DMA bytes (both directions).
+	RxDrops    stats.Counter
+	StageDrops stats.Counter
+	PCIeBytes  stats.Counter
+}
+
+// NewServerSim builds a server simulation around a behavioural server.
+func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, out func(Parcel), onDrop func(Parcel, string), onConsumed func(Parcel)) *ServerSim {
+	s := &ServerSim{
+		eng: eng, model: model, srv: srv,
+		out: out, onDrop: onDrop, onConsumed: onConsumed,
+		stages: make([]station, srv.Chain().Len()),
+		rng:    rand.New(rand.NewSource(0x5eed)),
+	}
+	if model.StallPeriodNs > 0 && model.StallNs > 0 {
+		var stall func()
+		stall = func() {
+			now := eng.Now()
+			if s.rx.busyUntil < now {
+				s.rx.busyUntil = now
+			}
+			s.rx.busyUntil += model.StallNs
+			eng.Schedule(model.StallPeriodNs, stall)
+		}
+		eng.Schedule(model.StallPeriodNs, stall)
+	}
+	return s
+}
+
+// jitter perturbs a service time by the configured uniform percentage.
+func (s *ServerSim) jitter(ns int64) int64 {
+	j := s.model.ServiceJitterPct
+	if j <= 0 {
+		return ns
+	}
+	f := 1 + j*(2*s.rng.Float64()-1)
+	return int64(float64(ns) * f)
+}
+
+// pcieTransfer serializes a DMA of n packet bytes on the shared bus and
+// returns its completion time.
+func (s *ServerSim) pcieTransfer(pktBytes int) int64 {
+	bytes := pktBytes + s.model.PCIeOverheadBytes
+	s.PCIeBytes.Add(uint64(bytes))
+	start := s.pcieBusy
+	if now := s.eng.Now(); start < now {
+		start = now
+	}
+	done := start + int64(float64(bytes*8)/s.model.PCIeBps*1e9)
+	s.pcieBusy = done
+	return done
+}
+
+// Receive is the link-delivery handler: a packet arrives at the NIC.
+func (s *ServerSim) Receive(p Parcel) {
+	if s.rxOccupancy >= s.model.NICRing {
+		s.RxDrops.Inc()
+		if s.onDrop != nil {
+			s.onDrop(p, "nic ring overflow")
+		}
+		return
+	}
+	s.rxOccupancy++
+	// DMA into host memory, then the RX core picks it up.
+	dmaDone := s.pcieTransfer(p.Pkt.Len())
+	rxNs := s.jitter(int64(s.model.RxFixedNs + s.model.RxPerByteNs*float64(p.Pkt.Len())))
+	start := s.rx.busyUntil
+	if start < dmaDone {
+		start = dmaDone
+	}
+	done := start + rxNs
+	s.rx.busyUntil = done
+	s.eng.ScheduleAt(done, func() {
+		s.rxOccupancy--
+		res := s.srv.Handle(p.Pkt)
+		s.enterStage(p, res, 0)
+	})
+}
+
+// enterStage routes the packet through the pipelined NF stations it was
+// actually charged for (stages after a Drop verdict are skipped because
+// res.Costs is truncated).
+func (s *ServerSim) enterStage(p Parcel, res nf.Result, i int) {
+	if i >= len(res.Costs) {
+		s.finish(p, res)
+		return
+	}
+	st := &s.stages[i]
+	if st.queued >= s.model.StageQueue {
+		s.StageDrops.Inc()
+		if s.onDrop != nil {
+			s.onDrop(p, "stage queue overflow")
+		}
+		return
+	}
+	st.queued++
+	serviceNs := s.jitter(int64(float64(res.Costs[i].Cycles) / s.model.FreqHz * 1e9))
+	start := st.busyUntil
+	if now := s.eng.Now(); start < now {
+		start = now
+	}
+	done := start + serviceNs
+	st.busyUntil = done
+	s.eng.ScheduleAt(done, func() {
+		st.queued--
+		s.enterStage(p, res, i+1)
+	})
+}
+
+// finish transmits the result (forwarded packet or explicit-drop
+// notification) or records a silent drop.
+func (s *ServerSim) finish(p Parcel, res nf.Result) {
+	if res.Out == nil {
+		if s.onConsumed != nil {
+			s.onConsumed(p)
+		}
+		return
+	}
+	p.Pkt = res.Out
+	txDone := s.pcieTransfer(p.Pkt.Len())
+	s.eng.ScheduleAt(txDone, func() { s.out(p) })
+}

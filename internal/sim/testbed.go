@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/stats"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// Canonical single-server topology (paper Fig. 5): the traffic generator
+// feeds the switch over two ports; the NF server hangs off one port; the
+// generator's receive side is the sink.
+var (
+	MACGen  = packet.MAC{0x02, 0, 0, 0, 0, 0x01}
+	MACNF   = packet.MAC{0x02, 0, 0, 0, 0, 0x02}
+	MACSink = packet.MAC{0x02, 0, 0, 0, 0, 0x03}
+)
+
+const (
+	portSplit = rmt.PortID(0)
+	portNF    = rmt.PortID(1)
+	portSink  = rmt.PortID(2)
+)
+
+// HealthyDropRate is the paper's health criterion: "We consider the system
+// to be healthy when the packet drop rate is below 0.1%" (§6.1).
+const HealthyDropRate = 0.001
+
+// TestbedConfig describes one simulated deployment run.
+type TestbedConfig struct {
+	// Name labels the run in results.
+	Name string
+	// LinkBps is the switch<->NF-server line rate (10 or 40 GbE).
+	LinkBps float64
+	// SendBps is the offered load in frame bits/second.
+	SendBps float64
+	// Dist draws packet sizes; Flows is the 5-tuple pool size.
+	Dist  trafficgen.SizeDist
+	Flows int
+	// Source, when non-nil, overrides the synthetic generator with an
+	// arbitrary packet stream (e.g. a pcap replay). The builder is called
+	// once per run so replays start fresh.
+	Source func() trafficgen.Source
+	// Seed drives all randomness.
+	Seed int64
+	// BuildChain constructs a fresh NF chain (fresh NF state per run).
+	BuildChain func() *nf.Chain
+	// Server calibrates the NF server timing.
+	Server ServerModel
+	// PayloadPark enables the program; PP carries its parameters (ports
+	// are overridden to the canonical topology).
+	PayloadPark bool
+	PP          core.Config
+	// ExplicitDrop enables the §6.2.4 framework modification.
+	ExplicitDrop bool
+	// WarmupNs/MeasureNs bound the measurement window.
+	WarmupNs  int64
+	MeasureNs int64
+	// SwitchQueueBytes is the egress buffer per switch port (default 1 MB).
+	SwitchQueueBytes int
+	// PropNs is the per-link propagation delay (default 500 ns).
+	PropNs int64
+	// NFLinkLossRate injects random loss on both directions of the
+	// switch<->NF link (§7 failure scenarios). Lost split packets orphan
+	// their parked payloads; the payload evictor must reclaim them.
+	NFLinkLossRate float64
+}
+
+func (c *TestbedConfig) fillDefaults() {
+	if c.Flows == 0 {
+		c.Flows = 1024
+	}
+	if c.SwitchQueueBytes == 0 {
+		c.SwitchQueueBytes = 1 << 20
+	}
+	if c.PropNs == 0 {
+		c.PropNs = 500
+	}
+	if c.WarmupNs == 0 {
+		c.WarmupNs = 10e6 // 10 ms
+	}
+	if c.MeasureNs == 0 {
+		c.MeasureNs = 50e6 // 50 ms
+	}
+	if c.Server.FreqHz == 0 {
+		c.Server = DefaultServerModel()
+	}
+}
+
+// Result is the outcome of one testbed run, in the units the paper plots.
+type Result struct {
+	Name string
+	// SendGbps is the measured offered load.
+	SendGbps float64
+	// GoodputGbps is the paper's goodput: useful-header bits (42 B per
+	// packet) delivered to the NF server per second, measured at the
+	// switch (§6.1).
+	GoodputGbps float64
+	// ToNFGbps / ToNFMpps describe the switch->NF link traffic.
+	ToNFGbps float64
+	ToNFMpps float64
+	// Latency of packets delivered to the sink, microseconds.
+	AvgLatencyUs float64
+	P99LatencyUs float64
+	MaxLatencyUs float64
+	JitterUs     float64 // peak minus average (paper Fig. 7 caption)
+	// Delivered counts packets reaching the sink in-window.
+	Delivered uint64
+	// UnintendedDropRate is (queue+ring+eviction+stale) drops / sent.
+	UnintendedDropRate float64
+	// NFDrops counts intended drops (firewall verdicts) in-window.
+	NFDrops uint64
+	// PCIe bus traffic at the NF server.
+	PCIeGbps    float64
+	PCIeUtilPct float64
+	// PayloadPark counters (deltas over the measurement window).
+	Splits, Merges, Evictions, Premature, OccupiedSkips, SmallSkips, ExplicitDrops uint64
+	// Healthy reports the paper's <0.1% unintended-drop criterion.
+	Healthy bool
+	// SRAMPct is the average per-stage SRAM utilization of the ingress pipe.
+	SRAMPct float64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: send=%.2fGbps goodput=%.3fGbps lat=%.1fus drop=%.4f%% pcie=%.1f%% healthy=%t",
+		r.Name, r.SendGbps, r.GoodputGbps, r.AvgLatencyUs, 100*r.UnintendedDropRate, r.PCIeUtilPct, r.Healthy)
+}
+
+// RunTestbed simulates one deployment and reports measurements.
+func RunTestbed(cfg TestbedConfig) Result {
+	cfg.fillDefaults()
+	eng := NewEngine()
+
+	// Behavioural components.
+	sw := core.NewSwitch(cfg.Name)
+	sw.AddL2Route(MACNF, portNF)
+	sw.AddL2Route(MACSink, portSink)
+	sw.AddL2Route(MACGen, portSink) // MAC-swap chains return toward the generator
+
+	var prog *core.Program
+	if cfg.PayloadPark {
+		pp := cfg.PP
+		pp.SplitPort = portSplit
+		pp.MergePort = portNF
+		recirc := -1
+		if pp.Recirculate {
+			recirc = 1
+		}
+		var err error
+		prog, err = sw.AttachPayloadPark(pp, recirc)
+		if err != nil {
+			panic(fmt.Sprintf("sim: attach payloadpark: %v", err))
+		}
+	}
+
+	chain := cfg.BuildChain()
+	srv := nf.NewServer(nf.ServerConfig{
+		Chain:        chain,
+		RewriteMACs:  !chainSwapsMACs(chain),
+		NFMAC:        MACNF,
+		NextHopMAC:   MACSink,
+		ExplicitDrop: cfg.ExplicitDrop,
+	})
+
+	var gen trafficgen.Source
+	if cfg.Source != nil {
+		gen = cfg.Source()
+	} else {
+		gen = trafficgen.New(trafficgen.Config{
+			Sizes: cfg.Dist, Flows: cfg.Flows,
+			SrcMAC: MACGen, DstMAC: MACNF,
+			DstIP: packet.IPv4Addr{10, 1, 0, 9}, DstPort: 80,
+			Seed: cfg.Seed,
+		})
+	}
+
+	// Measurement state.
+	windowStart := cfg.WarmupNs
+	windowEnd := cfg.WarmupNs + cfg.MeasureNs
+	var (
+		sentWindow      uint64
+		sentBits        = stats.NewRateMeter(windowStart)
+		goodput         = stats.NewRateMeter(windowStart)
+		toNF            = stats.NewRateMeter(windowStart)
+		pcie            = stats.NewRateMeter(windowStart)
+		latency         stats.Summary
+		latencyHist     = stats.NewHistogram(stats.ExponentialBounds(1, 1.122, 120)) // 1 µs .. ~1 s
+		delivered       uint64
+		nfDrops         uint64
+		unintendedDrops uint64
+	)
+
+	dropUnintended := func(p Parcel, _ string) {
+		if p.InWindow {
+			unintendedDrops++
+		}
+	}
+
+	// Wiring, back to front. Return path: server -> link -> switch merge.
+	var srvSim *ServerSim
+	var handleSwitch func(p Parcel, in rmt.PortID)
+
+	returnLink := NewLink(eng, cfg.LinkBps, cfg.PropNs, cfg.SwitchQueueBytes,
+		func(p Parcel) { handleSwitch(p, portNF) }, dropUnintended)
+	returnLink.LossRate = cfg.NFLinkLossRate
+
+	srvSim = NewServerSim(eng, cfg.Server, srv,
+		returnLink.Send,
+		dropUnintended,
+		func(p Parcel) {
+			if p.InWindow {
+				nfDrops++
+			}
+		},
+	)
+
+	// Goodput is measured on delivery over the switch->NF link: useful-
+	// header bits that actually reached the NF server (§6.1, including
+	// packets the firewall later drops — §6.2.4).
+	toNFLink := NewLink(eng, cfg.LinkBps, cfg.PropNs, cfg.SwitchQueueBytes,
+		func(p Parcel) {
+			now := eng.Now()
+			if p.InWindow && now >= windowStart && now <= windowEnd {
+				goodput.Record(now, packet.HeaderUnitLen*8)
+				toNF.Record(now, float64(WireBytes(p.Pkt)*8))
+			}
+			srvSim.Receive(p)
+		}, dropUnintended)
+	toNFLink.LossRate = cfg.NFLinkLossRate
+
+	sinkLink := NewLink(eng, 2*cfg.LinkBps, cfg.PropNs, 2*cfg.SwitchQueueBytes,
+		func(p Parcel) {
+			if p.InWindow && eng.Now() <= windowEnd {
+				delivered++
+				us := float64(eng.Now()-p.Born) / 1e3
+				latency.Observe(us)
+				latencyHist.Observe(us)
+			}
+		}, dropUnintended)
+
+	handleSwitch = func(p Parcel, in rmt.PortID) {
+		em, reason := sw.InjectTraced(p.Pkt, in)
+		if em == nil {
+			if reason != core.DropExplicitDrop {
+				// Everything except intended explicit-drop consumption is
+				// a failure (premature eviction, bad tag, unknown MAC).
+				dropUnintended(p, reason)
+			}
+			return
+		}
+		p.Pkt = em.Pkt
+		eng.Schedule(em.LatencyNs, func() {
+			switch em.Port {
+			case portNF:
+				toNFLink.Send(p)
+			case portSink:
+				sinkLink.Send(p)
+			default:
+				dropUnintended(p, "no route")
+			}
+		})
+	}
+
+	// PCIe utilization: sample the server's cumulative DMA byte counter
+	// periodically inside the window.
+	var pcieBase uint64
+	var pcieSample func()
+	pcieSample = func() {
+		now := eng.Now()
+		if now >= windowStart && now <= windowEnd {
+			total := srvSim.PCIeBytes.Value()
+			delta := total - pcieBase
+			pcieBase = total
+			if now > windowStart {
+				pcie.Record(now, float64(delta*8))
+			}
+		}
+		if now < windowEnd {
+			eng.Schedule(1e6, pcieSample) // 1 ms sampling, like PCM
+		}
+	}
+	eng.ScheduleAt(windowStart, func() { pcieBase = srvSim.PCIeBytes.Value(); pcieSample() })
+
+	// Generator: constant bit rate over frame bits.
+	genLink := NewLink(eng, 2*cfg.LinkBps, cfg.PropNs, 4<<20,
+		func(p Parcel) { handleSwitch(p, portSplit) }, dropUnintended)
+
+	var sendNext func()
+	sendNext = func() {
+		pkt := gen.Next()
+		now := eng.Now()
+		p := Parcel{Pkt: pkt, Born: now, InWindow: now >= windowStart && now < windowEnd}
+		if p.InWindow {
+			sentWindow++
+			sentBits.Record(now, float64(pkt.Len()*8))
+		}
+		genLink.Send(p)
+		gapNs := int64(float64(pkt.Len()*8) / cfg.SendBps * 1e9)
+		if gapNs < 1 {
+			gapNs = 1
+		}
+		if now+gapNs < windowEnd+cfg.WarmupNs/2 {
+			eng.Schedule(gapNs, sendNext)
+		}
+	}
+
+	// Counter snapshot at window start for in-window deltas.
+	var snap core.Counters
+	eng.ScheduleAt(windowStart, func() {
+		if prog != nil {
+			snap = prog.C
+		}
+	})
+
+	eng.Schedule(0, sendNext)
+	// Drain period after the window so in-flight packets can land.
+	eng.Run(windowEnd + cfg.WarmupNs)
+
+	sentBits.CloseAt(windowEnd)
+	goodput.CloseAt(windowEnd)
+	toNF.CloseAt(windowEnd)
+	pcie.CloseAt(windowEnd)
+
+	res := Result{
+		Name:        cfg.Name,
+		SendGbps:    sentBits.Gbps(),
+		GoodputGbps: goodput.Gbps(),
+		ToNFGbps:    toNF.Gbps(),
+		ToNFMpps:    goodput.Mpps(),
+		Delivered:   delivered,
+		NFDrops:     nfDrops,
+		PCIeGbps:    pcie.Gbps(),
+		PCIeUtilPct: 100 * pcie.Gbps() * 1e9 / cfg.Server.PCIeBps,
+	}
+	res.AvgLatencyUs = latency.Mean()
+	res.MaxLatencyUs = latency.Max()
+	res.JitterUs = latency.Max() - latency.Mean()
+	res.P99LatencyUs = latencyHist.Quantile(0.99)
+	if sentWindow > 0 {
+		res.UnintendedDropRate = float64(unintendedDrops) / float64(sentWindow)
+	}
+	res.Healthy = res.UnintendedDropRate < HealthyDropRate
+	if prog != nil {
+		res.Splits = prog.C.Splits.Value() - snap.Splits.Value()
+		res.Merges = prog.C.Merges.Value() - snap.Merges.Value()
+		res.Evictions = prog.C.Evictions.Value() - snap.Evictions.Value()
+		res.Premature = prog.C.PrematureEvictions.Value() - snap.PrematureEvictions.Value()
+		res.OccupiedSkips = prog.C.OccupiedSkips.Value() - snap.OccupiedSkips.Value()
+		res.SmallSkips = prog.C.SmallPayloadSkips.Value() - snap.SmallPayloadSkips.Value()
+		res.ExplicitDrops = prog.C.ExplicitDrops.Value() - snap.ExplicitDrops.Value()
+		res.SRAMPct = sw.Pipe(0).Resources().SRAMAvgPct
+	}
+	return res
+}
+
+// chainSwapsMACs reports whether the chain already handles L2 return
+// addressing (MAC-swapping NFs), in which case the framework must not
+// rewrite MACs.
+func chainSwapsMACs(c *nf.Chain) bool {
+	switch c.Name() {
+	case "MACSwap", "NF-Light", "NF-Medium", "NF-Heavy":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,386 @@
+// Package stats provides the measurement primitives used across the
+// PayloadPark reproduction: monotonic counters, rate meters, running
+// summaries, histograms, and empirical CDFs.
+//
+// All types are deliberately simple and allocation-light; the discrete-event
+// simulator updates them on every packet event, so they sit on the hot path
+// of every benchmark.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event counter.
+//
+// The zero value is ready to use. Counter is not safe for concurrent use;
+// the simulator is single-threaded by design (see internal/sim).
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset returns the counter to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Summary accumulates a running mean/min/max over float64 observations
+// using Welford's algorithm for numerical stability.
+//
+// The zero value is an empty summary.
+type Summary struct {
+	count uint64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.count++
+	if s.count == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.count)
+	s.m2 += delta * (v - s.mean)
+}
+
+// Count returns the number of samples observed.
+func (s *Summary) Count() uint64 { return s.count }
+
+// Mean returns the running mean, or 0 with no samples.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance, or 0 with fewer than two samples.
+func (s *Summary) Variance() float64 {
+	if s.count < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.count-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// StderrOfMean returns the standard error of the mean.
+func (s *Summary) StderrOfMean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.count))
+}
+
+// Reset discards all samples.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// String summarizes as "mean=… min=… max=… n=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("mean=%.3f min=%.3f max=%.3f n=%d", s.Mean(), s.Min(), s.Max(), s.Count())
+}
+
+// Histogram is a fixed-bucket histogram over [0, +inf). Bucket boundaries
+// are supplied at construction; values beyond the last boundary land in the
+// overflow bucket.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, exclusive of overflow
+	counts []uint64  // len(bounds)+1, last is overflow
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. It panics if bounds is empty or not strictly ascending, since
+// that is a programming error in the caller.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: NewHistogram requires at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: NewHistogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// LinearBounds returns n ascending bounds starting at start with the given step.
+func LinearBounds(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + step*float64(i)
+	}
+	return out
+}
+
+// ExponentialBounds returns n ascending bounds starting at start, each
+// factor times the previous.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s returns the first index with bounds[i] >= v; values
+	// exactly on a bound belong to that bucket (upper bound inclusive).
+	h.counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact running mean of observed samples (not bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an upper-bound estimate for quantile q in [0,1] using
+// bucket boundaries. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // overflow: report last bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Buckets returns a copy of (upperBound, count) pairs including the
+// overflow bucket, whose bound is +Inf.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	for i, c := range h.counts {
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out = append(out, Bucket{UpperBound: bound, Count: c})
+	}
+	return out
+}
+
+// Bucket is one histogram cell.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+}
+
+// CDF is an empirical cumulative distribution function built from discrete
+// samples. It retains every distinct value, so it is intended for modest
+// cardinality domains such as packet sizes.
+type CDF struct {
+	counts map[float64]uint64
+	total  uint64
+}
+
+// NewCDF returns an empty empirical CDF.
+func NewCDF() *CDF {
+	return &CDF{counts: make(map[float64]uint64)}
+}
+
+// Observe records one sample.
+func (c *CDF) Observe(v float64) {
+	c.counts[v]++
+	c.total++
+}
+
+// ObserveN records n identical samples.
+func (c *CDF) ObserveN(v float64, n uint64) {
+	c.counts[v] += n
+	c.total += n
+}
+
+// Count returns the total number of samples.
+func (c *CDF) Count() uint64 { return c.total }
+
+// At returns P(X <= v).
+func (c *CDF) At(v float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for x, n := range c.counts {
+		if x <= v {
+			cum += n
+		}
+	}
+	return float64(cum) / float64(c.total)
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum float64
+	for x, n := range c.counts {
+		sum += x * float64(n)
+	}
+	return sum / float64(c.total)
+}
+
+// Quantile returns the smallest observed value v with P(X <= v) >= q.
+func (c *CDF) Quantile(q float64) float64 {
+	pts := c.Points()
+	if len(pts) == 0 {
+		return 0
+	}
+	for _, p := range pts {
+		if p.P >= q {
+			return p.V
+		}
+	}
+	return pts[len(pts)-1].V
+}
+
+// Point is one step of an empirical CDF: P(X <= V) = P.
+type Point struct {
+	V float64
+	P float64
+}
+
+// Points returns the CDF steps in ascending value order.
+func (c *CDF) Points() []Point {
+	vals := make([]float64, 0, len(c.counts))
+	for v := range c.counts {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	out := make([]Point, 0, len(vals))
+	var cum uint64
+	for _, v := range vals {
+		cum += c.counts[v]
+		out = append(out, Point{V: v, P: float64(cum) / float64(c.total)})
+	}
+	return out
+}
+
+// RateMeter converts an event/byte count observed over a time window into
+// a rate. Time is expressed in integer nanoseconds to match the simulator
+// clock.
+type RateMeter struct {
+	startNs int64
+	endNs   int64
+	events  uint64
+	units   float64 // e.g. bits
+}
+
+// NewRateMeter returns a meter whose window opens at startNs.
+func NewRateMeter(startNs int64) *RateMeter {
+	return &RateMeter{startNs: startNs, endNs: startNs}
+}
+
+// Record adds one event carrying the given number of units (bits, bytes…)
+// at time nowNs. Events may arrive with equal timestamps.
+func (r *RateMeter) Record(nowNs int64, units float64) {
+	if nowNs > r.endNs {
+		r.endNs = nowNs
+	}
+	r.events++
+	r.units += units
+}
+
+// CloseAt extends the window to endNs even if no event arrived that late,
+// so rates are not inflated by early termination.
+func (r *RateMeter) CloseAt(endNs int64) {
+	if endNs > r.endNs {
+		r.endNs = endNs
+	}
+}
+
+// Events returns the number of recorded events.
+func (r *RateMeter) Events() uint64 { return r.events }
+
+// Units returns the accumulated units.
+func (r *RateMeter) Units() float64 { return r.units }
+
+// WindowNs returns the observation window length in nanoseconds.
+func (r *RateMeter) WindowNs() int64 { return r.endNs - r.startNs }
+
+// UnitsPerSecond returns units/second over the window, or 0 for an empty window.
+func (r *RateMeter) UnitsPerSecond() float64 {
+	w := r.WindowNs()
+	if w <= 0 {
+		return 0
+	}
+	return r.units / (float64(w) / 1e9)
+}
+
+// EventsPerSecond returns events/second over the window.
+func (r *RateMeter) EventsPerSecond() float64 {
+	w := r.WindowNs()
+	if w <= 0 {
+		return 0
+	}
+	return float64(r.events) / (float64(w) / 1e9)
+}
+
+// Gbps interprets the accumulated units as bits and reports gigabits/second.
+func (r *RateMeter) Gbps() float64 { return r.UnitsPerSecond() / 1e9 }
+
+// Mpps reports millions of events (packets) per second.
+func (r *RateMeter) Mpps() float64 { return r.EventsPerSecond() / 1e6 }

@@ -1,0 +1,171 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+func testConfig(sizes SizeDist) Config {
+	return Config{
+		Sizes:   sizes,
+		Flows:   256,
+		SrcMAC:  packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:  packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:   packet.IPv4Addr{10, 1, 0, 9},
+		DstPort: 80,
+		Seed:    1,
+	}
+}
+
+func TestFixedSizes(t *testing.T) {
+	g := New(testConfig(Fixed(512)))
+	for i := 0; i < 100; i++ {
+		p := g.Next()
+		if p.Len() != 512 {
+			t.Fatalf("packet %d size = %d, want 512", i, p.Len())
+		}
+	}
+	if g.Generated() != 100 {
+		t.Errorf("generated = %d", g.Generated())
+	}
+}
+
+// TestDatacenterMoments checks the reconstructed Fig. 6 distribution
+// against the moments the paper states: mean ~882 B and 30% of packets
+// with payloads under 160 B (wire size < 202 B).
+func TestDatacenterMoments(t *testing.T) {
+	g := New(testConfig(Datacenter{}))
+	const n = 200000
+	small := 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		sz := p.Len()
+		if sz < MinPacketSize || sz > MaxPacketSize {
+			t.Fatalf("size %d out of range", sz)
+		}
+		if len(p.Payload) < 160 {
+			small++
+		}
+		sum += float64(sz)
+	}
+	mean := sum / n
+	if mean < 860 || mean > 905 {
+		t.Errorf("mean = %.1f, want ~882 (paper §6.1)", mean)
+	}
+	frac := float64(small) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("sub-160B-payload fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestDatacenterCDFIsBimodal(t *testing.T) {
+	g := New(testConfig(Datacenter{}))
+	for i := 0; i < 50000; i++ {
+		g.Next()
+	}
+	cdf := g.SizeCDF()
+	// Mass below 202 B ~30%; little mass in the 500-1000 B valley; heavy
+	// mass above 1300 B. That is the bimodal shape of Fig. 6.
+	if p := cdf.At(201); p < 0.27 || p < 0.0 {
+		t.Errorf("P(<=201) = %.3f", p)
+	}
+	valley := cdf.At(1000) - cdf.At(500)
+	if valley > 0.02 {
+		t.Errorf("valley mass (500,1000] = %.3f, want near 0", valley)
+	}
+	high := 1 - cdf.At(1300)
+	if high < 0.5 {
+		t.Errorf("mass above 1300 = %.3f, want > 0.5", high)
+	}
+}
+
+func TestFlowsVaryButRemainStable(t *testing.T) {
+	g := New(testConfig(Fixed(300)))
+	seen := make(map[packet.FiveTuple]bool)
+	for i := 0; i < 2000; i++ {
+		seen[g.Next().FiveTuple()] = true
+	}
+	if len(seen) < 200 || len(seen) > 256 {
+		t.Errorf("distinct flows = %d, want ~256", len(seen))
+	}
+	for ft := range seen {
+		if ft.SrcIP[0] != 10 {
+			t.Fatalf("src IP %v outside 10.0.0.0/8", ft.SrcIP)
+		}
+		if ft.DstIP != (packet.IPv4Addr{10, 1, 0, 9}) || ft.DstPort != 80 {
+			t.Fatalf("unexpected destination %v", ft)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := New(testConfig(Datacenter{}))
+	g2 := New(testConfig(Datacenter{}))
+	for i := 0; i < 500; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Len() != b.Len() || a.FiveTuple() != b.FiveTuple() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	cfg := testConfig(Datacenter{})
+	cfg.Seed = 2
+	g3 := New(cfg)
+	same := true
+	for i := 0; i < 50; i++ {
+		if g1.Next().Len() != g3.Next().Len() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestDefaultFlows(t *testing.T) {
+	cfg := testConfig(Fixed(100))
+	cfg.Flows = 0
+	g := New(cfg)
+	if len(g.flows) != 1024 {
+		t.Errorf("default flows = %d, want 1024", len(g.flows))
+	}
+}
+
+func TestMeanWireBits(t *testing.T) {
+	got := MeanWireBits(Fixed(512), 1, 1000)
+	want := float64((512 + WireOverheadBytes) * 8)
+	if got != want {
+		t.Errorf("fixed mean wire bits = %v, want %v", got, want)
+	}
+	dc := MeanWireBits(Datacenter{}, 1, 100000)
+	if dc < (860+WireOverheadBytes)*8 || dc > (905+WireOverheadBytes)*8 {
+		t.Errorf("datacenter mean wire bits = %v", dc)
+	}
+}
+
+func TestTruncNormBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := truncNorm(rng, 90, 28, 42, 201)
+		if v < 42 || v > 201 {
+			t.Fatalf("truncNorm out of bounds: %d", v)
+		}
+	}
+	// Degenerate: mean far outside the window still clamps in.
+	for i := 0; i < 100; i++ {
+		v := truncNorm(rng, 10000, 1, 42, 201)
+		if v != 201 {
+			t.Fatalf("clamp high = %d, want 201", v)
+		}
+	}
+}
+
+func BenchmarkNextDatacenter(b *testing.B) {
+	g := New(testConfig(Datacenter{}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,367 @@
+// Package wire runs the PayloadPark dataplane over real UDP sockets: the
+// switch, the NF server, and the traffic generator are separate endpoints
+// exchanging raw Ethernet frames encapsulated in UDP datagrams (one frame
+// per datagram), so the byte-accurate program from internal/core can be
+// exercised across process boundaries exactly as the hardware prototype
+// sits between physical boxes.
+//
+// Topology is static, like cabling: each logical switch port is bound to
+// one peer UDP address, and a frame's ingress port is determined by its
+// source address — the same port-based disambiguation the paper's switch
+// uses (§5).
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// MaxFrame is the largest encapsulated frame accepted.
+const MaxFrame = 2048
+
+// SwitchConfig wires a switch daemon.
+type SwitchConfig struct {
+	// Listen is the UDP address the switch binds (e.g. "127.0.0.1:7000").
+	Listen string
+	// Ports maps logical switch ports to peer addresses ("cables").
+	Ports map[rmt.PortID]string
+	// L2 maps destination MACs to logical egress ports.
+	L2 map[packet.MAC]rmt.PortID
+	// PP optionally installs the PayloadPark program (ports from the
+	// config itself); nil runs a baseline L2 switch.
+	PP *core.Config
+	// RecircPipe is the recirculation pipe index when PP.Recirculate.
+	RecircPipe int
+}
+
+// SwitchDaemon is a userspace PayloadPark switch over UDP.
+type SwitchDaemon struct {
+	cfg   SwitchConfig
+	sw    *core.Switch
+	prog  *core.Program
+	conn  *net.UDPConn
+	peers map[string]rmt.PortID // source addr -> ingress port
+	addrs map[rmt.PortID]*net.UDPAddr
+
+	// Rx/Tx count datagrams; Errors counts parse/forward failures.
+	// Atomic: read from other goroutines while Run serves.
+	Rx, Tx, Errors atomic.Uint64
+}
+
+// NewSwitchDaemon validates the config and binds the socket.
+func NewSwitchDaemon(cfg SwitchConfig) (*SwitchDaemon, error) {
+	if len(cfg.Ports) == 0 {
+		return nil, errors.New("wire: switch needs at least one port")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	d := &SwitchDaemon{
+		cfg:   cfg,
+		sw:    core.NewSwitch("wire"),
+		conn:  conn,
+		peers: make(map[string]rmt.PortID, len(cfg.Ports)),
+		addrs: make(map[rmt.PortID]*net.UDPAddr, len(cfg.Ports)),
+	}
+	for port, addr := range cfg.Ports {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("wire: port %d addr %q: %w", port, addr, err)
+		}
+		d.peers[ua.String()] = port
+		d.addrs[port] = ua
+	}
+	for mac, port := range cfg.L2 {
+		d.sw.AddL2Route(mac, port)
+	}
+	if cfg.PP != nil {
+		prog, err := d.sw.AttachPayloadPark(*cfg.PP, cfg.RecircPipe)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		d.prog = prog
+	}
+	return d, nil
+}
+
+// Addr returns the bound UDP address.
+func (d *SwitchDaemon) Addr() string { return d.conn.LocalAddr().String() }
+
+// Counters returns the program counters (zero-valued for baseline).
+func (d *SwitchDaemon) Counters() *core.Counters {
+	if d.prog == nil {
+		return &core.Counters{}
+	}
+	return &d.prog.C
+}
+
+// Run serves until ctx is cancelled. Single-threaded by design: the
+// dataplane program is not concurrency-safe, exactly like the single
+// pipeline it models.
+func (d *SwitchDaemon) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		d.conn.Close()
+	}()
+	buf := make([]byte, MaxFrame)
+	for {
+		n, from, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		port, ok := d.peers[from.String()]
+		if !ok {
+			d.Errors.Add(1)
+			continue
+		}
+		d.Rx.Add(1)
+		out, em, err := d.sw.InjectFrame(buf[:n], port)
+		if err != nil || em == nil {
+			if err != nil {
+				d.Errors.Add(1)
+			}
+			continue
+		}
+		dst, ok := d.addrs[em.Port]
+		if !ok {
+			d.Errors.Add(1)
+			continue
+		}
+		if _, err := d.conn.WriteToUDP(out, dst); err != nil {
+			d.Errors.Add(1)
+			continue
+		}
+		d.Tx.Add(1)
+	}
+}
+
+// NFConfig wires an NF server daemon.
+type NFConfig struct {
+	// Listen is the UDP bind address.
+	Listen string
+	// SwitchAddr is where processed frames return.
+	SwitchAddr string
+	// Handle processes one parsed packet and reports whether to forward
+	// it (the NF chain behaviour). The packet's PayloadPark header bytes,
+	// if any, ride inside Payload untouched — the NF is PayloadPark-
+	// unaware, exactly like the paper's frameworks.
+	Handle func(*packet.Packet) bool
+	// ExplicitDrop enables the §6.2.4 modification: dropped packets that
+	// carry an enabled PayloadPark header are truncated, their opcode bit
+	// flipped at its fixed offset in the raw bytes, and returned.
+	ExplicitDrop bool
+}
+
+// NFDaemon is a userspace NF server.
+type NFDaemon struct {
+	cfg    NFConfig
+	conn   *net.UDPConn
+	swAddr *net.UDPAddr
+
+	Rx, Tx, Dropped, Notified atomic.Uint64
+}
+
+// NewNFDaemon binds the server socket.
+func NewNFDaemon(cfg NFConfig) (*NFDaemon, error) {
+	if cfg.Handle == nil {
+		return nil, errors.New("wire: NF needs a Handle function")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	swAddr, err := net.ResolveUDPAddr("udp", cfg.SwitchAddr)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: switch addr: %w", err)
+	}
+	return &NFDaemon{cfg: cfg, conn: conn, swAddr: swAddr}, nil
+}
+
+// Addr returns the bound UDP address.
+func (d *NFDaemon) Addr() string { return d.conn.LocalAddr().String() }
+
+// Retarget repoints the daemon at a new switch address. Call before Run:
+// it exists to resolve the bind-order chicken-and-egg when endpoints are
+// created before the switch's ephemeral port is known.
+func (d *NFDaemon) Retarget(switchAddr string) error {
+	ua, err := net.ResolveUDPAddr("udp", switchAddr)
+	if err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	d.swAddr = ua
+	return nil
+}
+
+// ppOffset is where the PayloadPark header sits in a split UDP frame.
+const ppOffset = packet.HeaderUnitLen
+
+// Run serves until ctx is cancelled.
+func (d *NFDaemon) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		d.conn.Close()
+	}()
+	buf := make([]byte, MaxFrame)
+	for {
+		n, _, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		d.Rx.Add(1)
+		frame := buf[:n]
+		// The NF parses only the protocol headers it understands; the
+		// PayloadPark header rides in the payload region.
+		pkt, err := packet.Parse(frame, false)
+		if err != nil {
+			continue
+		}
+		if d.cfg.Handle(pkt) {
+			out := pkt.Serialize()
+			if _, err := d.conn.WriteToUDP(out, d.swAddr); err == nil {
+				d.Tx.Add(1)
+			}
+			continue
+		}
+		// Dropped by the NF.
+		if d.cfg.ExplicitDrop && n >= ppOffset+packet.PPHeaderLen && frame[ppOffset]&0x80 != 0 {
+			// Raw-byte manipulation, as the real 50-line framework patch
+			// does: flip OP, truncate after the PayloadPark header.
+			notif := append([]byte(nil), frame[:ppOffset+packet.PPHeaderLen]...)
+			notif[ppOffset] |= 0x40
+			if _, err := d.conn.WriteToUDP(notif, d.swAddr); err == nil {
+				d.Notified.Add(1)
+				continue
+			}
+		}
+		d.Dropped.Add(1)
+	}
+}
+
+// GenConfig wires a traffic generator endpoint.
+type GenConfig struct {
+	// Listen is the UDP bind address (frames return here).
+	Listen string
+	// SwitchAddr is the switch's socket.
+	SwitchAddr string
+}
+
+// Generator sends frames to the switch and collects returned frames.
+type Generator struct {
+	conn   *net.UDPConn
+	swAddr *net.UDPAddr
+
+	mu       sync.Mutex
+	received [][]byte
+
+	Sent, Received atomic.Uint64
+}
+
+// NewGenerator binds the generator socket and starts its receive loop.
+func NewGenerator(ctx context.Context, cfg GenConfig) (*Generator, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	swAddr, err := net.ResolveUDPAddr("udp", cfg.SwitchAddr)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: switch addr: %w", err)
+	}
+	g := &Generator{conn: conn, swAddr: swAddr}
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	go g.recvLoop()
+	return g, nil
+}
+
+// Addr returns the bound UDP address.
+func (g *Generator) Addr() string { return g.conn.LocalAddr().String() }
+
+// Retarget repoints the generator at a new switch address; see
+// NFDaemon.Retarget.
+func (g *Generator) Retarget(switchAddr string) error {
+	ua, err := net.ResolveUDPAddr("udp", switchAddr)
+	if err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	g.swAddr = ua
+	return nil
+}
+
+func (g *Generator) recvLoop() {
+	buf := make([]byte, MaxFrame)
+	for {
+		n, _, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		g.Received.Add(1)
+		g.mu.Lock()
+		g.received = append(g.received, append([]byte(nil), buf[:n]...))
+		g.mu.Unlock()
+	}
+}
+
+// Send transmits one frame to the switch.
+func (g *Generator) Send(frame []byte) error {
+	_, err := g.conn.WriteToUDP(frame, g.swAddr)
+	if err == nil {
+		g.Sent.Add(1)
+	}
+	return err
+}
+
+// Drain returns the frames received so far and clears the buffer.
+func (g *Generator) Drain() [][]byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := g.received
+	g.received = nil
+	return out
+}
+
+// WaitReceived polls until n frames have been received or the timeout
+// elapses, returning the count seen.
+func (g *Generator) WaitReceived(n uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if g.Received.Load() >= n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return g.Received.Load()
+}

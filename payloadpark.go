@@ -1,0 +1,328 @@
+// Package payloadpark is a faithful software reproduction of
+// "Parking Packet Payload with P4" (Goswami et al., CoNEXT 2020).
+//
+// PayloadPark improves the goodput of shallow network functions (NFs) —
+// firewalls, NATs, L4 load balancers — by parking packet payloads in the
+// stateful memory of a programmable switch: only headers travel to the NF
+// server, and the switch reassembles the packet when the headers return.
+//
+// This package is the public facade over the internal reproduction:
+//
+//   - Deployment builds the canonical testbed (traffic generator, RMT
+//     switch running the PayloadPark P4 program, NF server) and lets
+//     applications push packets through it in-process.
+//   - Simulate runs the calibrated discrete-event model and reports the
+//     paper's metrics (goodput, latency, PCIe bandwidth, drop health).
+//   - Experiments exposes the per-figure/table reproduction harness.
+//
+// The dataplane is byte-accurate: Split really removes the parked bytes
+// from the packet and stores them in register cells that obey the RMT
+// one-stateful-access-per-table restriction; Merge really reassembles the
+// original bytes. Running the same traffic with and without PayloadPark
+// yields byte-identical output (§6.2.6 of the paper).
+package payloadpark
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/harness"
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/sim"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// Re-exported building blocks. The aliases keep the public API to one
+// import while the implementation stays modular.
+type (
+	// Packet is a parsed network packet (Ethernet/IPv4/UDP|TCP, optional
+	// PayloadPark header).
+	Packet = packet.Packet
+	// FiveTuple is the flow key shallow NFs examine.
+	FiveTuple = packet.FiveTuple
+	// MAC is an Ethernet address.
+	MAC = packet.MAC
+	// IPv4Addr is an IPv4 address.
+	IPv4Addr = packet.IPv4Addr
+	// NF is a shallow network function.
+	NF = nf.NF
+	// Chain is an ordered NF chain.
+	Chain = nf.Chain
+	// FirewallRule blacklists an IPv4 source prefix.
+	FirewallRule = nf.FirewallRule
+	// SlimDPINF classifies packets by a payload-prefix scan (§7).
+	SlimDPINF = nf.SlimDPI
+	// Config parameterizes the PayloadPark program (lookup table size,
+	// expiry threshold, recirculation).
+	Config = core.Config
+	// Counters are the switch program's monitoring counters.
+	Counters = core.Counters
+	// SimResult is a simulated deployment's measurements.
+	SimResult = sim.Result
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.TestbedConfig
+	// ServerModel calibrates the simulated NF server.
+	ServerModel = sim.ServerModel
+	// SizeDist draws packet sizes for generated traffic.
+	SizeDist = trafficgen.SizeDist
+	// Experiment is one paper table/figure reproduction.
+	Experiment = harness.Experiment
+)
+
+// Parked-payload geometry (fixed by the hardware model, §5 and §6.2.5).
+const (
+	// ParkBytes is the payload bytes parked per packet without
+	// recirculation.
+	ParkBytes = core.BaseParkBytes
+	// ParkBytesRecirculated is the payload bytes parked with
+	// recirculation.
+	ParkBytesRecirculated = core.RecircParkBytes
+	// HeaderUnitLen is the Ethernet+IPv4+UDP header size the paper uses
+	// as the unit of goodput.
+	HeaderUnitLen = packet.HeaderUnitLen
+)
+
+// NF constructors, re-exported.
+var (
+	// NewFirewall builds the linear-probe ACL firewall.
+	NewFirewall = nf.NewFirewall
+	// BlacklistFraction builds a one-rule blacklist dropping roughly the
+	// given fraction of uniform 10.0.0.0/8 traffic (Fig. 12's knob).
+	BlacklistFraction = nf.BlacklistFraction
+	// NewNAT builds the MazuNAT-style source NAT.
+	NewNAT = nf.NewNAT
+	// NewLoadBalancer builds the Maglev-based L4 load balancer.
+	NewLoadBalancer = nf.NewLoadBalancer
+	// NewSynthetic builds a MAC-swapping NF with a configurable CPU cost.
+	NewSynthetic = nf.NewSynthetic
+	// NewSlimDPI builds a payload-prefix classifier; pair it with
+	// DeploymentConfig.BoundaryOffset >= its prefix length.
+	NewSlimDPI = nf.NewSlimDPI
+	// NewRateLimiter builds a per-flow token-bucket policer.
+	NewRateLimiter = nf.NewRateLimiter
+	// NewChain composes NFs into a chain.
+	NewChain = nf.NewChain
+)
+
+// Fixed is a constant packet-size distribution.
+func Fixed(bytes int) SizeDist { return trafficgen.Fixed(bytes) }
+
+// Datacenter is the paper's bimodal enterprise-datacenter packet-size
+// distribution (Fig. 6: mean 882 B, 30% of payloads under 160 B).
+func Datacenter() SizeDist { return trafficgen.Datacenter{} }
+
+// Deployment is an in-process PayloadPark testbed: a switch with the
+// program installed between a traffic source and an NF chain. It is the
+// quickstart surface — push packets, observe split/merge behaviour, read
+// counters. For timed measurements use Simulate.
+type Deployment struct {
+	sw     *core.Switch
+	prog   *core.Program
+	server *nf.Server
+	base   bool
+}
+
+// DeploymentConfig configures New.
+type DeploymentConfig struct {
+	// Slots is the lookup-table capacity (default 4096).
+	Slots int
+	// MaxExpiry is the eviction threshold (default 1).
+	MaxExpiry uint32
+	// Recirculate enables 384-byte parking via a second pipe.
+	Recirculate bool
+	// BoundaryOffset moves the decoupling boundary (§7): the first
+	// BoundaryOffset payload bytes stay visible to the NF chain in front
+	// of the PayloadPark header (Slim-DPI support).
+	BoundaryOffset int
+	// Chain is the NF chain the embedded server runs (default: MAC swap).
+	Chain *Chain
+	// ExplicitDrop enables the §6.2.4 framework modification.
+	ExplicitDrop bool
+	// Baseline disables the PayloadPark program (pure L2 switch), for
+	// equivalence comparisons.
+	Baseline bool
+}
+
+// Topology MACs of the embedded testbed.
+var (
+	// GeneratorMAC is the traffic source address.
+	GeneratorMAC = sim.MACGen
+	// ServerMAC is the NF server address (send packets here).
+	ServerMAC = sim.MACNF
+	// SinkMAC is the receive side of the generator.
+	SinkMAC = sim.MACSink
+)
+
+// New builds a deployment.
+func New(cfg DeploymentConfig) (*Deployment, error) {
+	if cfg.Slots == 0 {
+		cfg.Slots = 4096
+	}
+	if cfg.MaxExpiry == 0 {
+		cfg.MaxExpiry = 1
+	}
+	if cfg.Chain == nil {
+		cfg.Chain = nf.NewChain(nf.MACSwap{})
+	}
+	d := &Deployment{base: cfg.Baseline}
+	d.sw = core.NewSwitch("payloadpark")
+	d.sw.AddL2Route(sim.MACNF, 1)
+	d.sw.AddL2Route(sim.MACSink, 2)
+	d.sw.AddL2Route(sim.MACGen, 2)
+	if !cfg.Baseline {
+		pp := core.Config{
+			Slots: cfg.Slots, MaxExpiry: cfg.MaxExpiry,
+			SplitPort: 0, MergePort: 1, Recirculate: cfg.Recirculate,
+			BoundaryOffset: cfg.BoundaryOffset,
+		}
+		recirc := -1
+		if cfg.Recirculate {
+			recirc = 1
+		}
+		prog, err := d.sw.AttachPayloadPark(pp, recirc)
+		if err != nil {
+			return nil, fmt.Errorf("payloadpark: %w", err)
+		}
+		d.prog = prog
+	}
+	d.server = nf.NewServer(nf.ServerConfig{
+		Chain:        cfg.Chain,
+		ExplicitDrop: cfg.ExplicitDrop,
+	})
+	return d, nil
+}
+
+// Process pushes one generator packet through switch -> NF chain ->
+// switch and returns what the sink receives (nil if dropped anywhere).
+// The input packet is mutated; clone it first if you need the original.
+func (d *Deployment) Process(pkt *Packet) *Packet {
+	em := d.sw.Inject(pkt, 0)
+	if em == nil {
+		return nil
+	}
+	res := d.server.Handle(em.Pkt)
+	if res.Out == nil {
+		return nil
+	}
+	em2 := d.sw.Inject(res.Out, 1)
+	if em2 == nil {
+		return nil
+	}
+	return em2.Pkt
+}
+
+// ProcessFrame is Process at the byte level: frame in, frame out.
+func (d *Deployment) ProcessFrame(frame []byte) ([]byte, error) {
+	out, em, err := d.sw.InjectFrame(frame, 0)
+	if err != nil {
+		return nil, err
+	}
+	if em == nil {
+		return nil, nil
+	}
+	// Parse as the (PayloadPark-unaware) NF framework would: any
+	// PayloadPark header rides inside the payload bytes untouched.
+	pkt, err := packet.Parse(out, false)
+	if err != nil {
+		return nil, err
+	}
+	res := d.server.Handle(pkt)
+	if res.Out == nil {
+		return nil, nil
+	}
+	out2, em2, err := d.sw.InjectFrame(res.Out.Serialize(), 1)
+	if err != nil || em2 == nil {
+		return nil, err
+	}
+	return out2, nil
+}
+
+// Counters returns the program's monitoring counters (nil state for a
+// baseline deployment).
+func (d *Deployment) Counters() *Counters {
+	if d.prog == nil {
+		return &Counters{}
+	}
+	return &d.prog.C
+}
+
+// Occupancy returns the number of occupied lookup-table slots.
+func (d *Deployment) Occupancy() int {
+	if d.prog == nil {
+		return 0
+	}
+	return d.prog.Occupancy()
+}
+
+// SwitchDrops returns drop counts by reason.
+func (d *Deployment) SwitchDrops() map[string]uint64 {
+	out := make(map[string]uint64, len(d.sw.Drops))
+	for k, v := range d.sw.Drops {
+		out[k] = v
+	}
+	return out
+}
+
+// ResourceReport describes switch resource utilization (paper Table 1).
+type ResourceReport struct {
+	SRAMAvgPct, SRAMPeakPct, TCAMPct, VLIWPct float64
+	ExactXbarPct, TernXbarPct, PHVPct         float64
+}
+
+// Resources reports the ingress pipe's utilization.
+func (d *Deployment) Resources() ResourceReport {
+	u := d.sw.Pipe(0).Resources()
+	return ResourceReport{
+		SRAMAvgPct: u.SRAMAvgPct, SRAMPeakPct: u.SRAMPeakPct,
+		TCAMPct: u.TCAMPct, VLIWPct: u.VLIWPct,
+		ExactXbarPct: u.ExactXbarPct, TernXbarPct: u.TernXbarPct,
+		PHVPct: u.PHVPct,
+	}
+}
+
+// NewUDPPacket builds a well-formed UDP packet addressed to the embedded
+// NF server, with a deterministic payload pattern.
+func NewUDPPacket(flow FiveTuple, totalSize int, id uint16) *Packet {
+	return packet.NewBuilder(sim.MACGen, sim.MACNF).UDP(flow, totalSize, id)
+}
+
+// Simulate runs the calibrated discrete-event testbed and reports the
+// paper's metrics. See SimConfig for the knobs; harness presets for the
+// paper's machine calibrations are available through Experiments.
+func Simulate(cfg SimConfig) SimResult { return sim.RunTestbed(cfg) }
+
+// MultiServerConfig parameterizes the §6.2.3 multi-NF-server deployment
+// (up to 8 servers sharing one switch, two per pipe).
+type MultiServerConfig = sim.MultiServerConfig
+
+// MultiServerResult carries per-server measurements plus the shared
+// switch's SRAM picture.
+type MultiServerResult = sim.MultiServerResult
+
+// SimulateMultiServer runs the multi-server deployment in one
+// discrete-event simulation.
+func SimulateMultiServer(cfg MultiServerConfig) MultiServerResult {
+	return sim.RunMultiServer(cfg)
+}
+
+// DefaultServerModel is the OpenNetVM-on-Xeon calibration.
+func DefaultServerModel() ServerModel { return sim.DefaultServerModel() }
+
+// Experiments returns the per-figure/table reproduction harness.
+func Experiments() []Experiment { return harness.All() }
+
+// RunExperiment executes one experiment by id (e.g. "fig7", "table1"),
+// writing its output to w. Quick trades precision for speed.
+func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
+	e, ok := harness.ByID(id)
+	if !ok {
+		return fmt.Errorf("payloadpark: unknown experiment %q", id)
+	}
+	return e.Run(harness.Options{Quick: quick, Seed: seed}, w)
+}
+
+// PortID names a switch port (re-export for advanced switch wiring).
+type PortID = rmt.PortID
