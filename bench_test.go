@@ -293,6 +293,150 @@ func benchInjectLoop(b *testing.B, cfg core.Config, size int, attach bool) {
 	}
 }
 
+// ---- Zero-allocation hot-path benchmarks ----
+//
+// These assert the steady-state allocation contract of the pooled/batched
+// dataplane: ToPHV (pooled form), Pipeline.Process, the frame path, and
+// InjectBatch run at 0 allocs/op once warm. CI runs them with
+// -benchtime=1x; the numbers land in BENCH_baseline.json.
+
+// benchPipe builds a configured pipe + packet for the rmt-level benchmarks.
+func benchPipe(b *testing.B) (*core.Switch, *packet.Packet) {
+	sw := core.NewSwitch("bench")
+	sw.AddL2Route(sim.MACNF, 1)
+	sw.AddL2Route(sim.MACSink, 2)
+	if _, err := sw.AttachPayloadPark(core.Config{Slots: 8192, MaxExpiry: 1, SplitPort: 0, MergePort: 1}, -1); err != nil {
+		b.Fatal(err)
+	}
+	flow := packet.FiveTuple{
+		SrcIP: packet.IPv4Addr{10, 0, 0, 1}, DstIP: packet.IPv4Addr{10, 1, 0, 9},
+		SrcPort: 5000, DstPort: 80, Protocol: packet.IPProtoUDP,
+	}
+	return sw, packet.NewBuilder(sim.MACGen, sim.MACNF).UDP(flow, 882, 1)
+}
+
+func BenchmarkToPHV(b *testing.B) {
+	sw, pkt := benchPipe(b)
+	pipe := sw.Pipe(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phv := pipe.AcquirePHV()
+		pipe.Parser().FillPHV(phv, pkt, 0)
+		pipe.ReleasePHV(phv)
+	}
+}
+
+func BenchmarkPipelineProcess(b *testing.B) {
+	sw, pkt := benchPipe(b)
+	pipe := sw.Pipe(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phv := pipe.AcquirePHV()
+		pipe.Parser().FillPHV(phv, pkt, 3) // port 3: no program rules fire, pure MAT walk
+		pipe.Process(phv)
+		pipe.ReleasePHV(phv)
+	}
+}
+
+func BenchmarkSwitchInjectFrame(b *testing.B) {
+	sw, pkt := benchPipe(b)
+	frame := pkt.Serialize()
+	var sink [6]byte
+	copy(sink[:], sim.MACSink[:])
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := sw.InjectFrame(frame, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(out[0:6], sink[:])
+		if _, _, err := sw.InjectFrame(out, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwitchInjectFrameAppend(b *testing.B) {
+	// The allocation-free frame path: split + merge round trip entirely in
+	// reused scratch (0 allocs/op in steady state).
+	sw, pkt := benchPipe(b)
+	frame := pkt.Serialize()
+	var sink [6]byte
+	copy(sink[:], sim.MACSink[:])
+	var splitOut, mergeOut []byte
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		splitOut, _, err = sw.InjectFrameAppend(frame, 0, splitOut[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(splitOut[0:6], sink[:])
+		mergeOut, _, err = sw.InjectFrameAppend(splitOut, 1, mergeOut[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBatch builds a one-pipe batch workload of split-eligible packets.
+func benchBatch(b *testing.B, n int) (*core.Switch, []core.BatchPacket) {
+	sw, _ := benchPipe(b)
+	builder := packet.NewBuilder(sim.MACGen, sim.MACNF)
+	batch := make([]core.BatchPacket, n)
+	for i := range batch {
+		flow := packet.FiveTuple{
+			SrcIP: packet.IPv4Addr{10, 0, 1, byte(i)}, DstIP: packet.IPv4Addr{10, 1, 0, 9},
+			SrcPort: uint16(5000 + i), DstPort: 80, Protocol: packet.IPProtoUDP,
+		}
+		batch[i] = core.BatchPacket{Pkt: builder.UDP(flow, 882, uint16(i)), In: 0}
+	}
+	return sw, batch
+}
+
+func BenchmarkInjectBatch(b *testing.B) {
+	// Split + merge round trips over recycled packets: 0 allocs/op once
+	// warm (pooled PHVs, stash-headroom reassembly, in-place results).
+	const n = 64
+	sw, batch := benchBatch(b, n)
+	results := make([]core.BatchResult, n)
+	merges := make([]core.BatchPacket, 0, n)
+	mres := make([]core.BatchResult, n)
+	b.ReportAllocs()
+	b.SetBytes(int64(n * 882))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.InjectBatch(batch, results)
+		merges = merges[:0]
+		for j := range batch {
+			if results[j].OK && results[j].Em.Pkt.PP != nil {
+				results[j].Em.Pkt.Eth.Dst = sim.MACSink
+				merges = append(merges, core.BatchPacket{Pkt: results[j].Em.Pkt, In: 1})
+			}
+		}
+		sw.InjectBatch(merges, mres[:len(merges)])
+		for j := range merges {
+			merges[j].Pkt.Eth.Dst = sim.MACNF
+		}
+	}
+}
+
+func BenchmarkInjectBatchParallel(b *testing.B) {
+	// The same round-trip workload spread over all four pipes through the
+	// multi-pipe driver (one worker per pipe).
+	res := sim.RunDataplane(sim.DataplaneConfig{
+		Packets: 256, Rounds: b.N, Batch: 256, Parallel: true, Seed: 1,
+	})
+	b.ReportMetric(res.NsPerPacket, "ns/pkt")
+	b.ReportMetric(res.Mpps, "Mpps")
+}
+
 func BenchmarkDataplaneSplitMerge(b *testing.B) {
 	benchInjectLoop(b, core.Config{Slots: 8192, MaxExpiry: 1, SplitPort: 0, MergePort: 1}, 882, true)
 }

@@ -6,6 +6,11 @@
 //	ppbench -list
 //	ppbench -exp fig7 [-quick] [-seed N]
 //	ppbench -exp all  [-quick]
+//	ppbench -parallel [-quick] [-seed N]
+//
+// -parallel skips the discrete-event harness and drives the raw dataplane
+// across all four pipes, sequentially and then with one worker per pipe,
+// reporting the throughput of each (the multi-pipe scaling headroom).
 package main
 
 import (
@@ -15,16 +20,23 @@ import (
 	"time"
 
 	"github.com/payloadpark/payloadpark/internal/harness"
+	"github.com/payloadpark/payloadpark/internal/sim"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		exp   = flag.String("exp", "", "experiment id (e.g. fig7, table1) or 'all'")
-		quick = flag.Bool("quick", false, "shorter windows and sparser sweeps")
-		seed  = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "", "experiment id (e.g. fig7, table1) or 'all'")
+		quick    = flag.Bool("quick", false, "shorter windows and sparser sweeps")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Bool("parallel", false, "drive the raw dataplane sequentially vs one worker per pipe")
 	)
 	flag.Parse()
+
+	if *parallel {
+		runParallel(*quick, *seed)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -64,5 +76,25 @@ func main() {
 	if err := run(e); err != nil {
 		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runParallel compares the sequential and multi-pipe dataplane drivers on
+// identical traffic.
+func runParallel(quick bool, seed int64) {
+	cfg := sim.DataplaneConfig{Seed: seed}
+	if quick {
+		cfg.Packets = 256
+		cfg.Rounds = 16
+	}
+	fmt.Println("== dataplane: 4-pipe split+merge round trips, batched injection")
+	cfg.Parallel = false
+	seqRes := sim.RunDataplane(cfg)
+	fmt.Printf("   sequential: %s\n", seqRes)
+	cfg.Parallel = true
+	parRes := sim.RunDataplane(cfg)
+	fmt.Printf("   parallel:   %s\n", parRes)
+	if parRes.Mpps > 0 && seqRes.Mpps > 0 {
+		fmt.Printf("   speedup: %.2fx across %d pipe workers\n", parRes.Mpps/seqRes.Mpps, parRes.Workers)
 	}
 }

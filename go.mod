@@ -1,0 +1,3 @@
+module github.com/payloadpark/payloadpark
+
+go 1.22

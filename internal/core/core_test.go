@@ -234,8 +234,8 @@ func TestEvictionAndPrematureEvictionDetection(t *testing.T) {
 	if prog.C.PrematureEvictions.Value() != 1 {
 		t.Errorf("premature = %d, want 1", prog.C.PrematureEvictions.Value())
 	}
-	if sw.Drops[DropPrematureEviction] != 1 {
-		t.Errorf("drop reason accounting = %v", sw.Drops)
+	if sw.Drops()[DropPrematureEviction] != 1 {
+		t.Errorf("drop reason accounting = %v", sw.Drops())
 	}
 
 	// The fifth packet merges fine — its generation matches.
@@ -274,8 +274,8 @@ func TestExplicitDropReclaimsSlot(t *testing.T) {
 	if prog.Occupancy() != 0 {
 		t.Errorf("occupancy = %d, want 0 after explicit drop", prog.Occupancy())
 	}
-	if sw.Drops[DropExplicitDrop] != 1 {
-		t.Errorf("drops = %v", sw.Drops)
+	if sw.Drops()[DropExplicitDrop] != 1 {
+		t.Errorf("drops = %v", sw.Drops())
 	}
 }
 
@@ -412,8 +412,8 @@ func TestUnknownMACDropped(t *testing.T) {
 	if em := sw.Inject(mkPkt(100, 1), portGen); em != nil {
 		t.Fatal("packet with unknown dst MAC must drop")
 	}
-	if sw.Drops[DropUnknownMAC] != 1 {
-		t.Errorf("drops = %v", sw.Drops)
+	if sw.Drops()[DropUnknownMAC] != 1 {
+		t.Errorf("drops = %v", sw.Drops())
 	}
 	if sw.TotalDrops() != 1 {
 		t.Errorf("total drops = %d", sw.TotalDrops())

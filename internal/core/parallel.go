@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+)
+
+// ParallelDriver drives a Switch's four pipes concurrently, one worker
+// goroutine per pipe group. The modeled Tofino's pipes share no stateful
+// memory (§5), so packets entering ports of different pipes can execute in
+// parallel without changing any observable behaviour; packets of the same
+// pipe keep their submission order, preserving the register access
+// sequence — and therefore byte-identical emissions and counters —
+// relative to the sequential path.
+//
+// A pipe and its recirculation target (cfg.Recirculate) form one group
+// owned by a single worker, because a recirculated packet's second pass
+// touches the recirculation pipe's registers.
+//
+// While a batch is in flight the caller must not touch the switch through
+// any other path; merged counter reads (RxPackets, Drops, ...) are
+// well-defined only between batches.
+type ParallelDriver struct {
+	sw     *Switch
+	group  [NumPipes]int // pipe index -> worker queue index
+	queues []chan parJob
+	wg     sync.WaitGroup // tracks worker goroutines for Close
+	closed bool
+	// groups are the per-worker job slices, reused across batches —
+	// InjectBatch blocks until the workers drain them, so reuse is safe.
+	groups [][]parItem
+}
+
+// parItem pairs one batch entry with its result slot.
+type parItem struct {
+	bp  *BatchPacket
+	res *BatchResult
+}
+
+// parJob is one worker's share of a batch, processed in submission order.
+type parJob struct {
+	items []parItem
+	wg    *sync.WaitGroup
+}
+
+// NewParallelDriver starts one worker per pipe group of sw. Call Close
+// when done to stop the workers. Programs must be attached before the
+// driver is created (recirculation wiring decides the pipe grouping).
+func NewParallelDriver(sw *Switch) *ParallelDriver {
+	d := &ParallelDriver{sw: sw}
+	// Union each recirculation pipe with its ingress pipe (union-find over
+	// the four pipes): a worker that owns an ingress pipe must also own
+	// every pipe its packets' second passes touch, including transitive
+	// sharing (two programs recirculating into the same pipe).
+	var parent [NumPipes]int
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for in, out := range sw.recircOf {
+		parent[find(out)] = find(in)
+	}
+	// One queue per group leader; non-leader pipes reuse their leader's.
+	queueOf := make(map[int]int)
+	for pipe := 0; pipe < NumPipes; pipe++ {
+		leader := find(pipe)
+		q, ok := queueOf[leader]
+		if !ok {
+			q = len(d.queues)
+			queueOf[leader] = q
+			ch := make(chan parJob, 256)
+			d.queues = append(d.queues, ch)
+			d.wg.Add(1)
+			go d.worker(ch)
+		}
+		d.group[pipe] = q
+	}
+	return d
+}
+
+func (d *ParallelDriver) worker(ch chan parJob) {
+	defer d.wg.Done()
+	for job := range ch {
+		for _, it := range job.items {
+			d.sw.injectOne(it.bp, it.res)
+		}
+		job.wg.Done()
+	}
+}
+
+// Workers returns how many independent pipe workers the driver runs.
+func (d *ParallelDriver) Workers() int { return len(d.queues) }
+
+// InjectBatch runs batch through the switch with per-pipe parallelism,
+// filling results[i] for batch[i] (len(results) must be >= len(batch)).
+// It blocks until every packet has been deparsed and is observably
+// equivalent to Switch.InjectBatch: same emissions byte for byte, same
+// counters, because per-pipe ordering is preserved and pipes share no
+// state.
+func (d *ParallelDriver) InjectBatch(batch []BatchPacket, results []BatchResult) {
+	// Shard the batch into one ordered job per pipe group, so dispatch
+	// costs one channel send per worker per batch, not per packet.
+	if d.groups == nil {
+		d.groups = make([][]parItem, len(d.queues))
+	}
+	groups := d.groups
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	for i := range batch {
+		pipe := PipeOfPort(batch[i].In)
+		if pipe < 0 || pipe >= NumPipes {
+			// Invalid ports never reach a pipe; handling them on the
+			// dispatcher keeps the invalid-port shard single-writer.
+			d.sw.injectOne(&batch[i], &results[i])
+			continue
+		}
+		q := d.group[pipe]
+		groups[q] = append(groups[q], parItem{bp: &batch[i], res: &results[i]})
+	}
+	var wg sync.WaitGroup
+	for q, items := range groups {
+		if len(items) == 0 {
+			continue
+		}
+		wg.Add(1)
+		d.queues[q] <- parJob{items: items, wg: &wg}
+	}
+	wg.Wait()
+	d.groups = groups
+}
+
+// Close stops the workers. The driver must not be used afterwards; the
+// switch remains valid for sequential use.
+func (d *ParallelDriver) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, ch := range d.queues {
+		close(ch)
+	}
+	d.wg.Wait()
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// Equivalence-test topology: one PayloadPark program per pipe, with
+// per-pipe NF and sink MACs, mirroring the sim's dataplane runner.
+
+func eqMACs(pipe int) (gen, nf, sink packet.MAC) {
+	return packet.MAC{0x02, 0x40, 0, 0, byte(pipe), 0x01},
+		packet.MAC{0x02, 0x40, 0, 0, byte(pipe), 0x02},
+		packet.MAC{0x02, 0x40, 0, 0, byte(pipe), 0x03}
+}
+
+func eqSwitch(t testing.TB, pipes int) *Switch {
+	t.Helper()
+	sw := NewSwitch("equiv")
+	for pipe := 0; pipe < pipes; pipe++ {
+		base := rmt.PortID(pipe * PortsPerPipe)
+		_, nfMAC, sinkMAC := eqMACs(pipe)
+		sw.AddL2Route(nfMAC, base+1)
+		sw.AddL2Route(sinkMAC, base+2)
+		if _, err := sw.AttachPayloadPark(Config{
+			Slots: 512, MaxExpiry: 1, SplitPort: base, MergePort: base + 1,
+		}, -1); err != nil {
+			t.Fatalf("attach pipe %d: %v", pipe, err)
+		}
+	}
+	return sw
+}
+
+// eqTraffic builds n packets per pipe, interleaved round-robin, with a
+// size mix hitting the split, small-skip, and occupied paths.
+func eqTraffic(pipes, n int) []BatchPacket {
+	sizes := []int{882, 100, 1400, 201, 300, 882, 64, 1000}
+	var out []BatchPacket
+	for i := 0; i < n; i++ {
+		for pipe := 0; pipe < pipes; pipe++ {
+			genMAC, nfMAC, _ := eqMACs(pipe)
+			b := packet.NewBuilder(genMAC, nfMAC)
+			ft := packet.FiveTuple{
+				SrcIP: packet.IPv4Addr{10, 0, byte(pipe), byte(i)}, DstIP: packet.IPv4Addr{10, 1, byte(pipe), 9},
+				SrcPort: uint16(5000 + i), DstPort: 80, Protocol: packet.IPProtoUDP,
+			}
+			out = append(out, BatchPacket{
+				Pkt: b.UDP(ft, sizes[i%len(sizes)], uint16(i)),
+				In:  rmt.PortID(pipe * PortsPerPipe),
+			})
+		}
+	}
+	return out
+}
+
+// injectMode drives traffic through sw in one of three modes and returns
+// per-packet serialized emissions ("" for drops, prefixed by the reason)
+// for both the split phase and the merge phase of every packet.
+func injectMode(t testing.TB, sw *Switch, mode string, traffic []BatchPacket) []string {
+	t.Helper()
+	var inject func(batch []BatchPacket, results []BatchResult)
+	switch mode {
+	case "sequential":
+		inject = func(batch []BatchPacket, results []BatchResult) {
+			for i := range batch {
+				em, reason := sw.InjectTraced(batch[i].Pkt, batch[i].In)
+				if em == nil {
+					results[i] = BatchResult{Reason: reason}
+				} else {
+					results[i] = BatchResult{Em: *em, OK: true}
+				}
+			}
+		}
+	case "batch":
+		inject = sw.InjectBatch
+	case "parallel":
+		d := NewParallelDriver(sw)
+		defer d.Close()
+		inject = d.InjectBatch
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+
+	record := func(results []BatchResult, n int, out []string) []string {
+		for i := 0; i < n; i++ {
+			if !results[i].OK {
+				out = append(out, "drop:"+results[i].Reason)
+			} else {
+				out = append(out, fmt.Sprintf("port%d:%x", results[i].Em.Port, results[i].Em.Pkt.Serialize()))
+			}
+		}
+		return out
+	}
+
+	results := make([]BatchResult, len(traffic))
+	inject(traffic, results)
+	var log []string
+	log = record(results, len(traffic), log)
+
+	// Merge phase: split emissions turn around onto the merge port.
+	var merges []BatchPacket
+	for i := range traffic {
+		r := &results[i]
+		if !r.OK || r.Em.Pkt.PP == nil {
+			continue
+		}
+		pipe := PipeOfPort(traffic[i].In)
+		_, _, sinkMAC := eqMACs(pipe)
+		r.Em.Pkt.Eth.Dst = sinkMAC
+		merges = append(merges, BatchPacket{Pkt: r.Em.Pkt, In: traffic[i].In + 1})
+	}
+	mres := make([]BatchResult, len(merges))
+	inject(merges, mres)
+	log = record(mres, len(merges), log)
+	return log
+}
+
+// countersOf snapshots every observable switch counter.
+func countersOf(sw *Switch) string {
+	s := fmt.Sprintf("rx=%d tx=%d drops=%v", sw.RxPackets(), sw.TxPackets(), sw.Drops())
+	for i, p := range sw.Programs() {
+		s += fmt.Sprintf(" prog%d{%s}", i, p.C.String())
+	}
+	return s
+}
+
+// TestInjectParityAcrossDrivers is the byte-level equivalence guard for
+// the batched and parallel injection paths: identical traffic through
+// identical switches must produce identical emissions (byte for byte,
+// including the merge phase) and identical counters in all three modes.
+func TestInjectParityAcrossDrivers(t *testing.T) {
+	const pipes, n = 4, 64
+	var want []string
+	var wantCounters string
+	for _, mode := range []string{"sequential", "batch", "parallel"} {
+		sw := eqSwitch(t, pipes)
+		log := injectMode(t, sw, mode, eqTraffic(pipes, n))
+		counters := countersOf(sw)
+		if want == nil {
+			want, wantCounters = log, counters
+			continue
+		}
+		if len(log) != len(want) {
+			t.Fatalf("%s: %d records, sequential had %d", mode, len(log), len(want))
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("%s: record %d differs:\n got %s\nwant %s", mode, i, log[i], want[i])
+			}
+		}
+		if counters != wantCounters {
+			t.Errorf("%s counters differ:\n got %s\nwant %s", mode, counters, wantCounters)
+		}
+	}
+}
+
+// TestParallelDriverGroupsRecirculation verifies that a recirculation
+// pipe is owned by its ingress pipe's worker: its second-pass registers
+// must never be touched by two goroutines.
+func TestParallelDriverGroupsRecirculation(t *testing.T) {
+	sw := NewSwitch("recirc-group")
+	_, nfMAC, sinkMAC := eqMACs(0)
+	sw.AddL2Route(nfMAC, 1)
+	sw.AddL2Route(sinkMAC, 2)
+	if _, err := sw.AttachPayloadPark(Config{
+		Slots: 256, MaxExpiry: 1, SplitPort: 0, MergePort: 1, Recirculate: true,
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := NewParallelDriver(sw)
+	defer d.Close()
+	// Pipes 0 and 1 share a worker; pipes 2 and 3 get their own.
+	if got := d.Workers(); got != 3 {
+		t.Errorf("workers = %d, want 3 (pipe1 grouped with pipe0)", got)
+	}
+}
+
+// TestParallelDriverRace hammers all four pipes through the parallel
+// driver over several batches; run with -race this is the data-race guard
+// for the sharded counters and per-pipe state.
+func TestParallelDriverRace(t *testing.T) {
+	const pipes, n, rounds = 4, 32, 8
+	sw := eqSwitch(t, pipes)
+	d := NewParallelDriver(sw)
+	defer d.Close()
+	traffic := eqTraffic(pipes, n)
+	results := make([]BatchResult, len(traffic))
+	for r := 0; r < rounds; r++ {
+		d.InjectBatch(traffic, results)
+		var merges []BatchPacket
+		for i := range traffic {
+			if results[i].OK && results[i].Em.Pkt.PP != nil {
+				pipe := PipeOfPort(traffic[i].In)
+				_, _, sinkMAC := eqMACs(pipe)
+				results[i].Em.Pkt.Eth.Dst = sinkMAC
+				merges = append(merges, BatchPacket{Pkt: results[i].Em.Pkt, In: traffic[i].In + 1})
+			}
+		}
+		mres := make([]BatchResult, len(merges))
+		d.InjectBatch(merges, mres)
+		for i := range merges {
+			pipe := PipeOfPort(merges[i].In)
+			_, nfMAC, _ := eqMACs(pipe)
+			merges[i].Pkt.Eth.Dst = nfMAC
+		}
+	}
+	if sw.RxPackets() == 0 || sw.TxPackets() == 0 {
+		t.Error("no traffic flowed")
+	}
+}
+
+// TestInjectBatchZeroAllocSteadyState asserts the zero-allocation claim
+// on the packet-API hot path: split + merge round trips over recycled
+// packets allocate nothing once warm (pooled PHVs, inline PP headers,
+// stash-headroom reassembly, emissions filled in place).
+func TestInjectBatchZeroAllocSteadyState(t *testing.T) {
+	sw := eqSwitch(t, 1)
+	traffic := eqTraffic(1, 8) // one pipe: in-order split+merge round trips
+	results := make([]BatchResult, len(traffic))
+	merges := make([]BatchPacket, 0, len(traffic))
+	mres := make([]BatchResult, len(traffic))
+	_, nfMAC, sinkMAC := eqMACs(0)
+
+	roundTrip := func() {
+		sw.InjectBatch(traffic, results)
+		merges = merges[:0]
+		for i := range traffic {
+			if results[i].OK && results[i].Em.Pkt.PP != nil {
+				results[i].Em.Pkt.Eth.Dst = sinkMAC
+				merges = append(merges, BatchPacket{Pkt: results[i].Em.Pkt, In: traffic[i].In + 1})
+			}
+		}
+		sw.InjectBatch(merges, mres[:len(merges)])
+		for i := range merges {
+			merges[i].Pkt.Eth.Dst = nfMAC
+		}
+	}
+	roundTrip() // warm pools and scratch
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Errorf("InjectBatch round trip allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestInjectFrameAppendZeroAllocSteadyState asserts the zero-allocation
+// claim on the frame-level hot path: parse → process → deparse →
+// AppendSerialize with reused buffers, for both the split and the
+// (headroom-reassembled) merge direction.
+func TestInjectFrameAppendZeroAllocSteadyState(t *testing.T) {
+	sw := eqSwitch(t, 1)
+	genMAC, nfMAC, sinkMAC := eqMACs(0)
+	b := packet.NewBuilder(genMAC, nfMAC)
+	ft := packet.FiveTuple{
+		SrcIP: packet.IPv4Addr{10, 0, 0, 1}, DstIP: packet.IPv4Addr{10, 1, 0, 9},
+		SrcPort: 5000, DstPort: 80, Protocol: packet.IPProtoUDP,
+	}
+	frame := b.UDP(ft, 882, 1).Serialize()
+	var splitOut, mergeOut []byte
+
+	roundTrip := func() {
+		var err error
+		splitOut, _, err = sw.InjectFrameAppend(frame, 0, splitOut[:0])
+		if err != nil || len(splitOut) == 0 {
+			t.Fatalf("split inject: %v (len %d)", err, len(splitOut))
+		}
+		copy(splitOut[0:6], sinkMAC[:]) // turn around toward the sink
+		mergeOut, _, err = sw.InjectFrameAppend(splitOut, 1, mergeOut[:0])
+		if err != nil || len(mergeOut) == 0 {
+			t.Fatalf("merge inject: %v (len %d)", err, len(mergeOut))
+		}
+	}
+	roundTrip()
+	if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+		t.Errorf("InjectFrameAppend round trip allocates %.1f/op, want 0", allocs)
+	}
+	// The merged frame must be the original bytes with only L2 rewritten.
+	want := append([]byte(nil), frame...)
+	copy(want[0:6], sinkMAC[:])
+	if !bytes.Equal(mergeOut, want) {
+		t.Error("merge did not reproduce the original frame bytes")
+	}
+}
+
+// TestInjectFrameAppendMatchesInjectFrame cross-checks the scratch frame
+// path against the allocating one, byte for byte, split and merge.
+func TestInjectFrameAppendMatchesInjectFrame(t *testing.T) {
+	swA := eqSwitch(t, 1)
+	swB := eqSwitch(t, 1)
+	genMAC, nfMAC, sinkMAC := eqMACs(0)
+	b := packet.NewBuilder(genMAC, nfMAC)
+	for i, size := range []int{882, 100, 1400, 202, 64} {
+		ft := packet.FiveTuple{
+			SrcIP: packet.IPv4Addr{10, 0, 0, byte(i)}, DstIP: packet.IPv4Addr{10, 1, 0, 9},
+			SrcPort: uint16(6000 + i), DstPort: 80, Protocol: packet.IPProtoUDP,
+		}
+		frame := b.UDP(ft, size, uint16(i)).Serialize()
+		outA, emA, errA := swA.InjectFrame(frame, 0)
+		outB, emB, errB := swB.InjectFrameAppend(frame, 0, nil)
+		if (errA == nil) != (errB == nil) || (emA == nil) != (emB == nil) {
+			t.Fatalf("size %d: split paths disagree: %v/%v %v/%v", size, errA, errB, emA, emB)
+		}
+		if !bytes.Equal(outA, outB) {
+			t.Fatalf("size %d: split frames differ", size)
+		}
+		if emA == nil || emA.Pkt.PP == nil {
+			continue
+		}
+		copy(outA[0:6], sinkMAC[:])
+		copy(outB[0:6], sinkMAC[:])
+		mA, emA2, _ := swA.InjectFrame(outA, 1)
+		mB, emB2, _ := swB.InjectFrameAppend(outB, 1, nil)
+		if (emA2 == nil) != (emB2 == nil) || !bytes.Equal(mA, mB) {
+			t.Fatalf("size %d: merge frames differ", size)
+		}
+	}
+}

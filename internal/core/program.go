@@ -190,7 +190,7 @@ func (p *Program) installTagger() {
 				return p.isSplit(phv) && phv.GetMeta(rmt.MetaPayloadOK) == 0 && phv.Pkt.PP == nil
 			},
 			Action: func(c *rmt.Ctx) {
-				c.PHV.Pkt.PP = &packet.PPHeader{} // hdr.pp = 0; setValid()
+				c.PHV.Pkt.SetPP(packet.PPHeader{}) // hdr.pp = 0; setValid()
 				p.C.SmallPayloadSkips.Inc()
 			},
 		}},
@@ -279,14 +279,14 @@ func (p *Program) installMetadata() {
 					})
 					if claimed {
 						tag := packet.Tag{TableIndex: uint16(ti), Clock: uint16(clkNow)}.Seal()
-						phv.Pkt.PP = &packet.PPHeader{Enabled: true, Op: packet.PPOpMerge, Tag: tag}
+						phv.Pkt.SetPP(packet.PPHeader{Enabled: true, Op: packet.PPOpMerge, Tag: tag})
 						phv.Pkt.PPOffset = cfg.BoundaryOffset
 						phv.SetMeta(rmt.MetaSplitClaimed, 1)
 						phv.SetMeta(rmt.MetaParkBytes, uint32(cfg.ParkBytes()))
 						phv.SetMeta(rmt.MetaParkOffset, uint32(cfg.BoundaryOffset))
 						p.C.Splits.Inc()
 					} else {
-						phv.Pkt.PP = &packet.PPHeader{} // hdr.pp = 0; setValid()
+						phv.Pkt.SetPP(packet.PPHeader{}) // hdr.pp = 0; setValid()
 						phv.Pkt.PPOffset = cfg.BoundaryOffset
 						p.C.OccupiedSkips.Inc()
 					}
@@ -319,7 +319,7 @@ func (p *Program) installMetadata() {
 						phv.SetMeta(rmt.MetaParkOffset, uint32(cfg.BoundaryOffset))
 						phv.Pkt.PP = nil // hdr.pp.setInvalid()
 						phv.Pkt.PPOffset = 0
-						phv.Blocks = makeBlockViews(cfg.ParkBytes())
+						phv.PrepareMergeBlocks(cfg.Blocks(), BlockBytes, cfg.BoundaryOffset)
 						p.C.Merges.Inc()
 					} else {
 						phv.MarkDrop(DropPrematureEviction)
@@ -357,19 +357,6 @@ func (p *Program) installMetadata() {
 			},
 		},
 	})
-}
-
-// makeBlockViews allocates one contiguous buffer for a merge's payload
-// blocks and returns per-block views into it, so reassembly is one
-// allocation regardless of block count.
-func makeBlockViews(parkBytes int) [][]byte {
-	buf := make([]byte, parkBytes)
-	n := parkBytes / BlockBytes
-	views := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		views[i] = buf[i*BlockBytes : (i+1)*BlockBytes]
-	}
-	return views
 }
 
 // installPayloadBase places the stages-3..N payload table of the ingress

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
@@ -15,9 +16,26 @@ const PortsPerPipe = 16
 // NumPipes is the number of pipes on the modeled switch.
 const NumPipes = 4
 
+// NumPorts is the number of front-panel ports (NumPipes x PortsPerPipe).
+const NumPorts = NumPipes * PortsPerPipe
+
 // DropUnknownMAC is recorded when L2 forwarding has no entry for the
 // destination MAC.
 const DropUnknownMAC = "unknown dst mac"
+
+// Switch-internal drop reasons.
+const (
+	dropInvalidPort = "invalid port"
+	dropParseError  = "parse error"
+)
+
+// maxFrameBytes bounds the frames the scratch parser accepts; generated
+// traffic tops out at 1500 B plus headers.
+const maxFrameBytes = 2048
+
+// invalidShard is the counter shard charged for packets that never reach a
+// pipe (out-of-range port).
+const invalidShard = NumPipes
 
 // Emission is a packet leaving the switch.
 type Emission struct {
@@ -31,9 +49,30 @@ type Emission struct {
 	LatencyNs int64
 }
 
+// frameScratch is the per-pipe scratch state behind InjectFrameAppend: a
+// reusable parsed packet (header structs and payload buffer included) and
+// a reusable emission. The payload is parsed at a fixed offset into buf so
+// the headroom in front of it can absorb merged payload blocks in place.
+type frameScratch struct {
+	pkt packet.Packet
+	udp packet.UDP
+	tcp packet.TCP
+	pp  packet.PPHeader
+	em  Emission
+	// buf backs the payload: [0,head) is merge headroom, payload bytes
+	// start at head.
+	buf  []byte
+	head int
+}
+
 // Switch is a 4-pipe RMT switch running L2 forwarding plus any installed
 // PayloadPark programs. A Switch with no programs installed is the
 // paper's baseline deployment.
+//
+// A Switch is safe to drive from multiple goroutines only through a
+// ParallelDriver, which assigns each pipe (and its recirculation target)
+// to exactly one worker; all counters are sharded per pipe and merged on
+// read. Direct Inject* calls are single-threaded, like the sim.
 type Switch struct {
 	name     string
 	pipes    [NumPipes]*rmt.Pipeline
@@ -43,11 +82,28 @@ type Switch struct {
 	recircOf map[int]int
 	l2       map[packet.MAC]rmt.PortID
 
-	// RxPackets / TxPackets count packets entering and leaving the switch.
-	RxPackets stats.Counter
-	TxPackets stats.Counter
-	// Drops counts dropped packets by reason.
-	Drops map[string]uint64
+	// ppOffset precomputes, per port, where arriving frames carry a
+	// PayloadPark header (-1: none). Rebuilt on AttachPayloadPark,
+	// replacing a per-packet linear scan over installed programs.
+	ppOffset [NumPorts]int
+	// maxPark is the largest ParkBytes over installed programs; it sizes
+	// the frame-scratch merge headroom.
+	maxPark int
+
+	// rx/tx count packets entering and leaving the switch, sharded by pipe
+	// (plus invalidShard) so parallel pipe workers never contend.
+	rx [NumPipes + 1]stats.Counter
+	tx [NumPipes + 1]stats.Counter
+
+	// Drop-reason counters are interned: reason strings map to dense ids
+	// (dropMu-guarded, hit only on the drop path), counts are per-pipe
+	// slices indexed by id and owned by the pipe's worker.
+	dropMu     sync.RWMutex
+	dropIdx    map[string]int
+	dropNames  []string
+	dropShards [NumPipes + 1][]uint64
+
+	scratch [NumPipes]frameScratch
 }
 
 // NewSwitch returns a switch with four empty pipes and an empty L2 table.
@@ -56,10 +112,20 @@ func NewSwitch(name string) *Switch {
 		name:     name,
 		recircOf: make(map[int]int),
 		l2:       make(map[packet.MAC]rmt.PortID),
-		Drops:    make(map[string]uint64),
+		dropIdx:  make(map[string]int),
 	}
 	for i := range s.pipes {
 		s.pipes[i] = rmt.NewPipeline(fmt.Sprintf("%s/pipe%d", name, i))
+	}
+	for i := range s.ppOffset {
+		s.ppOffset[i] = -1
+	}
+	// Pre-intern the reasons the switch and the stock program can record.
+	for _, why := range []string{
+		DropUnknownMAC, dropInvalidPort, dropParseError,
+		DropPrematureEviction, DropExplicitDrop, DropStaleExplicitDrop, DropBadTag,
+	} {
+		s.dropID(why)
 	}
 	return s
 }
@@ -75,6 +141,26 @@ func (s *Switch) AddL2Route(mac packet.MAC, port rmt.PortID) { s.l2[mac] = port 
 
 // PipeOfPort returns the pipe index serving a port.
 func PipeOfPort(port rmt.PortID) int { return int(port) / PortsPerPipe }
+
+// RxPackets returns packets received across all pipes. Not meaningful
+// while a parallel batch is in flight.
+func (s *Switch) RxPackets() uint64 {
+	var n uint64
+	for i := range s.rx {
+		n += s.rx[i].Value()
+	}
+	return n
+}
+
+// TxPackets returns packets transmitted across all pipes. Not meaningful
+// while a parallel batch is in flight.
+func (s *Switch) TxPackets() uint64 {
+	var n uint64
+	for i := range s.tx {
+		n += s.tx[i].Value()
+	}
+	return n
+}
 
 // AttachPayloadPark installs a PayloadPark program. Both cfg ports must
 // live on the same pipe — pipes do not share stateful memory (§5). With
@@ -99,6 +185,12 @@ func (s *Switch) AttachPayloadPark(cfg Config, recircPipe int) (*Program, error)
 		return nil, err
 	}
 	s.programs = append(s.programs, prog)
+	if int(cfg.MergePort) < NumPorts {
+		s.ppOffset[cfg.MergePort] = cfg.BoundaryOffset
+	}
+	if pb := cfg.ParkBytes(); pb > s.maxPark {
+		s.maxPark = pb
+	}
 	return prog, nil
 }
 
@@ -118,14 +210,34 @@ func (s *Switch) Inject(pkt *packet.Packet, in rmt.PortID) *Emission {
 // DropUnknownMAC); otherwise it is empty. The simulator uses the reason to
 // separate intended consumption (explicit drops) from failures.
 func (s *Switch) InjectTraced(pkt *packet.Packet, in rmt.PortID) (*Emission, string) {
-	s.RxPackets.Inc()
+	em := &Emission{}
+	if reason := s.injectInto(pkt, in, nil, em); reason != "" {
+		return nil, reason
+	}
+	return em, ""
+}
+
+// injectInto is the shared hot path: parse-free injection of an
+// already-parsed packet into its pipe, filling em on success and returning
+// the drop reason otherwise. headroom, when non-nil, is scratch space
+// directly in front of pkt.Payload's backing array (frame path only).
+func (s *Switch) injectInto(pkt *packet.Packet, in rmt.PortID, headroom []byte, em *Emission) string {
 	pipeIdx := PipeOfPort(in)
 	if pipeIdx < 0 || pipeIdx >= NumPipes {
-		s.drop("invalid port")
-		return nil, "invalid port"
+		s.rx[invalidShard].Inc()
+		s.drop(invalidShard, dropInvalidPort)
+		return dropInvalidPort
 	}
+	s.rx[pipeIdx].Inc()
 	pipe := s.pipes[pipeIdx]
-	phv := pipe.Parser().ToPHV(pkt, in)
+	phv := pipe.AcquirePHV()
+	pipe.Parser().FillPHV(phv, pkt, in)
+	if headroom == nil {
+		// A packet split earlier stashed the hole the parked region left
+		// in its payload backing; a merge can reassemble into it in place.
+		headroom = pkt.TakeHeadroom()
+	}
+	phv.Headroom = headroom
 	pipe.Process(phv)
 	passes := 1
 	if phv.Recirc {
@@ -134,104 +246,244 @@ func (s *Switch) InjectTraced(pkt *packet.Packet, in rmt.PortID) (*Emission, str
 		s.pipes[s.recircOf[pipeIdx]].Process(phv)
 		passes = 2
 	}
-	return s.deparse(phv, passes)
+	reason := s.deparse(pipeIdx, phv, passes, em)
+	pipe.ReleasePHV(phv)
+	return reason
+}
+
+// InjectReuse is InjectTraced filling a caller-owned Emission instead of
+// allocating one per packet: the hot-loop form for drivers (the simulator)
+// that copy what they need out of em before the next injection.
+func (s *Switch) InjectReuse(pkt *packet.Packet, in rmt.PortID, em *Emission) (bool, string) {
+	reason := s.injectInto(pkt, in, nil, em)
+	return reason == "", reason
 }
 
 // InjectFrame parses raw frame bytes and runs them through the switch,
 // returning the emitted frame bytes. This is the entry point for the
-// real-socket dataplane and the byte-level equivalence tests.
+// real-socket dataplane and the byte-level equivalence tests. The returned
+// emission and bytes are freshly allocated; the allocation-free variant is
+// InjectFrameAppend.
 func (s *Switch) InjectFrame(frame []byte, in rmt.PortID) ([]byte, *Emission, error) {
 	pipeIdx := PipeOfPort(in)
 	if pipeIdx < 0 || pipeIdx >= NumPipes {
-		s.RxPackets.Inc()
-		s.drop("invalid port")
+		s.rx[invalidShard].Inc()
+		s.drop(invalidShard, dropInvalidPort)
 		return nil, nil, fmt.Errorf("core: invalid port %d", in)
 	}
-	pkt, err := packet.ParseAt(frame, s.ppOffsetFor(in))
+	pkt, err := packet.ParseAt(frame, s.ppOffset[in])
 	if err != nil {
-		s.RxPackets.Inc()
-		s.drop("parse error")
+		s.rx[pipeIdx].Inc()
+		s.drop(pipeIdx, dropParseError)
 		return nil, nil, err
 	}
 	em := s.Inject(pkt, in)
 	if em == nil {
 		return nil, nil, nil
 	}
-	return em.Pkt.Serialize(), em, nil
+	return em.Pkt.AppendSerialize(nil), em, nil
 }
 
-// ppOffsetFor returns where arriving frames on port carry a PayloadPark
-// header: the owning program's decoupling-boundary offset for merge
-// ports, -1 (no header) otherwise.
-func (s *Switch) ppOffsetFor(port rmt.PortID) int {
-	for _, p := range s.programs {
-		if p.cfg.MergePort == port {
-			return p.cfg.BoundaryOffset
-		}
+// InjectFrameAppend is InjectFrame on the switch's per-pipe scratch state:
+// the frame is parsed into a reused packet whose payload carries merge
+// headroom, and the emitted frame bytes are appended to out (pass a reused
+// buffer, typically buf[:0], for an allocation-free steady state).
+//
+// The returned emission — including its packet and the emitted bytes when
+// out's capacity was reused — is only valid until the next InjectFrameAppend
+// on the same pipe. Callers that retain either must copy first.
+func (s *Switch) InjectFrameAppend(frame []byte, in rmt.PortID, out []byte) ([]byte, *Emission, error) {
+	pipeIdx := PipeOfPort(in)
+	if pipeIdx < 0 || pipeIdx >= NumPipes {
+		s.rx[invalidShard].Inc()
+		s.drop(invalidShard, dropInvalidPort)
+		return out, nil, fmt.Errorf("core: invalid port %d", in)
 	}
-	return -1
+	sc := &s.scratch[pipeIdx]
+	if sc.buf == nil || sc.head != s.maxPark {
+		sc.head = s.maxPark
+		sc.buf = make([]byte, sc.head+maxFrameBytes)
+	}
+	// Re-wire the scratch header structs (a prior parse may have nil'ed
+	// some of them) and steer the payload to buf[head:].
+	sc.pkt.UDP = &sc.udp
+	sc.pkt.TCP = &sc.tcp
+	sc.pkt.PP = &sc.pp
+	sc.pkt.Payload = sc.buf[sc.head:sc.head]
+	if err := packet.ParseAtInto(&sc.pkt, frame, s.ppOffset[in]); err != nil {
+		s.rx[pipeIdx].Inc()
+		s.drop(pipeIdx, dropParseError)
+		return out, nil, err
+	}
+	// Headroom holds only while the payload still sits at its scratch
+	// position (an oversized frame would have forced a reallocation).
+	var headroom []byte
+	if sc.head > 0 && len(sc.pkt.Payload) > 0 && &sc.pkt.Payload[0] == &sc.buf[sc.head] {
+		headroom = sc.buf[:sc.head]
+	}
+	if reason := s.injectInto(&sc.pkt, in, headroom, &sc.em); reason != "" {
+		return out, nil, nil
+	}
+	return sc.em.Pkt.AppendSerialize(out), &sc.em, nil
+}
+
+// BatchPacket couples a packet with its ingress port for InjectBatch.
+type BatchPacket struct {
+	Pkt *packet.Packet
+	In  rmt.PortID
+}
+
+// BatchResult is the per-packet outcome of a batched injection: Em is
+// filled in place (no per-packet allocation) and valid when OK; Reason
+// holds the drop cause otherwise.
+type BatchResult struct {
+	Em     Emission
+	OK     bool
+	Reason string
+}
+
+// InjectBatch runs batch through the switch sequentially, filling
+// results[i] for batch[i] (len(results) must be >= len(batch)). It is
+// observably equivalent to calling InjectTraced per packet, without the
+// per-packet Emission allocation.
+func (s *Switch) InjectBatch(batch []BatchPacket, results []BatchResult) {
+	for i := range batch {
+		s.injectOne(&batch[i], &results[i])
+	}
+}
+
+func (s *Switch) injectOne(bp *BatchPacket, r *BatchResult) {
+	r.Reason = s.injectInto(bp.Pkt, bp.In, nil, &r.Em)
+	r.OK = r.Reason == ""
+	if !r.OK {
+		r.Em = Emission{}
+	}
 }
 
 // deparse applies the PHV's park/reassemble effects to the packet bytes
-// and L2-forwards it.
-func (s *Switch) deparse(phv *rmt.PHV, passes int) (*Emission, string) {
+// and L2-forwards it, filling em. It returns the drop reason, or "" when
+// em holds a valid emission.
+func (s *Switch) deparse(pipeIdx int, phv *rmt.PHV, passes int, em *Emission) string {
 	if phv.Drop {
-		s.drop(phv.DropWhy)
-		return nil, phv.DropWhy
+		s.drop(pipeIdx, phv.DropWhy)
+		return phv.DropWhy
 	}
 	pkt := phv.Pkt
 	if phv.GetMeta(rmt.MetaSplitClaimed) == 1 {
 		// The parked region stays in the payload table; the deparser
 		// emits headers + visible prefix + PayloadPark header + the
-		// remaining payload.
+		// remaining payload. The blocks were stored during Process, so the
+		// splice happens in place — no scratch buffer needed.
 		park := int(phv.GetMeta(rmt.MetaParkBytes))
 		k := int(phv.GetMeta(rmt.MetaParkOffset))
 		if k == 0 {
+			// The cut prefix is exactly the hole a later merge refills:
+			// stash it so reassembly can happen in place, allocation-free.
+			pkt.StashHeadroom(pkt.Payload[:park])
 			pkt.Payload = pkt.Payload[park:]
 		} else {
-			rest := make([]byte, 0, len(pkt.Payload)-park)
-			rest = append(rest, pkt.Payload[:k]...)
-			rest = append(rest, pkt.Payload[k+park:]...)
-			pkt.Payload = rest
+			copy(pkt.Payload[k:], pkt.Payload[k+park:])
+			pkt.Payload = pkt.Payload[:len(pkt.Payload)-park]
 		}
 	}
 	if phv.GetMeta(rmt.MetaPPEnabled) == 1 {
-		// Reassemble: parked blocks return to their boundary offset. The
-		// block views share one contiguous buffer (see makeBlockViews),
-		// so the first view's backing array is the parked region.
+		// Reassemble: the parked blocks return to their boundary offset.
+		// PrepareMergeBlocks placed them either in the frame headroom
+		// directly in front of the payload (zero-copy reslice) or in a
+		// single buffer sized for the merged payload.
 		park := int(phv.GetMeta(rmt.MetaParkBytes))
 		k := int(phv.GetMeta(rmt.MetaParkOffset))
-		buf := phv.Blocks[0][:park:park] // full backing buffer
-		if k == 0 {
-			pkt.Payload = append(buf, pkt.Payload...)
-		} else {
-			merged := make([]byte, 0, k+park+len(pkt.Payload)-k)
-			merged = append(merged, pkt.Payload[:k]...)
-			merged = append(merged, buf...)
-			merged = append(merged, pkt.Payload[k:]...)
-			pkt.Payload = merged
-		}
+		pkt.Payload = phv.FinishMerge(pkt.Payload, k, park)
 	}
 	out, ok := s.l2[pkt.Eth.Dst]
 	if !ok {
-		s.drop(DropUnknownMAC)
-		return nil, DropUnknownMAC
+		s.drop(pipeIdx, DropUnknownMAC)
+		return DropUnknownMAC
 	}
-	s.TxPackets.Inc()
+	s.tx[pipeIdx].Inc()
 	lat := int64(rmt.PipeLatencyNs)
 	if passes > 1 {
 		lat += int64(passes-1) * rmt.RecircLatencyNs
 	}
-	return &Emission{Pkt: pkt, Port: out, Passes: passes, LatencyNs: lat}, ""
+	em.Pkt = pkt
+	em.Port = out
+	em.Passes = passes
+	em.LatencyNs = lat
+	return ""
 }
 
-func (s *Switch) drop(why string) { s.Drops[why]++ }
+// dropID interns a drop reason, returning its dense counter index.
+func (s *Switch) dropID(why string) int {
+	s.dropMu.RLock()
+	id, ok := s.dropIdx[why]
+	s.dropMu.RUnlock()
+	if ok {
+		return id
+	}
+	s.dropMu.Lock()
+	defer s.dropMu.Unlock()
+	if id, ok = s.dropIdx[why]; ok {
+		return id
+	}
+	id = len(s.dropNames)
+	s.dropIdx[why] = id
+	s.dropNames = append(s.dropNames, why)
+	return id
+}
+
+// drop charges one drop with the given reason to a pipe's counter shard.
+func (s *Switch) drop(shard int, why string) {
+	id := s.dropID(why)
+	counts := s.dropShards[shard]
+	for len(counts) <= id {
+		counts = append(counts, 0)
+	}
+	counts[id]++
+	s.dropShards[shard] = counts
+}
+
+// Drops returns drop counts by reason, merged across pipe shards. The map
+// is a fresh copy (the live counters are interned per pipe). Not
+// meaningful while a parallel batch is in flight.
+func (s *Switch) Drops() map[string]uint64 {
+	s.dropMu.RLock()
+	names := s.dropNames
+	s.dropMu.RUnlock()
+	out := make(map[string]uint64, len(names))
+	for _, shard := range s.dropShards {
+		for id, n := range shard {
+			if n > 0 {
+				out[names[id]] += n
+			}
+		}
+	}
+	return out
+}
+
+// DropCount returns the drops recorded for one reason.
+func (s *Switch) DropCount(why string) uint64 {
+	s.dropMu.RLock()
+	id, ok := s.dropIdx[why]
+	s.dropMu.RUnlock()
+	if !ok {
+		return 0
+	}
+	var n uint64
+	for _, shard := range s.dropShards {
+		if id < len(shard) {
+			n += shard[id]
+		}
+	}
+	return n
+}
 
 // TotalDrops sums drops across reasons.
 func (s *Switch) TotalDrops() uint64 {
 	var n uint64
-	for _, v := range s.Drops {
-		n += v
+	for _, shard := range s.dropShards {
+		for _, v := range shard {
+			n += v
+		}
 	}
 	return n
 }

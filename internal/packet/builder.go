@@ -21,11 +21,24 @@ func NewBuilder(srcMAC, dstMAC MAC) *Builder {
 // pseudo-random pattern derived from the builder seed, the flow and the
 // packet id, so corruption anywhere in the pipeline is detectable.
 func (b *Builder) UDP(ft FiveTuple, totalSize int, id uint16) *Packet {
+	return b.UDPInto(&Packet{}, ft, totalSize, id)
+}
+
+// UDPInto is UDP writing into a caller-owned (typically recycled) Packet,
+// reusing its UDP header struct and payload capacity so steady-state
+// generation does not allocate. Every field is rewritten; no state of the
+// packet's previous life survives.
+func (b *Builder) UDPInto(p *Packet, ft FiveTuple, totalSize int, id uint16) *Packet {
 	if totalSize < HeaderUnitLen {
 		totalSize = HeaderUnitLen
 	}
 	payloadLen := totalSize - HeaderUnitLen
-	p := &Packet{
+	udp := p.UDP
+	if udp == nil {
+		udp = &UDP{}
+	}
+	payload := fillPayload(p.Payload[:0], payloadLen, b.payloadSeed^uint64(ft.SrcIP.Uint32())<<16^uint64(id))
+	*p = Packet{
 		Eth: Ethernet{Dst: b.dstMAC, Src: b.srcMAC, EtherType: EtherTypeIPv4},
 		IP: IPv4{
 			TotalLength: uint16(totalSize - EthernetHeaderLen),
@@ -35,12 +48,13 @@ func (b *Builder) UDP(ft FiveTuple, totalSize int, id uint16) *Packet {
 			Src:         ft.SrcIP,
 			Dst:         ft.DstIP,
 		},
-		UDP: &UDP{
-			SrcPort: ft.SrcPort,
-			DstPort: ft.DstPort,
-			Length:  uint16(UDPHeaderLen + payloadLen),
-		},
-		Payload: fillPayload(payloadLen, b.payloadSeed^uint64(ft.SrcIP.Uint32())<<16^uint64(id)),
+		UDP:     udp,
+		Payload: payload,
+	}
+	*udp = UDP{
+		SrcPort: ft.SrcPort,
+		DstPort: ft.DstPort,
+		Length:  uint16(UDPHeaderLen + payloadLen),
 	}
 	p.IP.UpdateChecksum()
 	return p
@@ -49,20 +63,33 @@ func (b *Builder) UDP(ft FiveTuple, totalSize int, id uint16) *Packet {
 // SetPayloadSeed changes the payload pattern seed (default 0).
 func (b *Builder) SetPayloadSeed(seed uint64) { b.payloadSeed = seed }
 
-// fillPayload produces a deterministic byte pattern via a splitmix64 stream.
-func fillPayload(n int, seed uint64) []byte {
-	out := make([]byte, n)
-	var word [8]byte
-	for i := 0; i < n; i += 8 {
-		seed += 0x9e3779b97f4a7c15
-		z := seed
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		z ^= z >> 31
-		binary.LittleEndian.PutUint64(word[:], z)
+// fillPayload appends n bytes of a deterministic splitmix64 pattern to
+// out's backing array (reusing capacity) and returns the filled slice.
+func fillPayload(out []byte, n int, seed uint64) []byte {
+	if cap(out) < n {
+		out = make([]byte, n)
+	} else {
+		out = out[:n]
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(out[i:], splitmix64(&seed))
+	}
+	if i < n {
+		var word [8]byte
+		binary.LittleEndian.PutUint64(word[:], splitmix64(&seed))
 		copy(out[i:], word[:])
 	}
 	return out
+}
+
+// splitmix64 advances the stream and returns the next word.
+func splitmix64(seed *uint64) uint64 {
+	*seed += 0x9e3779b97f4a7c15
+	z := *seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // TCP builds a TCP packet with the given flow key and total wire size,
@@ -88,7 +115,7 @@ func (b *Builder) TCP(ft FiveTuple, totalSize int, seq uint32, id uint16) *Packe
 			SrcPort: ft.SrcPort, DstPort: ft.DstPort,
 			Seq: seq, Flags: 0x18, Window: 65535,
 		},
-		Payload: fillPayload(payloadLen, b.payloadSeed^uint64(ft.SrcIP.Uint32())<<16^uint64(id)),
+		Payload: fillPayload(nil, payloadLen, b.payloadSeed^uint64(ft.SrcIP.Uint32())<<16^uint64(id)),
 	}
 	p.IP.UpdateChecksum()
 	return p

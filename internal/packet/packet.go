@@ -25,6 +25,50 @@ type Packet struct {
 	PP       *PPHeader
 	PPOffset int
 	Payload  []byte
+
+	// ppStore inlines the PayloadPark header storage so SetPP (and the
+	// parsers) can attach one without allocating. PP points here after
+	// SetPP; Clone preserves the aliasing.
+	ppStore PPHeader
+
+	// headroom is the scratch region stashed by StashHeadroom; see there.
+	headroom []byte
+}
+
+// StashHeadroom records scratch bytes that sit immediately in front of
+// Payload in its backing array. The switch's Split deparser stashes the
+// hole left by the parked region so a later Merge can reassemble the
+// payload in place instead of allocating; TakeHeadroom validates the
+// placement before the stash is trusted.
+func (p *Packet) StashHeadroom(h []byte) { p.headroom = h }
+
+// TakeHeadroom consumes the stashed headroom, returning it only if it
+// still directly precedes the current Payload in the same backing array
+// (a payload swapped out by an NF invalidates it); otherwise nil.
+func (p *Packet) TakeHeadroom() []byte {
+	h := p.headroom
+	p.headroom = nil
+	if h == nil {
+		return nil
+	}
+	if len(p.Payload) == 0 {
+		// Nothing follows the hole; reassembly reduces to the headroom
+		// itself, which needs no placement check.
+		return h
+	}
+	n := len(h)
+	if cap(h) > n && &h[:n+1][n] == &p.Payload[0] {
+		return h
+	}
+	return nil
+}
+
+// SetPP attaches a PayloadPark header to the packet without allocating,
+// storing it inline. The switch's Split stage uses this on every tagged
+// packet, so it sits on the dataplane hot path.
+func (p *Packet) SetPP(h PPHeader) {
+	p.ppStore = h
+	p.PP = &p.ppStore
 }
 
 // Parse decodes an Ethernet/IPv4/{UDP,TCP} frame. withPP tells the parser
@@ -45,51 +89,74 @@ func Parse(frame []byte, withPP bool) (*Packet, error) {
 // parses a frame with no PayloadPark header.
 func ParseAt(frame []byte, ppOffset int) (*Packet, error) {
 	p := &Packet{}
-	if err := p.Eth.Unmarshal(frame); err != nil {
+	if err := ParseAtInto(p, frame, ppOffset); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// ParseAtInto is ParseAt parsing into a caller-owned Packet, the
+// allocation-free path for scratch reuse on the switch's frame hot path:
+// non-nil UDP/TCP/PP header structs are reused rather than reallocated,
+// and the payload is appended into Payload's existing backing array
+// (sliced to length zero first). Callers that pre-position Payload inside
+// a larger buffer keep that placement as long as the capacity suffices.
+func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
+	if err := p.Eth.Unmarshal(frame); err != nil {
+		return err
+	}
 	if p.Eth.EtherType != EtherTypeIPv4 {
-		return nil, ErrNotIPv4
+		return ErrNotIPv4
 	}
 	off := EthernetHeaderLen
 	if err := p.IP.Unmarshal(frame[off:]); err != nil {
-		return nil, err
+		return err
 	}
 	off += IPv4HeaderLen
 	switch p.IP.Protocol {
 	case IPProtoUDP:
-		p.UDP = &UDP{}
+		if p.UDP == nil {
+			p.UDP = &UDP{}
+		}
+		p.TCP = nil
 		if err := p.UDP.Unmarshal(frame[off:]); err != nil {
-			return nil, err
+			return err
 		}
 		off += UDPHeaderLen
 	case IPProtoTCP:
-		p.TCP = &TCP{}
+		if p.TCP == nil {
+			p.TCP = &TCP{}
+		}
+		p.UDP = nil
 		if err := p.TCP.Unmarshal(frame[off:]); err != nil {
-			return nil, err
+			return err
 		}
 		off += TCPHeaderLen
 	default:
-		return nil, ErrUnknownL4
+		return ErrUnknownL4
 	}
+	p.headroom = nil
+	payload := p.Payload[:0]
 	if ppOffset >= 0 {
 		if len(frame) < off+ppOffset+PPHeaderLen {
-			return nil, fmt.Errorf("payloadpark header at offset %d: %w", ppOffset, ErrTruncated)
+			return fmt.Errorf("payloadpark header at offset %d: %w", ppOffset, ErrTruncated)
 		}
-		p.PP = &PPHeader{}
+		if p.PP == nil {
+			p.PP = &p.ppStore
+		}
 		if err := p.PP.Unmarshal(frame[off+ppOffset:]); err != nil {
-			return nil, err
+			return err
 		}
 		p.PPOffset = ppOffset
 		// Payload excludes the header: visible prefix + remainder.
-		payload := make([]byte, 0, len(frame)-off-PPHeaderLen)
 		payload = append(payload, frame[off:off+ppOffset]...)
-		payload = append(payload, frame[off+ppOffset+PPHeaderLen:]...)
-		p.Payload = payload
-		return p, nil
+		p.Payload = append(payload, frame[off+ppOffset+PPHeaderLen:]...)
+		return nil
 	}
-	p.Payload = append([]byte(nil), frame[off:]...)
-	return p, nil
+	p.PP = nil
+	p.PPOffset = 0
+	p.Payload = append(payload, frame[off:]...)
+	return nil
 }
 
 // l4Len returns the length of the transport header.
@@ -121,6 +188,23 @@ func (p *Packet) Len() int { return p.HeaderLen() + len(p.Payload) }
 func (p *Packet) Serialize() []byte {
 	buf := make([]byte, p.Len())
 	p.SerializeTo(buf)
+	return buf
+}
+
+// AppendSerialize appends the packet's wire bytes to buf and returns the
+// extended slice. Callers on the hot path pass a reused buffer (typically
+// buf[:0]) so steady-state serialization does not allocate.
+func (p *Packet) AppendSerialize(buf []byte) []byte {
+	n := p.Len()
+	off := len(buf)
+	if cap(buf)-off < n {
+		grown := make([]byte, off+n, off+n+512)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:off+n]
+	}
+	p.SerializeTo(buf[off:])
 	return buf
 }
 
@@ -168,10 +252,15 @@ func (p *Packet) Clone() *Packet {
 		c.TCP = &t
 	}
 	if p.PP != nil {
-		pp := *p.PP
-		c.PP = &pp
+		if p.PP == &p.ppStore {
+			c.PP = &c.ppStore
+		} else {
+			pp := *p.PP
+			c.PP = &pp
+		}
 	}
 	c.Payload = append([]byte(nil), p.Payload...)
+	c.headroom = nil // the copy's payload lives in a fresh backing array
 	return &c
 }
 

@@ -67,16 +67,28 @@ func (p *Parser) phvBits() int { return (p.blocks*p.blockBytes + p.parkOffset) *
 // operation only when the payload length exceeds the number of per-packet
 // bytes that we can store").
 func (p *Parser) ToPHV(pkt *packet.Packet, port PortID) *PHV {
-	phv := &PHV{Pkt: pkt, InPort: port}
+	phv := &PHV{}
+	p.FillPHV(phv, pkt, port)
+	return phv
+}
+
+// FillPHV resets phv and populates it from an already-parsed packet
+// arriving on port, reusing the PHV's Blocks backing array. This is the
+// allocation-free path used with pooled PHVs (Pipeline.AcquirePHV); see
+// ToPHV for the extraction rules.
+func (p *Parser) FillPHV(phv *PHV, pkt *packet.Packet, port PortID) {
+	phv.Reset()
+	phv.Pkt = pkt
+	phv.InPort = port
 	if p.blocks > 0 && len(pkt.Payload) >= p.parkOffset+p.ParkBytes() && pkt.PP == nil {
-		phv.Blocks = make([][]byte, p.blocks)
+		views := phv.Blocks[:0]
 		for i := 0; i < p.blocks; i++ {
 			off := p.parkOffset + i*p.blockBytes
-			phv.Blocks[i] = pkt.Payload[off : off+p.blockBytes]
+			views = append(views, pkt.Payload[off:off+p.blockBytes])
 		}
+		phv.Blocks = views
 		phv.SetMeta(MetaPayloadOK, 1)
 	}
-	return phv
 }
 
 // ParseFrame parses raw frame bytes arriving on port and builds the PHV.

@@ -49,12 +49,25 @@ type Stage struct {
 // Pipeline is one switch pipe: a parser feeding StageCount match-action
 // stages. Ports are attached to pipes; ports on different pipes share no
 // stateful memory (paper §5).
+//
+// A Pipeline is not safe for concurrent use: like the hardware pipe it
+// models, exactly one driver (worker) may push packets through it at a
+// time. Drivers that parallelize across pipes get this for free because
+// pipes share no state.
 type Pipeline struct {
 	name      string
 	stages    [StageCount]*Stage
 	parser    *Parser
 	phvBits   int
 	processed uint64
+
+	// flat is the precompiled MAT execution list: stages × mats flattened
+	// in stage order, rebuilt on AddMAT, so Process skips the nested
+	// iteration over (mostly empty) stages.
+	flat []*MAT
+
+	// phvFree is the pipe-local PHV free-list backing AcquirePHV.
+	phvFree []*PHV
 }
 
 // NewPipeline returns an empty pipe with the given diagnostic name.
@@ -134,6 +147,15 @@ func (p *Pipeline) AddMAT(stage int, m *MAT) {
 		panic(fmt.Sprintf("rmt: stage %d TCAM overflow: %d B, %d budget", stage, got, budget))
 	}
 	s.mats = append(s.mats, m)
+	p.rebuildFlat()
+}
+
+// rebuildFlat recompiles the flat MAT execution list in stage order.
+func (p *Pipeline) rebuildFlat() {
+	p.flat = p.flat[:0]
+	for _, s := range p.stages {
+		p.flat = append(p.flat, s.mats...)
+	}
 }
 
 func (p *Pipeline) stage(i int) *Stage {
@@ -147,11 +169,31 @@ func (p *Pipeline) stage(i int) *Stage {
 // wrapper) handles parsing, recirculation, and deparsing.
 func (p *Pipeline) Process(phv *PHV) {
 	p.processed++
-	for _, s := range p.stages {
-		for _, m := range s.mats {
-			m.run(phv)
-		}
+	for _, m := range p.flat {
+		m.run(phv)
 	}
+}
+
+// AcquirePHV returns a reset PHV from the pipe-local free-list, or a new
+// one when the list is empty. Pair with ReleasePHV once the packet has
+// been deparsed; a recycled PHV runs the parse→process→deparse path
+// without allocating.
+func (p *Pipeline) AcquirePHV() *PHV {
+	if n := len(p.phvFree); n > 0 {
+		phv := p.phvFree[n-1]
+		p.phvFree = p.phvFree[:n-1]
+		return phv
+	}
+	return &PHV{}
+}
+
+// ReleasePHV resets phv and returns it to the pipe's free-list. The caller
+// must not retain references into the PHV (its Blocks views are recycled);
+// buffers handed out by FinishMerge on the headroom path belong to the
+// caller's frame scratch, not the PHV, and stay valid.
+func (p *Pipeline) ReleasePHV(phv *PHV) {
+	phv.Reset()
+	p.phvFree = append(p.phvFree, phv)
 }
 
 // Processed returns how many passes this pipe has executed.

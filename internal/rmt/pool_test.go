@@ -1,0 +1,192 @@
+package rmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildPoolPipe returns a pipe with a register-backed MAT in stage 0 that
+// copies block 0 into its register (exercising the Ctx scratch) and a
+// plain MAT in a later stage (exercising the flat execution list).
+func buildPoolPipe(t *testing.T) (*Pipeline, *Register) {
+	t.Helper()
+	p := NewPipeline("pool")
+	p.Parser().ExtractPayloadBlocks(20, 8)
+	reg := p.NewRegister(0, "r", 8, 4)
+	p.AddMAT(0, &MAT{
+		Name: "store0",
+		Reg:  reg,
+		Rules: []Rule{{
+			Name:  "store",
+			Match: func(phv *PHV) bool { return phv.GetMeta(MetaPayloadOK) == 1 },
+			Action: func(c *Ctx) {
+				c.RMW(0, func(cell []byte) { copy(cell, c.PHV.Blocks[0]) })
+			},
+		}},
+	})
+	p.AddMAT(7, &MAT{
+		Name: "mark",
+		Rules: []Rule{{
+			Name:   "mark",
+			Match:  func(phv *PHV) bool { return true },
+			Action: func(c *Ctx) { c.PHV.SetMeta(7, c.PHV.GetMeta(7)+1) },
+		}},
+	})
+	return p, reg
+}
+
+func TestAcquireReleaseReusesPHV(t *testing.T) {
+	p, _ := buildPoolPipe(t)
+	phv := p.AcquirePHV()
+	p.Parser().FillPHV(phv, testPkt(t, 300), 3)
+	if phv.GetMeta(MetaPayloadOK) != 1 || len(phv.Blocks) != 20 {
+		t.Fatalf("FillPHV: payloadOK=%d blocks=%d", phv.GetMeta(MetaPayloadOK), len(phv.Blocks))
+	}
+	p.ReleasePHV(phv)
+	again := p.AcquirePHV()
+	if again != phv {
+		t.Error("free-list did not return the released PHV")
+	}
+	if again.Pkt != nil || again.GetMeta(MetaPayloadOK) != 0 || len(again.Blocks) != 0 {
+		t.Errorf("released PHV not reset: %+v", again)
+	}
+	if cap(again.Blocks) < 20 {
+		t.Errorf("Blocks backing array not retained: cap=%d", cap(again.Blocks))
+	}
+}
+
+func TestFillPHVMatchesToPHV(t *testing.T) {
+	p, _ := buildPoolPipe(t)
+	pkt := testPkt(t, 300)
+	want := p.Parser().ToPHV(pkt, 5)
+
+	phv := p.AcquirePHV()
+	p.Parser().FillPHV(phv, pkt, 5)
+	if phv.InPort != want.InPort || phv.GetMeta(MetaPayloadOK) != want.GetMeta(MetaPayloadOK) {
+		t.Errorf("FillPHV differs from ToPHV: %+v vs %+v", phv, want)
+	}
+	if len(phv.Blocks) != len(want.Blocks) {
+		t.Fatalf("blocks %d vs %d", len(phv.Blocks), len(want.Blocks))
+	}
+	for i := range phv.Blocks {
+		if !bytes.Equal(phv.Blocks[i], want.Blocks[i]) {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+}
+
+func TestFlatListFollowsStageOrder(t *testing.T) {
+	p := NewPipeline("order")
+	var got []string
+	mk := func(name string) *MAT {
+		return &MAT{Name: name, Rules: []Rule{{
+			Name:   "hit",
+			Match:  func(*PHV) bool { return true },
+			Action: func(*Ctx) { got = append(got, name) },
+		}}}
+	}
+	// Insert out of stage order: the flat list must still execute stages
+	// in order (and MATs within a stage in insertion order).
+	p.AddMAT(5, mk("s5a"))
+	p.AddMAT(1, mk("s1"))
+	p.AddMAT(5, mk("s5b"))
+	p.AddMAT(0, mk("s0"))
+	phv := p.AcquirePHV()
+	p.Parser().FillPHV(phv, testPkt(t, 100), 0)
+	p.Process(phv)
+	want := []string{"s0", "s1", "s5a", "s5b"}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("executed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPooledProcessDoesNotAllocate(t *testing.T) {
+	p, _ := buildPoolPipe(t)
+	pkt := testPkt(t, 300)
+	run := func() {
+		phv := p.AcquirePHV()
+		p.Parser().FillPHV(phv, pkt, 3)
+		p.Process(phv)
+		p.ReleasePHV(phv)
+	}
+	run() // warm the pool and the Blocks backing array
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Errorf("pooled FillPHV+Process+Release allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestPrepareMergeBlocksHeadroom(t *testing.T) {
+	p, _ := buildPoolPipe(t)
+	// Simulate the frame path: payload sits at offset 160 of a backing
+	// buffer, the headroom in front absorbs the parked blocks.
+	buf := make([]byte, 160+64)
+	payload := buf[160:]
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	pkt := testPkt(t, 100)
+	pkt.Payload = payload
+
+	phv := p.AcquirePHV()
+	p.Parser().FillPHV(phv, pkt, 0)
+	phv.Headroom = buf[:160]
+	views := phv.PrepareMergeBlocks(20, 8, 0)
+	if len(views) != 20 {
+		t.Fatalf("views = %d, want 20", len(views))
+	}
+	for i := range views {
+		for j := range views[i] {
+			views[i][j] = byte(0xA0 + i)
+		}
+	}
+	merged := phv.FinishMerge(pkt.Payload, 0, 160)
+	if len(merged) != 160+64 {
+		t.Fatalf("merged len = %d, want %d", len(merged), 160+64)
+	}
+	if &merged[0] != &buf[0] {
+		t.Error("headroom merge did not reassemble in place")
+	}
+	for i := 0; i < 160; i++ {
+		if merged[i] != byte(0xA0+i/8) {
+			t.Fatalf("merged[%d] = %#x, want block pattern", i, merged[i])
+		}
+	}
+	if !bytes.Equal(merged[160:], payload) {
+		t.Error("payload tail corrupted by in-place merge")
+	}
+}
+
+func TestPrepareMergeBlocksFallback(t *testing.T) {
+	p, _ := buildPoolPipe(t)
+	pkt := testPkt(t, 100)
+	phv := p.AcquirePHV()
+	p.Parser().FillPHV(phv, pkt, 0)
+	// No headroom: one buffer must hold prefix + parked region + tail.
+	views := phv.PrepareMergeBlocks(4, 8, 3)
+	for i := range views {
+		for j := range views[i] {
+			views[i][j] = byte(0xB0 + i)
+		}
+	}
+	payload := pkt.Payload
+	merged := phv.FinishMerge(payload, 3, 32)
+	if len(merged) != len(payload)+32 {
+		t.Fatalf("merged len = %d, want %d", len(merged), len(payload)+32)
+	}
+	if !bytes.Equal(merged[:3], payload[:3]) {
+		t.Error("visible prefix lost")
+	}
+	for i := 3; i < 35; i++ {
+		if merged[i] != byte(0xB0+(i-3)/8) {
+			t.Fatalf("merged[%d] = %#x, want block pattern", i, merged[i])
+		}
+	}
+	if !bytes.Equal(merged[35:], payload[3:]) {
+		t.Error("payload tail corrupted")
+	}
+}

@@ -55,6 +55,10 @@ const (
 // deparser makes header edits effective. Blocks are the payload blocks the
 // parser lifted into the PHV (the paper stores up to 160 B of payload in
 // the PHV so stages can write it to register arrays).
+//
+// PHVs are pooled per pipe (Pipeline.AcquirePHV / ReleasePHV): Reset keeps
+// the Blocks backing array and scratch buffers so a warmed-up PHV carries a
+// packet through the pipeline without allocating.
 type PHV struct {
 	Pkt     *packet.Packet
 	InPort  PortID
@@ -69,6 +73,72 @@ type PHV struct {
 
 	Meta   [MetaWords]uint32
 	Blocks [][]byte
+
+	// Headroom is scratch space that sits immediately in front of
+	// Pkt.Payload in the same backing array, provided by frame-level
+	// callers (Switch scratch buffers). When present and large enough, a
+	// merge reassembles the payload in place: the parked blocks are loaded
+	// into the headroom tail and the merged payload is a single reslice.
+	Headroom []byte
+
+	// ctx is the per-packet action context handed to MATs; keeping it in
+	// the (pooled) PHV keeps Pipeline.Process allocation-free.
+	ctx Ctx
+	// merge is the reassembly buffer of the current merge when the
+	// headroom cannot be used (no frame scratch, or a §7 boundary offset).
+	merge          []byte
+	headroomBacked bool
+}
+
+// Reset clears the PHV for reuse, keeping the Blocks backing array (and
+// its capacity) so a recycled PHV extracts payload blocks without
+// allocating.
+func (p *PHV) Reset() {
+	blocks := p.Blocks[:0]
+	*p = PHV{Blocks: blocks}
+}
+
+// PrepareMergeBlocks returns n contiguous views of w bytes each for the
+// payload-table load MATs to fill during a merge, reassembled at payload
+// offset k by FinishMerge. When the PHV carries frame headroom of at least
+// n*w bytes and k == 0 (the prototype's default boundary), the views point
+// at the headroom tail directly in front of the payload, making the later
+// reassembly a zero-copy reslice. Otherwise one buffer sized for the final
+// merged payload is allocated.
+func (p *PHV) PrepareMergeBlocks(n, w, k int) [][]byte {
+	park := n * w
+	var region []byte
+	if k == 0 && len(p.Headroom) >= park && cap(p.Headroom) >= len(p.Headroom)+len(p.Pkt.Payload) {
+		region = p.Headroom[len(p.Headroom)-park:]
+		p.headroomBacked = true
+		p.merge = nil
+	} else {
+		// One allocation holds front prefix + parked region, with capacity
+		// for the payload tail so FinishMerge appends without reallocating.
+		buf := make([]byte, k+park, k+park+len(p.Pkt.Payload)-k)
+		region = buf[k:]
+		p.merge = buf
+		p.headroomBacked = false
+	}
+	views := p.Blocks[:0]
+	for i := 0; i < n; i++ {
+		views = append(views, region[i*w:(i+1)*w])
+	}
+	p.Blocks = views
+	return views
+}
+
+// FinishMerge splices the parked region prepared by PrepareMergeBlocks
+// back into payload at offset k and returns the merged payload. On the
+// headroom path this is a reslice of the frame scratch buffer; otherwise
+// it completes the single buffer PrepareMergeBlocks allocated.
+func (p *PHV) FinishMerge(payload []byte, k, park int) []byte {
+	if p.headroomBacked {
+		h := len(p.Headroom)
+		return p.Headroom[h-park : h+len(payload)]
+	}
+	copy(p.merge[:k], payload[:k])
+	return append(p.merge, payload[k:]...)
 }
 
 // SetMeta stores a metadata word.
@@ -178,8 +248,13 @@ type MAT struct {
 func (m *MAT) run(phv *PHV) {
 	for i := range m.Rules {
 		if m.Rules[i].Match(phv) {
-			ctx := Ctx{PHV: phv, reg: m.Reg}
-			m.Rules[i].Action(&ctx)
+			// Reuse the PHV's context scratch: a stack Ctx would escape
+			// through the indirect Action call and allocate per MAT hit.
+			ctx := &phv.ctx
+			ctx.PHV = phv
+			ctx.reg = m.Reg
+			ctx.accessed = false
+			m.Rules[i].Action(ctx)
 			return
 		}
 	}

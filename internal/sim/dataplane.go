@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// DataplaneConfig drives the raw switch dataplane as fast as the host
+// allows, bypassing the discrete-event clock: one PayloadPark program per
+// pipe (the paper's Table 1 four-pipe deployment), pre-built traffic, and
+// batched injection — optionally with one worker per pipe, the software
+// analogue of the Tofino's independent pipes.
+type DataplaneConfig struct {
+	// Pipes is how many pipes carry traffic (1..core.NumPipes).
+	Pipes int
+	// Packets is the number of distinct packets pre-built per pipe; they
+	// are round-tripped (split, then merged) Rounds times.
+	Packets int
+	// Rounds is how many split+merge round trips each packet makes.
+	Rounds int
+	// Batch is the injection batch size (default 256).
+	Batch int
+	// Parallel drives the pipes from one worker each instead of
+	// sequentially.
+	Parallel bool
+	// Size is the generated packet size in bytes (default 882, the
+	// datacenter mean).
+	Size int
+	// Slots sizes each pipe's lookup table (default 8192).
+	Slots int
+	// Seed drives traffic generation.
+	Seed int64
+}
+
+func (c *DataplaneConfig) fillDefaults() {
+	if c.Pipes == 0 {
+		c.Pipes = core.NumPipes
+	}
+	if c.Packets == 0 {
+		c.Packets = 1024
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 64
+	}
+	if c.Batch == 0 {
+		c.Batch = 256
+	}
+	if c.Size == 0 {
+		c.Size = 882
+	}
+	if c.Slots == 0 {
+		c.Slots = 8192
+	}
+}
+
+// DataplaneResult reports a dataplane drive.
+type DataplaneResult struct {
+	// Packets is the total number of injections (splits + merges).
+	Packets uint64
+	// Elapsed is the wall-clock drive time.
+	Elapsed time.Duration
+	// NsPerPacket and Mpps are derived throughput figures.
+	NsPerPacket float64
+	Mpps        float64
+	// Splits/Merges are the switch program counters summed over pipes.
+	Splits, Merges uint64
+	// Workers is the pipe-worker count used (1 when sequential).
+	Workers int
+}
+
+// String renders a one-line summary.
+func (r DataplaneResult) String() string {
+	return fmt.Sprintf("packets=%d elapsed=%s ns/pkt=%.0f Mpps=%.2f workers=%d splits=%d merges=%d",
+		r.Packets, r.Elapsed.Round(time.Millisecond), r.NsPerPacket, r.Mpps, r.Workers, r.Splits, r.Merges)
+}
+
+// dataplanePorts returns the canonical port assignment of pipe i.
+func dataplanePorts(pipe int) (split, merge, sink rmt.PortID) {
+	base := rmt.PortID(pipe * core.PortsPerPipe)
+	return base, base + 1, base + 2
+}
+
+// dataplaneMACs returns per-pipe NF and sink MACs so each pipe forwards
+// independently through the shared L2 table.
+func dataplaneMACs(pipe int) (nf, sink packet.MAC) {
+	return packet.MAC{0x02, 0, 0, 0, byte(pipe), 0x02}, packet.MAC{0x02, 0, 0, 0, byte(pipe), 0x03}
+}
+
+// BuildDataplane constructs the switch with one PayloadPark program per
+// active pipe and the per-pipe traffic batches, ready to drive. Exposed
+// for the equivalence tests, which drive the same build sequentially and
+// in parallel and compare byte-level outputs.
+func BuildDataplane(cfg DataplaneConfig) (*core.Switch, [][]core.BatchPacket) {
+	cfg.fillDefaults()
+	sw := core.NewSwitch("dataplane")
+	traffic := make([][]core.BatchPacket, cfg.Pipes)
+	for pipe := 0; pipe < cfg.Pipes; pipe++ {
+		splitPort, mergePort, sinkPort := dataplanePorts(pipe)
+		nfMAC, sinkMAC := dataplaneMACs(pipe)
+		sw.AddL2Route(nfMAC, mergePort)
+		sw.AddL2Route(sinkMAC, sinkPort)
+		if _, err := sw.AttachPayloadPark(core.Config{
+			Slots: cfg.Slots, MaxExpiry: 1,
+			SplitPort: splitPort, MergePort: mergePort,
+		}, -1); err != nil {
+			panic(fmt.Sprintf("sim: dataplane attach pipe %d: %v", pipe, err))
+		}
+		gen := trafficgen.New(trafficgen.Config{
+			Sizes: trafficgen.Fixed(cfg.Size), Flows: 256,
+			SrcMAC: MACGen, DstMAC: nfMAC,
+			DstIP: packet.IPv4Addr{10, 1, byte(pipe), 9}, DstPort: 80,
+			Seed: cfg.Seed + int64(pipe),
+		})
+		batch := make([]core.BatchPacket, cfg.Packets)
+		for i := range batch {
+			batch[i] = core.BatchPacket{Pkt: gen.Next(), In: splitPort}
+		}
+		traffic[pipe] = batch
+	}
+	return sw, traffic
+}
+
+// RunDataplane builds and drives the dataplane, reporting throughput.
+//
+// Each round interleaves the pipes' packets into shared batches (so a
+// parallel driver has cross-pipe work in every batch), injects them on the
+// split ports, redirects the split emissions to the per-pipe sink MAC, and
+// injects them back on the merge ports. Merging restores the original
+// bytes, so packets are reusable round after round — steady state touches
+// no generator state.
+func RunDataplane(cfg DataplaneConfig) DataplaneResult {
+	cfg.fillDefaults()
+	sw, traffic := BuildDataplane(cfg)
+
+	inject := sw.InjectBatch
+	workers := 1
+	if cfg.Parallel {
+		d := core.NewParallelDriver(sw)
+		defer d.Close()
+		inject = d.InjectBatch
+		workers = d.Workers()
+	}
+
+	// Interleave pipes round-robin into one packet sequence.
+	seq := make([]core.BatchPacket, 0, cfg.Pipes*cfg.Packets)
+	for i := 0; i < cfg.Packets; i++ {
+		for pipe := 0; pipe < cfg.Pipes; pipe++ {
+			seq = append(seq, traffic[pipe][i])
+		}
+	}
+	results := make([]core.BatchResult, cfg.Batch)
+	merges := make([]core.BatchPacket, 0, cfg.Batch)
+
+	var injected uint64
+	start := time.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		for off := 0; off < len(seq); off += cfg.Batch {
+			end := off + cfg.Batch
+			if end > len(seq) {
+				end = len(seq)
+			}
+			batch := seq[off:end]
+			inject(batch, results)
+			injected += uint64(len(batch))
+			// Split emissions head to the NF: turn them around onto the
+			// merge port, addressed to the sink, as the NF server would.
+			merges = merges[:0]
+			for i := range batch {
+				r := &results[i]
+				if !r.OK || r.Em.Pkt.PP == nil {
+					continue
+				}
+				pipe := core.PipeOfPort(batch[i].In)
+				_, mergePort, _ := dataplanePorts(pipe)
+				_, sinkMAC := dataplaneMACs(pipe)
+				r.Em.Pkt.Eth.Dst = sinkMAC
+				merges = append(merges, core.BatchPacket{Pkt: r.Em.Pkt, In: mergePort})
+			}
+			if len(merges) > 0 {
+				inject(merges, results[:len(merges)])
+				injected += uint64(len(merges))
+				// Restore the NF destination for the next round.
+				for i := range merges {
+					pipe := core.PipeOfPort(merges[i].In)
+					nfMAC, _ := dataplaneMACs(pipe)
+					merges[i].Pkt.Eth.Dst = nfMAC
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := DataplaneResult{Packets: injected, Elapsed: elapsed, Workers: workers}
+	if injected > 0 {
+		res.NsPerPacket = float64(elapsed.Nanoseconds()) / float64(injected)
+		res.Mpps = float64(injected) / elapsed.Seconds() / 1e6
+	}
+	for _, prog := range sw.Programs() {
+		res.Splits += prog.C.Splits.Value()
+		res.Merges += prog.C.Merges.Value()
+	}
+	return res
+}

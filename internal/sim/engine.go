@@ -9,15 +9,28 @@
 // results.
 package sim
 
-import (
-	"container/heap"
-)
-
 // Engine is a discrete-event executor.
+//
+// The event queue is a hand-rolled binary heap over pointer-free nodes:
+// queue push/pop runs once per simulated packet hop, and both the
+// container/heap interface boxing and the GC write barriers of sifting
+// pointer-carrying events were the simulator's largest single cost. Event
+// closures live in a free-listed slot table instead, written exactly once
+// per event.
 type Engine struct {
 	now   int64
 	seq   uint64
-	queue eventHeap
+	queue nodeHeap
+	fns   []eventSlot
+	free  []int32
+}
+
+// eventSlot holds one scheduled event's payload: either a plain closure
+// (fn) or a pre-bound parcel handler (pfn + p).
+type eventSlot struct {
+	fn  func()
+	pfn func(Parcel)
+	p   Parcel
 }
 
 // NewEngine returns an engine at time zero.
@@ -38,24 +51,66 @@ func (e *Engine) Schedule(delay int64, fn func()) {
 
 // ScheduleAt runs fn at absolute time t (clamped to now).
 func (e *Engine) ScheduleAt(t int64, fn func()) {
-	if t < e.now {
-		t = e.now
+	e.queue.push(node{at: e.clamp(t), seq: e.nextSeq(), slot: e.alloc(eventSlot{fn: fn})})
+}
+
+// ScheduleParcel runs fn(p) after delay nanoseconds. Unlike Schedule with
+// a closure capturing p, the parcel rides in the event slot and fn is a
+// pre-bound handler, so per-packet-hop scheduling allocates nothing —
+// links and server stations schedule one to two events per packet hop.
+func (e *Engine) ScheduleParcel(delay int64, fn func(Parcel), p Parcel) {
+	if delay < 0 {
+		delay = 0
 	}
+	e.ScheduleParcelAt(e.now+delay, fn, p)
+}
+
+// ScheduleParcelAt runs fn(p) at absolute time t (clamped to now).
+func (e *Engine) ScheduleParcelAt(t int64, fn func(Parcel), p Parcel) {
+	e.queue.push(node{at: e.clamp(t), seq: e.nextSeq(), slot: e.alloc(eventSlot{pfn: fn, p: p})})
+}
+
+func (e *Engine) clamp(t int64) int64 {
+	if t < e.now {
+		return e.now
+	}
+	return t
+}
+
+func (e *Engine) nextSeq() uint64 {
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	return e.seq
+}
+
+func (e *Engine) alloc(ev eventSlot) int32 {
+	if n := len(e.free); n > 0 {
+		slot := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.fns[slot] = ev
+		return slot
+	}
+	e.fns = append(e.fns, ev)
+	return int32(len(e.fns) - 1)
 }
 
 // Run executes events in timestamp order until the queue drains or the
 // clock passes until.
 func (e *Engine) Run(until int64) {
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		ev := e.queue[0]
 		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
+		slot := e.fns[ev.slot]
+		e.fns[ev.slot] = eventSlot{}
+		e.free = append(e.free, ev.slot)
 		e.now = ev.at
-		ev.fn()
+		if slot.pfn != nil {
+			slot.pfn(slot.p)
+		} else {
+			slot.fn()
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -63,29 +118,73 @@ func (e *Engine) Run(until int64) {
 }
 
 // Pending returns the number of queued events (for tests).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
-type event struct {
-	at  int64
-	seq uint64 // FIFO tie-break for simultaneous events
-	fn  func()
+// node is one queued event: its firing time, a FIFO tie-break for
+// simultaneous events, and the slot of its closure in Engine.fns. Nodes
+// are pointer-free so heap sifts trigger no GC write barriers.
+type node struct {
+	at   int64
+	seq  uint64
+	slot int32
 }
 
-type eventHeap []event
+// nodeHeap is a 4-ary min-heap ordered by (at, seq). The wider fan-out
+// halves the tree depth of the binary variant — fewer sift levels and
+// swaps per operation, and children share cache lines.
+type nodeHeap []node
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+const heapArity = 4
+
+func (h nodeHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *nodeHeap) push(n node) {
+	q := append(*h, n)
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *nodeHeap) pop() {
+	q := *h
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	// Sift down.
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		child := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, child) {
+				child = c
+			}
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	*h = q
 }

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/stats"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
@@ -14,6 +16,18 @@ type Parcel struct {
 	Born int64
 	// InWindow marks parcels born inside the measurement window.
 	InWindow bool
+
+	// Event-carried state: parcels ride inside engine events (see
+	// Engine.ScheduleParcel), so the fields a handler would otherwise
+	// capture in a per-packet closure live here instead.
+
+	// egress is the switch output port while the parcel waits out the
+	// switch traversal latency (testbed routing).
+	egress rmt.PortID
+	// res and stage are the NF service verdict and the pipelined station
+	// index while the parcel moves through the server model.
+	res   nf.Result
+	stage int
 }
 
 // WireBytes returns the bytes a packet occupies on a physical link,
@@ -41,6 +55,9 @@ type Link struct {
 
 	deliver func(Parcel)
 	onDrop  func(Parcel, string)
+	// txDoneFn is the pre-bound transmit-complete handler, created once so
+	// Send schedules without allocating a closure per packet.
+	txDoneFn func(Parcel)
 
 	queuedBytes int
 	busyUntil   int64
@@ -57,7 +74,9 @@ type Link struct {
 
 // NewLink builds a link delivering to the given handler.
 func NewLink(eng *Engine, bps float64, propNs int64, capBytes int, deliver func(Parcel), onDrop func(Parcel, string)) *Link {
-	return &Link{eng: eng, Bps: bps, PropNs: propNs, CapBytes: capBytes, deliver: deliver, onDrop: onDrop}
+	l := &Link{eng: eng, Bps: bps, PropNs: propNs, CapBytes: capBytes, deliver: deliver, onDrop: onDrop}
+	l.txDoneFn = l.txDone
+	return l
 }
 
 // QueuedBytes returns the bytes currently waiting (for tests).
@@ -81,19 +100,26 @@ func (l *Link) Send(p Parcel) {
 	txNs := int64(float64(wire*8) / l.Bps * 1e9)
 	done := start + txNs
 	l.busyUntil = done
-	l.eng.ScheduleAt(done, func() {
-		l.queuedBytes -= wire
-		l.Tx.Inc()
-		l.TxBits.Add(uint64(wire * 8))
-		if l.LossRate > 0 && l.lose() {
-			l.Lost.Inc()
-			if l.onDrop != nil {
-				l.onDrop(p, "link loss")
-			}
-			return
+	l.eng.ScheduleParcelAt(done, l.txDoneFn, p)
+}
+
+// txDone completes a serialization: the wire bytes leave the queue and the
+// packet propagates (or is lost in flight). The packet is not mutated
+// between Send and delivery, so its wire size is recomputed rather than
+// carried through the event.
+func (l *Link) txDone(p Parcel) {
+	wire := WireBytes(p.Pkt)
+	l.queuedBytes -= wire
+	l.Tx.Inc()
+	l.TxBits.Add(uint64(wire * 8))
+	if l.LossRate > 0 && l.lose() {
+		l.Lost.Inc()
+		if l.onDrop != nil {
+			l.onDrop(p, "link loss")
 		}
-		l.eng.Schedule(l.PropNs, func() { l.deliver(p) })
-	})
+		return
+	}
+	l.eng.ScheduleParcel(l.PropNs, l.deliver, p)
 }
 
 // lose implements deterministic pseudo-random loss via a splitmix64

@@ -147,25 +147,28 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 	genLink := NewLink(eng, 2*cfg.LinkBps, 500, 4<<20,
 		func(p Parcel) { handle(p, split) }, onDrop)
 
+	route := func(p Parcel) {
+		switch p.egress {
+		case nfPort:
+			toNFLink.Send(p)
+		case sinkPort:
+			sinkLink.Send(p)
+		default:
+			onDrop(p, "no route")
+		}
+	}
+	var em core.Emission
 	handle = func(p Parcel, in rmt.PortID) {
-		em, reason := sw.InjectTraced(p.Pkt, in)
-		if em == nil {
+		ok, reason := sw.InjectReuse(p.Pkt, in, &em)
+		if !ok {
 			if reason != core.DropExplicitDrop {
 				onDrop(p, reason)
 			}
 			return
 		}
 		p.Pkt = em.Pkt
-		eng.Schedule(em.LatencyNs, func() {
-			switch em.Port {
-			case nfPort:
-				toNFLink.Send(p)
-			case sinkPort:
-				sinkLink.Send(p)
-			default:
-				onDrop(p, "no route")
-			}
-		})
+		p.egress = em.Port
+		eng.ScheduleParcel(em.LatencyNs, route, p)
 	}
 
 	var sendNext func()

@@ -80,6 +80,11 @@ type ServerSim struct {
 	onDrop     func(Parcel, string) // unintended drops (ring/stage overflow)
 	onConsumed func(Parcel)         // intended NF drops (no notification)
 
+	// Pre-bound event handlers (see Engine.ScheduleParcel): created once
+	// so the per-packet station hops schedule without closure allocations.
+	rxDoneFn    func(Parcel)
+	stageDoneFn func(Parcel)
+
 	rxOccupancy int
 	rx          station
 	stages      []station
@@ -101,6 +106,8 @@ func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, out func(Parce
 		stages: make([]station, srv.Chain().Len()),
 		rng:    rand.New(rand.NewSource(0x5eed)),
 	}
+	s.rxDoneFn = s.rxDone
+	s.stageDoneFn = s.stageDone
 	if model.StallPeriodNs > 0 && model.StallNs > 0 {
 		var stall func()
 		stall = func() {
@@ -159,19 +166,26 @@ func (s *ServerSim) Receive(p Parcel) {
 	}
 	done := start + rxNs
 	s.rx.busyUntil = done
-	s.eng.ScheduleAt(done, func() {
-		s.rxOccupancy--
-		res := s.srv.Handle(p.Pkt)
-		s.enterStage(p, res, 0)
-	})
+	s.eng.ScheduleParcelAt(done, s.rxDoneFn, p)
+}
+
+// rxDone runs when the RX core has picked the packet off the ring: the NF
+// chain renders its verdict and the packet enters the pipelined stations.
+func (s *ServerSim) rxDone(p Parcel) {
+	s.rxOccupancy--
+	p.res = s.srv.Handle(p.Pkt)
+	p.stage = 0
+	s.enterStage(p)
 }
 
 // enterStage routes the packet through the pipelined NF stations it was
 // actually charged for (stages after a Drop verdict are skipped because
-// res.Costs is truncated).
-func (s *ServerSim) enterStage(p Parcel, res nf.Result, i int) {
-	if i >= len(res.Costs) {
-		s.finish(p, res)
+// res.Costs is truncated). The verdict and station index ride in the
+// parcel.
+func (s *ServerSim) enterStage(p Parcel) {
+	i := p.stage
+	if i >= len(p.res.Costs) {
+		s.finish(p)
 		return
 	}
 	st := &s.stages[i]
@@ -183,29 +197,34 @@ func (s *ServerSim) enterStage(p Parcel, res nf.Result, i int) {
 		return
 	}
 	st.queued++
-	serviceNs := s.jitter(int64(float64(res.Costs[i].Cycles) / s.model.FreqHz * 1e9))
+	serviceNs := s.jitter(int64(float64(p.res.Costs[i].Cycles) / s.model.FreqHz * 1e9))
 	start := st.busyUntil
 	if now := s.eng.Now(); start < now {
 		start = now
 	}
 	done := start + serviceNs
 	st.busyUntil = done
-	s.eng.ScheduleAt(done, func() {
-		st.queued--
-		s.enterStage(p, res, i+1)
-	})
+	s.eng.ScheduleParcelAt(done, s.stageDoneFn, p)
+}
+
+// stageDone leaves station p.stage and enters the next one.
+func (s *ServerSim) stageDone(p Parcel) {
+	s.stages[p.stage].queued--
+	p.stage++
+	s.enterStage(p)
 }
 
 // finish transmits the result (forwarded packet or explicit-drop
 // notification) or records a silent drop.
-func (s *ServerSim) finish(p Parcel, res nf.Result) {
-	if res.Out == nil {
+func (s *ServerSim) finish(p Parcel) {
+	if p.res.Out == nil {
 		if s.onConsumed != nil {
 			s.onConsumed(p)
 		}
 		return
 	}
-	p.Pkt = res.Out
+	p.Pkt = p.res.Out
+	p.res = nf.Result{}
 	txDone := s.pcieTransfer(p.Pkt.Len())
-	s.eng.ScheduleAt(txDone, func() { s.out(p) })
+	s.eng.ScheduleParcelAt(txDone, s.out, p)
 }

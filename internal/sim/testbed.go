@@ -179,6 +179,14 @@ func RunTestbed(cfg TestbedConfig) Result {
 		})
 	}
 
+	// Packets that reach a terminal point (sink delivery, any drop, NF
+	// consumption) are handed back to the generator for reuse: traffic
+	// generation allocates nothing in steady state.
+	recycle := func(*packet.Packet) {}
+	if rec, ok := gen.(interface{ Recycle(*packet.Packet) }); ok {
+		recycle = rec.Recycle
+	}
+
 	// Measurement state.
 	windowStart := cfg.WarmupNs
 	windowEnd := cfg.WarmupNs + cfg.MeasureNs
@@ -199,6 +207,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 		if p.InWindow {
 			unintendedDrops++
 		}
+		recycle(p.Pkt)
 	}
 
 	// Wiring, back to front. Return path: server -> link -> switch merge.
@@ -216,6 +225,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 			if p.InWindow {
 				nfDrops++
 			}
+			recycle(p.Pkt)
 		},
 	)
 
@@ -241,29 +251,35 @@ func RunTestbed(cfg TestbedConfig) Result {
 				latency.Observe(us)
 				latencyHist.Observe(us)
 			}
+			recycle(p.Pkt)
 		}, dropUnintended)
 
+	route := func(p Parcel) {
+		switch p.egress {
+		case portNF:
+			toNFLink.Send(p)
+		case portSink:
+			sinkLink.Send(p)
+		default:
+			dropUnintended(p, "no route")
+		}
+	}
+	var em core.Emission
 	handleSwitch = func(p Parcel, in rmt.PortID) {
-		em, reason := sw.InjectTraced(p.Pkt, in)
-		if em == nil {
+		ok, reason := sw.InjectReuse(p.Pkt, in, &em)
+		if !ok {
 			if reason != core.DropExplicitDrop {
 				// Everything except intended explicit-drop consumption is
 				// a failure (premature eviction, bad tag, unknown MAC).
 				dropUnintended(p, reason)
+			} else {
+				recycle(p.Pkt)
 			}
 			return
 		}
 		p.Pkt = em.Pkt
-		eng.Schedule(em.LatencyNs, func() {
-			switch em.Port {
-			case portNF:
-				toNFLink.Send(p)
-			case portSink:
-				sinkLink.Send(p)
-			default:
-				dropUnintended(p, "no route")
-			}
-		})
+		p.egress = em.Port
+		eng.ScheduleParcel(em.LatencyNs, route, p)
 	}
 
 	// PCIe utilization: sample the server's cumulative DMA byte counter

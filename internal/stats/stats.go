@@ -232,9 +232,20 @@ func (h *Histogram) Reset() {
 // CDF is an empirical cumulative distribution function built from discrete
 // samples. It retains every distinct value, so it is intended for modest
 // cardinality domains such as packet sizes.
+//
+// Queries (At, Quantile, Points) run off a sorted-point cache rebuilt
+// lazily after observations, so Observe stays a map increment (it sits on
+// the traffic generator's per-packet path) and repeated queries cost a
+// binary search instead of a full rescan.
 type CDF struct {
 	counts map[float64]uint64
 	total  uint64
+
+	// Sorted query cache: vals ascending, cum[i] = samples <= vals[i].
+	// dirty marks it stale after an observation.
+	vals  []float64
+	cum   []uint64
+	dirty bool
 }
 
 // NewCDF returns an empty empirical CDF.
@@ -246,12 +257,33 @@ func NewCDF() *CDF {
 func (c *CDF) Observe(v float64) {
 	c.counts[v]++
 	c.total++
+	c.dirty = true
 }
 
 // ObserveN records n identical samples.
 func (c *CDF) ObserveN(v float64, n uint64) {
 	c.counts[v] += n
 	c.total += n
+	c.dirty = true
+}
+
+// rebuild refreshes the sorted query cache from the counts map.
+func (c *CDF) rebuild() {
+	if !c.dirty && len(c.vals) == len(c.counts) {
+		return
+	}
+	c.vals = c.vals[:0]
+	for v := range c.counts {
+		c.vals = append(c.vals, v)
+	}
+	sort.Float64s(c.vals)
+	c.cum = c.cum[:0]
+	var cum uint64
+	for _, v := range c.vals {
+		cum += c.counts[v]
+		c.cum = append(c.cum, cum)
+	}
+	c.dirty = false
 }
 
 // Count returns the total number of samples.
@@ -262,13 +294,16 @@ func (c *CDF) At(v float64) float64 {
 	if c.total == 0 {
 		return 0
 	}
-	var cum uint64
-	for x, n := range c.counts {
-		if x <= v {
-			cum += n
-		}
+	c.rebuild()
+	// First index with vals[i] > v; everything before it is <= v.
+	i := sort.SearchFloat64s(c.vals, v)
+	if i < len(c.vals) && c.vals[i] == v {
+		i++
 	}
-	return float64(cum) / float64(c.total)
+	if i == 0 {
+		return 0
+	}
+	return float64(c.cum[i-1]) / float64(c.total)
 }
 
 // Mean returns the sample mean.
@@ -285,16 +320,18 @@ func (c *CDF) Mean() float64 {
 
 // Quantile returns the smallest observed value v with P(X <= v) >= q.
 func (c *CDF) Quantile(q float64) float64 {
-	pts := c.Points()
-	if len(pts) == 0 {
+	if c.total == 0 {
 		return 0
 	}
-	for _, p := range pts {
-		if p.P >= q {
-			return p.V
-		}
+	c.rebuild()
+	rank := q * float64(c.total)
+	i := sort.Search(len(c.cum), func(i int) bool {
+		return float64(c.cum[i]) >= rank
+	})
+	if i >= len(c.vals) {
+		i = len(c.vals) - 1
 	}
-	return pts[len(pts)-1].V
+	return c.vals[i]
 }
 
 // Point is one step of an empirical CDF: P(X <= V) = P.
@@ -303,18 +340,16 @@ type Point struct {
 	P float64
 }
 
-// Points returns the CDF steps in ascending value order.
+// Points returns the CDF steps in ascending value order. The returned
+// slice is a copy; mutating it does not affect the CDF.
 func (c *CDF) Points() []Point {
-	vals := make([]float64, 0, len(c.counts))
-	for v := range c.counts {
-		vals = append(vals, v)
+	if c.total == 0 {
+		return nil
 	}
-	sort.Float64s(vals)
-	out := make([]Point, 0, len(vals))
-	var cum uint64
-	for _, v := range vals {
-		cum += c.counts[v]
-		out = append(out, Point{V: v, P: float64(cum) / float64(c.total)})
+	c.rebuild()
+	out := make([]Point, len(c.vals))
+	for i, v := range c.vals {
+		out[i] = Point{V: v, P: float64(c.cum[i]) / float64(c.total)}
 	}
 	return out
 }

@@ -127,6 +127,7 @@ type Generator struct {
 	builder *packet.Builder
 	seq     uint64
 	sizes   *stats.CDF
+	pool    []*packet.Packet
 }
 
 // New builds a generator.
@@ -152,13 +153,32 @@ func New(cfg Config) *Generator {
 }
 
 // Next returns the next packet of the stream. Flows are visited uniformly
-// at random; sizes follow the configured distribution.
+// at random; sizes follow the configured distribution. Recycled packets
+// are reused, so a driver that returns retired packets generates traffic
+// without allocating in steady state.
 func (g *Generator) Next() *packet.Packet {
 	size := g.cfg.Sizes.Sample(g.rng)
 	g.sizes.Observe(float64(size))
 	ft := g.flows[g.rng.Intn(len(g.flows))]
 	g.seq++
-	return g.builder.UDP(ft, size, uint16(g.seq))
+	var p *packet.Packet
+	if n := len(g.pool); n > 0 {
+		p = g.pool[n-1]
+		g.pool = g.pool[:n-1]
+	} else {
+		p = &packet.Packet{}
+	}
+	return g.builder.UDPInto(p, ft, size, uint16(g.seq))
+}
+
+// Recycle hands a retired packet back for reuse by Next. The caller must
+// guarantee no other reference to the packet (or its payload) remains —
+// the simulator recycles at its terminal points (sink delivery, drops).
+func (g *Generator) Recycle(p *packet.Packet) {
+	if p == nil {
+		return
+	}
+	g.pool = append(g.pool, p)
 }
 
 // Generated returns how many packets have been produced.

@@ -120,6 +120,10 @@ func (d *SwitchDaemon) Run(ctx context.Context) error {
 		d.conn.Close()
 	}()
 	buf := make([]byte, MaxFrame)
+	// The serve loop is single-threaded and writes out before the next
+	// read, so the scratch-backed InjectFrameAppend emission and a reused
+	// output buffer are safe — the allocation-free frame path.
+	var outBuf []byte
 	for {
 		n, from, err := d.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -134,7 +138,8 @@ func (d *SwitchDaemon) Run(ctx context.Context) error {
 			continue
 		}
 		d.Rx.Add(1)
-		out, em, err := d.sw.InjectFrame(buf[:n], port)
+		out, em, err := d.sw.InjectFrameAppend(buf[:n], port, outBuf[:0])
+		outBuf = out
 		if err != nil || em == nil {
 			if err != nil {
 				d.Errors.Add(1)

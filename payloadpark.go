@@ -259,11 +259,7 @@ func (d *Deployment) Occupancy() int {
 
 // SwitchDrops returns drop counts by reason.
 func (d *Deployment) SwitchDrops() map[string]uint64 {
-	out := make(map[string]uint64, len(d.sw.Drops))
-	for k, v := range d.sw.Drops {
-		out[k] = v
-	}
-	return out
+	return d.sw.Drops()
 }
 
 // ResourceReport describes switch resource utilization (paper Table 1).
