@@ -7,16 +7,24 @@
 //	ppbench -exp fig7 [-quick] [-seed N]
 //	ppbench -exp all  [-quick]
 //	ppbench -parallel [-quick] [-seed N]
+//	ppbench -cores 1,2,4,8 [-quick] [-seed N]
 //
 // -parallel skips the discrete-event harness and drives the raw dataplane
 // across all four pipes, sequentially and then with one worker per pipe,
 // reporting the throughput of each (the multi-pipe scaling headroom).
+//
+// -cores sweeps the NF server's core count through the RSS-sharded server
+// model, reporting the saturation knee and the Fig. 14-class eviction
+// onset at each count (the registered "cores" experiment with a custom
+// core list).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/payloadpark/payloadpark/internal/harness"
@@ -30,11 +38,27 @@ func main() {
 		quick    = flag.Bool("quick", false, "shorter windows and sparser sweeps")
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Bool("parallel", false, "drive the raw dataplane sequentially vs one worker per pipe")
+		cores    = flag.String("cores", "", "comma-separated NF-server core counts to sweep (e.g. 1,2,4,8)")
 	)
 	flag.Parse()
 
 	if *parallel {
 		runParallel(*quick, *seed)
+		return
+	}
+
+	if *cores != "" {
+		counts, err := parseCores(*cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := harness.RunCoreSweep(harness.Options{Quick: *quick, Seed: *seed}, counts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: core sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
 		return
 	}
 
@@ -77,6 +101,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// parseCores parses the -cores list.
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad core count %q (want 1..64)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // runParallel compares the sequential and multi-pipe dataplane drivers on

@@ -2,16 +2,33 @@
 // per pipe, with the reserved switch memory statically sliced between
 // them. Performance isolation means every server sees the same gain.
 //
-//	go run ./examples/multiserver
+// Each server is an 8-core Xeon whose NIC spreads flows over per-core RX
+// queues with an RSS hash; -cores sweeps that core count to show
+// saturation emerging from per-core queues.
+//
+//	go run ./examples/multiserver [-cores 1,2,4,8]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	payloadpark "github.com/payloadpark/payloadpark"
 )
 
-func run(pp bool, sendGbps float64) payloadpark.MultiServerResult {
+// headerGbps converts a delivered packet rate into the paper's
+// header-unit goodput (42 B of useful header per packet, §6.1).
+// Result.GoodputGbps holds the bits that actually crossed the to-NF link
+// (full packets for baseline, header remainders for PayloadPark), so the
+// two metrics answer different questions: how loaded is the link vs how
+// many useful headers reached the NF.
+func headerGbps(r payloadpark.SimResult) float64 {
+	return r.ToNFMpps * 1e6 * payloadpark.HeaderUnitLen * 8 / 1e9
+}
+
+func run(pp bool, sendGbps float64, cores int) payloadpark.MultiServerResult {
 	return payloadpark.SimulateMultiServer(payloadpark.MultiServerConfig{
 		Servers:        8,
 		LinkBps:        10e9,
@@ -19,6 +36,7 @@ func run(pp bool, sendGbps float64) payloadpark.MultiServerResult {
 		Dist:           payloadpark.Fixed(384), // small packets stress switch memory
 		SlotsPerServer: 12000,
 		MaxExpiry:      1,
+		Cores:          cores,
 		PayloadPark:    pp,
 		Seed:           7,
 		WarmupNs:       5e6,
@@ -27,18 +45,45 @@ func run(pp bool, sendGbps float64) payloadpark.MultiServerResult {
 }
 
 func main() {
+	coresFlag := flag.String("cores", "", "comma-separated core counts to sweep (e.g. 1,2,4,8)")
+	flag.Parse()
+
 	// Run just past the baseline link's saturation point so the gain shows.
-	base := run(false, 12)
-	pp := run(true, 12)
+	base := run(false, 12, 0)
+	pp := run(true, 12, 0)
 
 	fmt.Println("8 NF servers (MAC-swap), 384B packets, 12 Gbps offered per server (baseline link caps at ~9.4)")
 	fmt.Println()
-	fmt.Println("server   baseline-goodput   payloadpark-goodput")
+	fmt.Println("server   baseline            payloadpark         (header-unit goodput | delivered link bits)")
 	for i := range base.PerServer {
-		fmt.Printf("  %d      %.3f Gbps         %.3f Gbps\n",
-			i+1, base.PerServer[i].GoodputGbps, pp.PerServer[i].GoodputGbps)
+		b, p := base.PerServer[i], pp.PerServer[i]
+		fmt.Printf("  %d      %.3f | %.2f Gbps   %.3f | %.2f Gbps\n",
+			i+1, headerGbps(b), b.GoodputGbps, headerGbps(p), p.GoodputGbps)
 	}
 	fmt.Printf("\nshared switch SRAM with 8 sliced tables: %.1f%% avg / %.1f%% peak per stage\n",
 		pp.SRAMAvgPct, pp.SRAMPeakPct)
 	fmt.Println("every server improves by the same factor: static slicing isolates tenants.")
+
+	if *coresFlag == "" {
+		return
+	}
+	fmt.Println()
+	fmt.Println("core sweep (MultiServerModel per-core costs, 8 Gbps offered, baseline):")
+	fmt.Println("cores   drop-rate   avg-latency")
+	for _, f := range strings.Split(*coresFlag, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 || c > 64 {
+			fmt.Printf("  bad core count %q (want 1..64)\n", f)
+			continue
+		}
+		res := payloadpark.SimulateMultiServer(payloadpark.MultiServerConfig{
+			Servers: 2, LinkBps: 10e9, SendBps: 8e9,
+			Dist: payloadpark.Fixed(384), SlotsPerServer: 12000, MaxExpiry: 1,
+			Server: payloadpark.MultiServerModel(), Cores: c,
+			Seed: 7, WarmupNs: 5e6, MeasureNs: 20e6,
+		})
+		r := res.PerServer[0]
+		fmt.Printf("  %d     %6.2f%%     %8.1f us\n", c, 100*r.UnintendedDropRate, r.AvgLatencyUs)
+	}
+	fmt.Println("per-core RX queues saturate one by one: drops vanish once the core count covers the offered load.")
 }

@@ -24,9 +24,11 @@ type Parcel struct {
 	// egress is the switch output port while the parcel waits out the
 	// switch traversal latency (testbed routing).
 	egress rmt.PortID
-	// res and stage are the NF service verdict and the pipelined station
-	// index while the parcel moves through the server model.
+	// res, core and stage are the NF service verdict, the RSS-selected
+	// core, and the pipelined station index while the parcel moves through
+	// the server model.
 	res   nf.Result
+	core  int32
 	stage int
 }
 

@@ -29,6 +29,9 @@ type MultiServerConfig struct {
 	// Server calibrates the NF server machines (8-core 2.4 GHz Xeons in
 	// the paper).
 	Server ServerModel
+	// Cores, when non-zero, overrides Server.Cores on every server — the
+	// knob the core-count sweeps turn without restating the calibration.
+	Cores int
 	// PayloadPark toggles the optimization (false = baseline).
 	PayloadPark bool
 	Seed        int64
@@ -36,7 +39,17 @@ type MultiServerConfig struct {
 	MeasureNs   int64
 }
 
-// MultiServerResult reports per-server and aggregate outcomes.
+// MultiServerFlows is each generator's 5-tuple pool size: large enough
+// that the RSS hash spreads load over 8 cores with only a few percent of
+// share noise, small enough to keep flow state cheap. Exported so the
+// harness's single-server peak probes offer the same RSS load
+// distribution as the multi-server runs they calibrate.
+const MultiServerFlows = 2048
+
+// MultiServerResult reports per-server and aggregate outcomes. Note the
+// metric fork documented on Result.GoodputGbps: in PerServer entries it
+// holds the bits that actually crossed the to-NF link; derive the
+// paper's header-unit goodput as ToNFMpps × 42 B × 8.
 type MultiServerResult struct {
 	PerServer []Result
 	// Switch resource utilization with all programs installed (Table 1's
@@ -59,6 +72,9 @@ func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
 	}
 	if cfg.Server.FreqHz == 0 {
 		cfg.Server = DefaultServerModel()
+	}
+	if cfg.Cores > 0 {
+		cfg.Server.Cores = cfg.Cores
 	}
 	eng := NewEngine()
 	sw := core.NewSwitch("multiserver")
@@ -111,30 +127,43 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 
 	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.MACSwap{})})
 	gen := trafficgen.New(trafficgen.Config{
-		Sizes: cfg.Dist, Flows: 512,
+		Sizes: cfg.Dist, Flows: MultiServerFlows,
 		SrcMAC: macGen, DstMAC: macNF,
 		DstIP: packet.IPv4Addr{10, 1, byte(i), 9}, DstPort: 80,
 		Seed: cfg.Seed + int64(i),
 	})
+	// Every terminal point (sink delivery, any drop, NF consumption) hands
+	// the packet back to the generator, so multi-server runs reuse packets
+	// like the single-server testbed does.
+	recycle := gen.Recycle
 
 	res.Name = fmt.Sprintf("server-%d", i+1)
 	goodput := stats.NewRateMeter(windowStart)
+	toNF := stats.NewRateMeter(windowStart)
 	var latency stats.Summary
 	var sent, drops uint64
 	onDrop := func(p Parcel, _ string) {
 		if p.InWindow {
 			drops++
 		}
+		recycle(p.Pkt)
 	}
 
 	var handle func(p Parcel, in rmt.PortID)
 	returnLink := NewLink(eng, cfg.LinkBps, 500, 1<<20,
 		func(p Parcel) { handle(p, nfPort) }, onDrop)
-	srvSim := NewServerSim(eng, cfg.Server, srv, returnLink.Send, onDrop, nil)
+	srvSim := NewServerSim(eng, cfg.Server, srv, cfg.Seed+(int64(i)+1)<<40,
+		returnLink.Send, onDrop,
+		func(p Parcel) { recycle(p.Pkt) })
 	toNFLink := NewLink(eng, cfg.LinkBps, 500, 1<<20,
 		func(p Parcel) {
 			if now := eng.Now(); p.InWindow && now <= windowEnd {
-				goodput.Record(now, packet.HeaderUnitLen*8)
+				// Goodput records what actually crossed the link: the full
+				// packet for a baseline run, the header remainder for a
+				// PayloadPark run. The paper's header-unit goodput is
+				// derived from the delivered packet rate (ToNFMpps).
+				goodput.Record(now, float64(p.Pkt.Len()*8))
+				toNF.Record(now, float64(WireBytes(p.Pkt)*8))
 			}
 			srvSim.Receive(p)
 		}, onDrop)
@@ -143,6 +172,7 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 			if p.InWindow && eng.Now() <= windowEnd {
 				latency.Observe(float64(eng.Now()-p.Born) / 1e3)
 			}
+			recycle(p.Pkt)
 		}, onDrop)
 	genLink := NewLink(eng, 2*cfg.LinkBps, 500, 4<<20,
 		func(p Parcel) { handle(p, split) }, onDrop)
@@ -163,6 +193,8 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 		if !ok {
 			if reason != core.DropExplicitDrop {
 				onDrop(p, reason)
+			} else {
+				recycle(p.Pkt)
 			}
 			return
 		}
@@ -193,7 +225,10 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 	// Finalize this server's result when the run ends.
 	eng.ScheduleAt(windowEnd+cfg.WarmupNs-1, func() {
 		goodput.CloseAt(windowEnd)
+		toNF.CloseAt(windowEnd)
 		res.GoodputGbps = goodput.Gbps()
+		res.ToNFGbps = toNF.Gbps()
+		res.ToNFMpps = toNF.Mpps()
 		res.AvgLatencyUs = latency.Mean()
 		res.MaxLatencyUs = latency.Max()
 		res.JitterUs = latency.Max() - latency.Mean()

@@ -4,32 +4,42 @@ import (
 	"math/rand"
 
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/stats"
 )
 
 // ServerModel calibrates the NF server's timing: the DPDK framework's
 // per-packet and per-byte RX cost, the NIC descriptor ring, the inter-NF
-// rings, core frequency, and the PCIe bus. Presets matching the paper's
-// machines live in internal/harness (calibration.go) with the paper
-// quotes that justify them.
+// rings, core frequency, core count, and the PCIe bus. Presets matching
+// the paper's machines live in internal/harness (calibration.go) with the
+// paper quotes that justify them.
 type ServerModel struct {
 	// FreqHz converts NF cycle costs to time (paper NF server: 2.3 GHz
 	// Xeon E7-4870 v2).
 	FreqHz float64
-	// RxFixedNs is the framework's fixed per-packet receive cost
-	// (descriptor handling, mbuf bookkeeping, dispatch).
+	// Cores is the number of RX queues the NIC's RSS hash spreads flows
+	// over; each queue feeds its own core running a full replica of the NF
+	// chain pipeline (the paper's NF servers are 8-core Xeons). RxFixedNs,
+	// RxPerByteNs and the chain's cycle costs are all per-core costs, so
+	// aggregate capacity scales with Cores while the NIC descriptor ring
+	// and the PCIe bus stay shared. Zero means 1 (a single RX thread).
+	Cores int
+	// RxFixedNs is the framework's fixed per-packet receive cost on one
+	// core (descriptor handling, mbuf bookkeeping, dispatch).
 	RxFixedNs float64
-	// RxPerByteNs is the per-wire-byte receive cost (copies, cache
-	// traffic). PayloadPark's benefit on the compute side comes from
+	// RxPerByteNs is the per-wire-byte receive cost on one core (copies,
+	// cache traffic). PayloadPark's benefit on the compute side comes from
 	// shrinking this term.
 	RxPerByteNs float64
-	// NICRing is the RX descriptor ring size in packets; overflow is
-	// where "packet drops at the NF server NIC" (§6.3.3) happen.
+	// NICRing is the RX descriptor ring size in packets, shared by all RX
+	// queues; overflow is where "packet drops at the NF server NIC"
+	// (§6.3.3) happen.
 	NICRing int
-	// StageQueue is the capacity of the rings between pipelined NFs.
+	// StageQueue is the capacity of each ring between pipelined NFs
+	// (per core: every core runs its own chain pipeline).
 	StageQueue int
 	// PCIeBps is the usable PCIe bandwidth shared by RX and TX DMA
-	// (x8 Gen3 after framing, ~66 Gbps).
+	// (x8 Gen3 after framing, ~66 Gbps). Shared across all cores.
 	PCIeBps float64
 	// PCIeOverheadBytes is the per-packet DMA overhead (descriptors,
 	// TLP headers) charged to the bus.
@@ -37,10 +47,12 @@ type ServerModel struct {
 	// ServiceJitterPct adds uniform ±pct jitter to RX and NF service
 	// times (container scheduling, interrupts). Zero disables it. With
 	// jitter, queueing delay grows gradually as load approaches
-	// saturation — the effect behind Fig. 14's eviction onset.
+	// saturation — the effect behind Fig. 14's eviction onset. The jitter
+	// stream derives from the seed passed to NewServerSim, so jittered
+	// runs vary with the experiment seed.
 	ServiceJitterPct float64
 	// StallPeriodNs/StallNs model periodic receive-path stalls (container
-	// scheduling, interrupt storms): every StallPeriodNs the RX core
+	// scheduling, interrupt storms): every StallPeriodNs every RX core
 	// pauses for StallNs. During the stall and its drain, in-flight
 	// residence grows with offered load; whether parked payloads survive
 	// the excursion depends on the lookup-table size — the effect the
@@ -49,11 +61,19 @@ type ServerModel struct {
 	StallNs       int64
 }
 
-// DefaultServerModel is the OpenNetVM-on-Xeon calibration used unless an
-// experiment overrides it.
+// DefaultServerModel is the generic NF-server model used unless an
+// experiment overrides it: the paper's 8-core Xeon with its OpenNetVM
+// per-packet costs on every RSS-fed core — a modern multi-queue
+// deployment with plenty of receive headroom, so smoke-test saturation
+// comes from links and queues rather than the server. The figure
+// reproductions do NOT use it; they pin the calibrated presets in
+// internal/harness/calibration.go, where the single-server deployments
+// deliberately keep Cores: 1 (their parallelism is NF pipelining, not
+// RSS — see the core-count notes there).
 func DefaultServerModel() ServerModel {
 	return ServerModel{
 		FreqHz:            2.3e9,
+		Cores:             8,
 		RxFixedNs:         65,
 		RxPerByteNs:       0.023,
 		NICRing:           1024,
@@ -63,14 +83,41 @@ func DefaultServerModel() ServerModel {
 	}
 }
 
+// RSSHash is the receive-side-scaling flow hash the simulated NIC uses to
+// pick an RX queue (and thereby a core) for an arriving packet: the
+// 5-tuple fields are packed into two words and mixed with a splitmix64
+// finalizer. Like hardware RSS it is deterministic per flow, so one flow
+// never reorders across cores; unlike Toeplitz it needs no key schedule.
+func RSSHash(ft packet.FiveTuple) uint32 {
+	a := uint64(ft.SrcIP.Uint32())<<32 | uint64(ft.DstIP.Uint32())
+	b := uint64(ft.SrcPort)<<32 | uint64(ft.DstPort)<<16 | uint64(ft.Protocol)
+	z := a*0x9e3779b97f4a7c15 + b
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return uint32(z>>32) ^ uint32(z)
+}
+
+// scrambleSeed decorrelates nearby seeds (experiment seeds are small
+// integers; multi-server runs offset them per server) before they feed
+// math/rand, so jitter streams of neighbouring seeds share no structure.
+func scrambleSeed(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // station is a single-server FIFO service center.
 type station struct {
 	busyUntil int64
 	queued    int
 }
 
-// ServerSim wraps an nf.Server with the timing model: NIC ring -> PCIe
-// DMA -> RX core -> one pipelined station per NF -> PCIe DMA -> out.
+// ServerSim wraps an nf.Server with the timing model: shared NIC ring ->
+// shared PCIe DMA -> RSS-selected per-core RX station -> that core's
+// pipelined NF stations -> PCIe DMA -> out. Saturation emerges from
+// per-core queues backing up into the shared ring, not from one station.
 type ServerSim struct {
 	eng   *Engine
 	model ServerModel
@@ -85,11 +132,16 @@ type ServerSim struct {
 	rxDoneFn    func(Parcel)
 	stageDoneFn func(Parcel)
 
-	rxOccupancy int
-	rx          station
-	stages      []station
-	pcieBusy    int64
-	rng         *rand.Rand
+	rxOccupancy int // shared NIC descriptor ring occupancy
+	cores       int
+	chainLen    int
+	// rx holds one RX station per core; stages holds every core's chain
+	// pipeline as one flat slice (core c's stage i at c*chainLen+i), so
+	// station state stays pointer-free and cache-dense.
+	rx       []station
+	stages   []station
+	pcieBusy int64
+	rng      *rand.Rand
 
 	// RxDrops counts NIC ring overflows; StageDrops inter-NF ring
 	// overflows; PCIeBytes total DMA bytes (both directions).
@@ -99,12 +151,22 @@ type ServerSim struct {
 }
 
 // NewServerSim builds a server simulation around a behavioural server.
-func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, out func(Parcel), onDrop func(Parcel, string), onConsumed func(Parcel)) *ServerSim {
+// seed drives the service-jitter stream; callers pass the experiment seed
+// (offset per server in multi-server runs) so jittered runs vary with it.
+func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, seed int64, out func(Parcel), onDrop func(Parcel, string), onConsumed func(Parcel)) *ServerSim {
+	cores := model.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	chainLen := srv.Chain().Len()
 	s := &ServerSim{
 		eng: eng, model: model, srv: srv,
 		out: out, onDrop: onDrop, onConsumed: onConsumed,
-		stages: make([]station, srv.Chain().Len()),
-		rng:    rand.New(rand.NewSource(0x5eed)),
+		cores:    cores,
+		chainLen: chainLen,
+		rx:       make([]station, cores),
+		stages:   make([]station, cores*chainLen),
+		rng:      rand.New(rand.NewSource(scrambleSeed(seed))),
 	}
 	s.rxDoneFn = s.rxDone
 	s.stageDoneFn = s.stageDone
@@ -112,16 +174,21 @@ func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, out func(Parce
 		var stall func()
 		stall = func() {
 			now := eng.Now()
-			if s.rx.busyUntil < now {
-				s.rx.busyUntil = now
+			for c := range s.rx {
+				if s.rx[c].busyUntil < now {
+					s.rx[c].busyUntil = now
+				}
+				s.rx[c].busyUntil += model.StallNs
 			}
-			s.rx.busyUntil += model.StallNs
 			eng.Schedule(model.StallPeriodNs, stall)
 		}
 		eng.Schedule(model.StallPeriodNs, stall)
 	}
 	return s
 }
+
+// Cores returns the number of RX/NF cores the server runs.
+func (s *ServerSim) Cores() int { return s.cores }
 
 // jitter perturbs a service time by the configured uniform percentage.
 func (s *ServerSim) jitter(ns int64) int64 {
@@ -147,7 +214,11 @@ func (s *ServerSim) pcieTransfer(pktBytes int) int64 {
 	return done
 }
 
-// Receive is the link-delivery handler: a packet arrives at the NIC.
+// Receive is the link-delivery handler: a packet arrives at the NIC. The
+// RSS hash of its 5-tuple picks the RX queue; the descriptor ring and the
+// PCIe bus are shared across queues. A dropped packet is reported to
+// onDrop, whose owner recycles it — ServerSim never holds a reference to
+// a dropped parcel.
 func (s *ServerSim) Receive(p Parcel) {
 	if s.rxOccupancy >= s.model.NICRing {
 		s.RxDrops.Inc()
@@ -157,20 +228,27 @@ func (s *ServerSim) Receive(p Parcel) {
 		return
 	}
 	s.rxOccupancy++
-	// DMA into host memory, then the RX core picks it up.
+	core := 0
+	if s.cores > 1 {
+		core = int(RSSHash(p.Pkt.FiveTuple()) % uint32(s.cores))
+	}
+	p.core = int32(core)
+	// DMA into host memory, then this queue's RX core picks it up.
 	dmaDone := s.pcieTransfer(p.Pkt.Len())
 	rxNs := s.jitter(int64(s.model.RxFixedNs + s.model.RxPerByteNs*float64(p.Pkt.Len())))
-	start := s.rx.busyUntil
+	rx := &s.rx[core]
+	start := rx.busyUntil
 	if start < dmaDone {
 		start = dmaDone
 	}
 	done := start + rxNs
-	s.rx.busyUntil = done
+	rx.busyUntil = done
 	s.eng.ScheduleParcelAt(done, s.rxDoneFn, p)
 }
 
-// rxDone runs when the RX core has picked the packet off the ring: the NF
-// chain renders its verdict and the packet enters the pipelined stations.
+// rxDone runs when an RX core has picked the packet off the ring: the NF
+// chain renders its verdict and the packet enters that core's pipelined
+// stations.
 func (s *ServerSim) rxDone(p Parcel) {
 	s.rxOccupancy--
 	p.res = s.srv.Handle(p.Pkt)
@@ -178,17 +256,17 @@ func (s *ServerSim) rxDone(p Parcel) {
 	s.enterStage(p)
 }
 
-// enterStage routes the packet through the pipelined NF stations it was
-// actually charged for (stages after a Drop verdict are skipped because
-// res.Costs is truncated). The verdict and station index ride in the
-// parcel.
+// enterStage routes the packet through the pipelined NF stations of its
+// core that it was actually charged for (stages after a Drop verdict are
+// skipped because res.Costs is truncated). The verdict, core and station
+// index ride in the parcel.
 func (s *ServerSim) enterStage(p Parcel) {
 	i := p.stage
 	if i >= len(p.res.Costs) {
 		s.finish(p)
 		return
 	}
-	st := &s.stages[i]
+	st := &s.stages[int(p.core)*s.chainLen+i]
 	if st.queued >= s.model.StageQueue {
 		s.StageDrops.Inc()
 		if s.onDrop != nil {
@@ -207,9 +285,9 @@ func (s *ServerSim) enterStage(p Parcel) {
 	s.eng.ScheduleParcelAt(done, s.stageDoneFn, p)
 }
 
-// stageDone leaves station p.stage and enters the next one.
+// stageDone leaves station p.stage of p's core and enters the next one.
 func (s *ServerSim) stageDone(p Parcel) {
-	s.stages[p.stage].queued--
+	s.stages[int(p.core)*s.chainLen+p.stage].queued--
 	p.stage++
 	s.enterStage(p)
 }

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// coreTestGen builds a fixed-size generator with enough flows that the
+// RSS hash spreads load evenly across 8 cores.
+func coreTestGen(seed int64) *trafficgen.Generator {
+	return trafficgen.New(trafficgen.Config{
+		Sizes: trafficgen.Fixed(384), Flows: 4096,
+		SrcMAC: MACGen, DstMAC: MACNF,
+		DstIP: packet.IPv4Addr{10, 1, 0, 9}, DstPort: 80,
+		Seed: seed,
+	})
+}
+
+func TestRSSHashSpreadsFlows(t *testing.T) {
+	gen := coreTestGen(1)
+	const cores = 8
+	var perCore [cores]int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		p := gen.Next()
+		perCore[RSSHash(p.FiveTuple())%cores]++
+		gen.Recycle(p)
+	}
+	for c, got := range perCore {
+		share := float64(got) / n
+		if share < 0.08 || share > 0.18 {
+			t.Errorf("core %d share = %.3f, want ~0.125 (counts %v)", c, share, perCore)
+		}
+	}
+	// The hash must be a pure flow function: same tuple, same core.
+	p := gen.Next()
+	if RSSHash(p.FiveTuple()) != RSSHash(p.FiveTuple()) {
+		t.Error("RSSHash not deterministic")
+	}
+}
+
+// rxKneeDrops offers the given packet rate to a server with the given
+// core count for runNs and reports the NIC ring drops. The model is RX
+// bound: empty NF chain, effectively infinite PCIe, 500 ns per-packet
+// per-core RX cost (a 2 Mpps single-core knee).
+func rxKneeDrops(t *testing.T, cores int, mpps float64, runNs int64) uint64 {
+	t.Helper()
+	eng := NewEngine()
+	model := ServerModel{
+		FreqHz: 2.3e9, Cores: cores,
+		RxFixedNs: 500, RxPerByteNs: 0,
+		NICRing: 512, StageQueue: 4096,
+		PCIeBps: 1e14, PCIeOverheadBytes: 8,
+	}
+	gen := coreTestGen(7)
+	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain()})
+	s := NewServerSim(eng, model, srv, 1,
+		func(p Parcel) { gen.Recycle(p.Pkt) },
+		func(p Parcel, _ string) { gen.Recycle(p.Pkt) },
+		nil)
+	gap := int64(1e3 / mpps) // ns between arrivals
+	if gap < 1 {
+		gap = 1
+	}
+	var sendNext func()
+	sendNext = func() {
+		s.Receive(Parcel{Pkt: gen.Next()})
+		if eng.Now()+gap < runNs {
+			eng.Schedule(gap, sendNext)
+		}
+	}
+	eng.Schedule(0, sendNext)
+	eng.Run(runNs + 1e6)
+	return s.RxDrops.Value()
+}
+
+// TestServerSimCoreScalingKnee is the saturation-scaling acceptance test:
+// with per-core costs fixed, an 8-core server must sustain at least 6x
+// the single-core knee before RX drops appear, while a single core at the
+// same offered load drops heavily.
+func TestServerSimCoreScalingKnee(t *testing.T) {
+	const runNs = 20e6
+	// Single core: knee at 2 Mpps. Clean just below it...
+	if d := rxKneeDrops(t, 1, 1.8, runNs); d != 0 {
+		t.Errorf("1 core at 1.8 Mpps: %d RX drops, want 0", d)
+	}
+	// ...overloaded at 3x the offered load an 8-core box shrugs off.
+	if d := rxKneeDrops(t, 1, 6, runNs); d == 0 {
+		t.Error("1 core at 6 Mpps: no RX drops, expected overload")
+	}
+	// 8 cores sustain >= 6x the single-core knee with zero drops.
+	if d := rxKneeDrops(t, 8, 12, runNs); d != 0 {
+		t.Errorf("8 cores at 12 Mpps (6x single-core knee): %d RX drops, want 0", d)
+	}
+	// And saturate eventually: the shared ring still overflows past the
+	// aggregate capacity.
+	if d := rxKneeDrops(t, 8, 20, runNs); d == 0 {
+		t.Error("8 cores at 20 Mpps: no RX drops, expected overload")
+	}
+}
+
+// TestServerSimCoresPreserveWorkConservation: at light load every core
+// count processes every packet — sharding changes queueing, not totals.
+func TestServerSimCoresPreserveWorkConservation(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		eng := NewEngine()
+		model := DefaultServerModel()
+		model.Cores = cores
+		gen := coreTestGen(3)
+		out := 0
+		srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.MACSwap{})})
+		s := NewServerSim(eng, model, srv, 1,
+			func(p Parcel) { out++; gen.Recycle(p.Pkt) }, nil, nil)
+		const n = 2000
+		for i := 0; i < n; i++ {
+			eng.Schedule(int64(i)*1000, func() { s.Receive(Parcel{Pkt: gen.Next()}) })
+		}
+		eng.Run(1e9)
+		if out != n {
+			t.Errorf("cores=%d: %d of %d packets emerged", cores, out, n)
+		}
+		if s.Cores() != cores {
+			t.Errorf("Cores() = %d, want %d", s.Cores(), cores)
+		}
+	}
+}
+
+// jitteredOutTimes runs three jittered packets through a server built
+// with the given seed and returns their output times.
+func jitteredOutTimes(seed int64) [3]int64 {
+	eng := NewEngine()
+	model := DefaultServerModel()
+	model.Cores = 1
+	model.ServiceJitterPct = 0.4
+	var times [3]int64
+	i := 0
+	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.NewSynthetic("S", 2300))})
+	s := NewServerSim(eng, model, srv, seed,
+		func(Parcel) { times[i] = eng.Now(); i++ }, nil, nil)
+	for k := 0; k < 3; k++ {
+		s.Receive(mkParcel(500))
+	}
+	eng.Run(1e7)
+	return times
+}
+
+// TestJitterSeedDerivedFromExperimentSeed: jittered service times must
+// reproduce for equal seeds and differ across seeds (the RNG is no
+// longer hard-coded).
+func TestJitterSeedDerivedFromExperimentSeed(t *testing.T) {
+	a, b := jitteredOutTimes(1), jitteredOutTimes(1)
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	c := jitteredOutTimes(2)
+	if a == c {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+// TestDropPathsRecycleAllocFree drives a lossy, overflowing path — link
+// queue overflow, in-flight link loss, NIC ring overflow — with every
+// terminal point recycling into the generator, and asserts the steady
+// state allocates nothing: no drop path may leak its pooled packet.
+func TestDropPathsRecycleAllocFree(t *testing.T) {
+	eng := NewEngine()
+	gen := coreTestGen(11)
+	model := ServerModel{
+		FreqHz: 2.3e9, Cores: 2,
+		RxFixedNs: 5000, RxPerByteNs: 0, // slow server: the ring overflows
+		NICRing: 4, StageQueue: 4,
+		PCIeBps: 1e14, PCIeOverheadBytes: 8,
+	}
+	recycle := func(p Parcel, _ string) { gen.Recycle(p.Pkt) }
+	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain()})
+	s := NewServerSim(eng, model, srv, 1,
+		func(p Parcel) { gen.Recycle(p.Pkt) }, recycle, nil)
+	// Tiny queue (overflow drops) + 25% in-flight loss.
+	link := NewLink(eng, 40e9, 100, 2048, s.Receive, recycle)
+	link.LossRate = 0.25
+
+	round := func() {
+		for i := 0; i < 32; i++ {
+			link.Send(Parcel{Pkt: gen.Next()})
+		}
+		eng.Run(eng.Now() + 10e6) // drain fully: every packet reaches a terminal point
+	}
+	round() // warm pools, heap and slot table
+	round()
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Errorf("lossy drop paths allocate %.1f/round, want 0 (leaked packets?)", allocs)
+	}
+	if link.Drops.Value() == 0 || link.Lost.Value() == 0 || s.RxDrops.Value() == 0 {
+		t.Errorf("test exercised no drop paths: queue=%d lost=%d ring=%d",
+			link.Drops.Value(), link.Lost.Value(), s.RxDrops.Value())
+	}
+}
+
+// TestStageOverflowReportsAndRecycles: the inter-NF ring overflow is a
+// terminal drop point too — every dropped parcel reaches onDrop exactly
+// once so its owner can recycle it.
+func TestStageOverflowReportsAndRecycles(t *testing.T) {
+	eng := NewEngine()
+	model := DefaultServerModel()
+	model.Cores = 1
+	model.StageQueue = 1
+	recycled := 0
+	var reason string
+	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.NewSynthetic("Slow", 1e9))})
+	s := NewServerSim(eng, model, srv, 1,
+		func(Parcel) {},
+		func(p Parcel, r string) { recycled++; reason = r },
+		nil)
+	for i := 0; i < 10; i++ {
+		s.Receive(mkParcel(200))
+	}
+	eng.Run(1e6)
+	if s.StageDrops.Value() == 0 {
+		t.Fatal("stage queue never overflowed")
+	}
+	if uint64(recycled) != s.StageDrops.Value() {
+		t.Errorf("onDrop called %d times for %d stage drops", recycled, s.StageDrops.Value())
+	}
+	if reason != "stage queue overflow" {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+// TestMultiServerGoodputAccounting is the regression test for the
+// delivered-bits fix: at equal sub-saturation offered load both
+// deployments deliver the same packet rate, so the baseline — whose full
+// payloads cross the to-NF link — must record strictly more delivered
+// bits than PayloadPark's header-only packets.
+func TestMultiServerGoodputAccounting(t *testing.T) {
+	mk := func(pp bool) MultiServerConfig {
+		return MultiServerConfig{
+			Servers: 2, LinkBps: 10e9, SendBps: 2e9,
+			Dist: trafficgen.Fixed(384), SlotsPerServer: 8192, MaxExpiry: 1,
+			PayloadPark: pp, Seed: 5,
+			WarmupNs: 2e6, MeasureNs: 8e6,
+		}
+	}
+	base := RunMultiServer(mk(false))
+	pp := RunMultiServer(mk(true))
+	for i := range base.PerServer {
+		b, p := base.PerServer[i], pp.PerServer[i]
+		if b.GoodputGbps <= p.GoodputGbps {
+			t.Errorf("server %d: baseline delivered %.3f Gbps <= payloadpark %.3f — payload bits not accounted",
+				i, b.GoodputGbps, p.GoodputGbps)
+		}
+		// Splitting parks 160 of 384 bytes: the delivered-bit ratio must
+		// reflect it (header remainder ~60% of the original packet).
+		if p.GoodputGbps > 0.75*b.GoodputGbps {
+			t.Errorf("server %d: pp/base delivered ratio %.2f, want < 0.75",
+				i, p.GoodputGbps/b.GoodputGbps)
+		}
+		// Same offered load, both healthy: same delivered packet rate.
+		if b.ToNFMpps == 0 || p.ToNFMpps == 0 {
+			t.Fatalf("server %d: delivered packet rate not recorded (base %.2f, pp %.2f)",
+				i, b.ToNFMpps, p.ToNFMpps)
+		}
+		if ratio := p.ToNFMpps / b.ToNFMpps; ratio < 0.98 || ratio > 1.02 {
+			t.Errorf("server %d: delivered pps diverged below saturation: base %.3f pp %.3f",
+				i, b.ToNFMpps, p.ToNFMpps)
+		}
+		// Baseline delivered bits track the offered 2 Gbps.
+		if b.GoodputGbps < 1.85 || b.GoodputGbps > 2.1 {
+			t.Errorf("server %d: baseline delivered %.3f Gbps, want ~2", i, b.GoodputGbps)
+		}
+	}
+}
+
+// TestMultiServerCoresOverride: the Cores knob changes saturation — at an
+// offered load past the single-core knee, 8 cores deliver several times
+// the single-core packet rate.
+func TestMultiServerCoresOverride(t *testing.T) {
+	mk := func(cores int) MultiServerConfig {
+		return MultiServerConfig{
+			Servers: 1, LinkBps: 10e9, SendBps: 8e9,
+			Dist: trafficgen.Fixed(384), SlotsPerServer: 8192, MaxExpiry: 1,
+			Server: ServerModel{
+				FreqHz: 2.4e9, RxFixedNs: 1712, RxPerByteNs: 0.6,
+				NICRing: 1024, StageQueue: 4096,
+				PCIeBps: 31.5e9, PCIeOverheadBytes: 8,
+			},
+			Cores:       cores,
+			PayloadPark: false, Seed: 9,
+			WarmupNs: 2e6, MeasureNs: 10e6,
+		}
+	}
+	one := RunMultiServer(mk(1)).PerServer[0]
+	eight := RunMultiServer(mk(8)).PerServer[0]
+	// 8 Gbps of 384 B packets is ~2.6 Mpps: ~5x a single core's ~0.5 Mpps
+	// capacity but well inside the 8-core aggregate, so the single-core
+	// run must shed most of its load at the NIC ring while the 8-core run
+	// stays clean.
+	if one.UnintendedDropRate < 0.5 {
+		t.Errorf("single core at 8 Gbps should drop most packets, got %.4f", one.UnintendedDropRate)
+	}
+	if eight.UnintendedDropRate > 0.01 {
+		t.Errorf("8 cores at 8 Gbps should be near-clean, got %.4f", eight.UnintendedDropRate)
+	}
+	if !eight.Healthy || eight.AvgLatencyUs <= 0 {
+		t.Errorf("8-core run unhealthy or silent: %+v", eight)
+	}
+}

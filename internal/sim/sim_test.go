@@ -148,7 +148,7 @@ func TestServerSimPipelineTiming(t *testing.T) {
 	model.PCIeBps = 1e12 // effectively instant
 	var outAt int64 = -1
 	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.NewSynthetic("S", 230))}) // 230cy@2.3GHz = 100ns
-	s := NewServerSim(eng, model, srv, func(Parcel) { outAt = eng.Now() }, nil, nil)
+	s := NewServerSim(eng, model, srv, 1, func(Parcel) { outAt = eng.Now() }, nil, nil)
 	s.Receive(mkParcel(500))
 	eng.Run(1e6)
 	// 100 ns RX + 100 ns stage (+ ~0 PCIe) = 200 ns.
@@ -167,7 +167,7 @@ func TestServerSimRingOverflow(t *testing.T) {
 	model.RxFixedNs = 1e6 // very slow server
 	drops := 0
 	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.MACSwap{})})
-	s := NewServerSim(eng, model, srv, func(Parcel) {}, func(Parcel, string) { drops++ }, nil)
+	s := NewServerSim(eng, model, srv, 1, func(Parcel) {}, func(Parcel, string) { drops++ }, nil)
 	for i := 0; i < 5; i++ {
 		s.Receive(mkParcel(200))
 	}
@@ -183,7 +183,7 @@ func TestServerSimConsumesNFDrops(t *testing.T) {
 	eng := NewEngine()
 	consumed := 0
 	srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.NewFirewall([]nf.FirewallRule{{Bits: 0}}))})
-	s := NewServerSim(eng, DefaultServerModel(), srv,
+	s := NewServerSim(eng, DefaultServerModel(), srv, 1,
 		func(Parcel) { t.Error("dropped packet transmitted") },
 		nil,
 		func(Parcel) { consumed++ })

@@ -98,7 +98,10 @@ type Result struct {
 	SendGbps float64
 	// GoodputGbps is the paper's goodput: useful-header bits (42 B per
 	// packet) delivered to the NF server per second, measured at the
-	// switch (§6.1).
+	// switch (§6.1). Multi-server runs instead record the bits that
+	// actually crossed the to-NF link (full packet for baseline, header
+	// remainder for PayloadPark) and derive the header-unit metric from
+	// the delivered packet rate in ToNFMpps.
 	GoodputGbps float64
 	// ToNFGbps / ToNFMpps describe the switch->NF link traffic.
 	ToNFGbps float64
@@ -218,7 +221,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 		func(p Parcel) { handleSwitch(p, portNF) }, dropUnintended)
 	returnLink.LossRate = cfg.NFLinkLossRate
 
-	srvSim = NewServerSim(eng, cfg.Server, srv,
+	srvSim = NewServerSim(eng, cfg.Server, srv, cfg.Seed,
 		returnLink.Send,
 		dropUnintended,
 		func(p Parcel) {

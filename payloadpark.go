@@ -304,8 +304,16 @@ func SimulateMultiServer(cfg MultiServerConfig) MultiServerResult {
 	return sim.RunMultiServer(cfg)
 }
 
-// DefaultServerModel is the OpenNetVM-on-Xeon calibration.
+// DefaultServerModel is the OpenNetVM-on-Xeon calibration: the paper's
+// 8-core machine with RSS receive-side scaling across all cores (see
+// ServerModel.Cores).
 func DefaultServerModel() ServerModel { return sim.DefaultServerModel() }
+
+// MultiServerModel is the §6.2.3 multi-server calibration: entry-level
+// 8-core 2.4 GHz Xeons whose per-core receive cost — not the 10 GbE
+// link — caps PayloadPark runs. Use it (optionally with Cores overridden)
+// to study how saturation scales with core count.
+func MultiServerModel() ServerModel { return harness.MultiServer10G() }
 
 // Experiments returns the per-figure/table reproduction harness.
 func Experiments() []Experiment { return harness.All() }
