@@ -8,6 +8,7 @@
 //	ppbench -exp all  [-quick]
 //	ppbench -parallel [-quick] [-seed N]
 //	ppbench -cores 1,2,4,8 [-quick] [-seed N]
+//	ppbench -topology 4x2 [-json BENCH_fabric.json] [-quick] [-seed N]
 //
 // -parallel skips the discrete-event harness and drives the raw dataplane
 // across all four pipes, sequentially and then with one worker per pipe,
@@ -17,9 +18,15 @@
 // model, reporting the saturation knee and the Fig. 14-class eviction
 // onset at each count (the registered "cores" experiment with a custom
 // core list).
+//
+// -topology runs the leaf-spine fabric experiment family (parking-mode
+// comparison, link-failure reroute, per-switch parallel drivers) on the
+// given LxS geometry; -json additionally writes the machine-readable
+// results to a BENCH artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,11 +46,21 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		parallel = flag.Bool("parallel", false, "drive the raw dataplane sequentially vs one worker per pipe")
 		cores    = flag.String("cores", "", "comma-separated NF-server core counts to sweep (e.g. 1,2,4,8)")
+		topology = flag.String("topology", "", "leaf-spine geometry LxS (e.g. 4x2): run the fabric experiment family")
+		jsonOut  = flag.String("json", "", "with -topology: write machine-readable results to this file")
 	)
 	flag.Parse()
 
 	if *parallel {
 		runParallel(*quick, *seed)
+		return
+	}
+
+	if *topology != "" {
+		if err := runTopology(*topology, *jsonOut, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -114,6 +131,30 @@ func parseCores(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// runTopology runs the fabric experiment family and optionally exports
+// the results as JSON.
+func runTopology(topo, jsonPath string, quick bool, seed int64) error {
+	start := time.Now()
+	fmt.Printf("== fabric: leaf-spine %s experiment family\n", topo)
+	var suite harness.FabricSuite
+	if err := harness.RunFabricSuite(harness.Options{Quick: quick, Seed: seed}, topo, &suite, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(&suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s\n", jsonPath)
+	return nil
 }
 
 // runParallel compares the sequential and multi-pipe dataplane drivers on

@@ -1,9 +1,16 @@
 // Command ppcap materializes and inspects workload captures: it writes
 // the paper's Fig. 6 enterprise-datacenter packet mix as a standard pcap
-// file, and prints size statistics for any Ethernet capture.
+// file, prints size statistics for any Ethernet capture, and replays a
+// capture through the batched dataplane at scale.
 //
 //	ppcap -gen 100000 -out workload.pcap     # write the Fig. 6 workload
 //	ppcap -stats workload.pcap               # packet-size CDF of a capture
+//	ppcap -drive workload.pcap [-parallel]   # replay through InjectBatch
+//
+// -drive pre-builds per-pipe batches from the capture (replayed packets
+// are pooled and recycled, so steady state allocates nothing) and
+// round-trips them through the four-pipe PayloadPark dataplane —
+// sequential batched injection, or one worker per pipe with -parallel.
 package main
 
 import (
@@ -11,19 +18,24 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/pcap"
+	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/stats"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
 
 func main() {
 	var (
-		gen  = flag.Int("gen", 0, "generate N datacenter-mix packets")
-		out  = flag.String("out", "workload.pcap", "output file for -gen")
-		size = flag.Int("size", 0, "fixed packet size for -gen (0 = datacenter mix)")
-		seed = flag.Int64("seed", 1, "random seed for -gen")
-		stat = flag.String("stats", "", "print size statistics of a capture file")
+		gen      = flag.Int("gen", 0, "generate N datacenter-mix packets")
+		out      = flag.String("out", "workload.pcap", "output file for -gen")
+		size     = flag.Int("size", 0, "fixed packet size for -gen (0 = datacenter mix)")
+		seed     = flag.Int64("seed", 1, "random seed for -gen")
+		stat     = flag.String("stats", "", "print size statistics of a capture file")
+		driveCap = flag.String("drive", "", "replay a capture through the batched dataplane")
+		rounds   = flag.Int("rounds", 32, "split+merge round trips per replayed packet for -drive")
+		parallel = flag.Bool("parallel", false, "with -drive: one worker per pipe")
 	)
 	flag.Parse()
 
@@ -38,10 +50,48 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ppcap: %v\n", err)
 			os.Exit(1)
 		}
+	case *driveCap != "":
+		if err := drive(*driveCap, *rounds, *parallel, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ppcap: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// drive replays a capture through the batched (optionally per-pipe
+// parallel) dataplane and reports throughput.
+func drive(path string, rounds int, parallel bool, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := pcap.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DataplaneConfig{
+		Pipes: core.NumPipes, Rounds: rounds, Parallel: parallel, Seed: seed,
+		Source: func(pipe int, gc trafficgen.Config) trafficgen.Source {
+			rp, err := trafficgen.NewReplay(recs, gc.SrcMAC, gc.DstMAC)
+			if err != nil {
+				panic(fmt.Sprintf("ppcap: %v", err))
+			}
+			// Offset each pipe's start so the pipes do not replay in
+			// lockstep.
+			for i := 0; i < pipe*rp.Len()/4; i++ {
+				rp.Recycle(rp.Next())
+			}
+			return rp
+		},
+	}
+	res := sim.RunDataplane(cfg)
+	fmt.Printf("ppcap: replayed %d packets (%d rounds, %d pipes): %s\n",
+		len(recs), rounds, cfg.Pipes, res)
+	return nil
 }
 
 func generate(n, size int, seed int64, path string) error {

@@ -50,6 +50,7 @@ func main() {
 		chainStr = flag.String("chain", "macswap", "comma-separated chain: macswap,fw,nat,lb")
 		dropFrac = flag.Float64("fw-drop", 0, "firewall blacklist fraction (0..1)")
 		explicit = flag.Bool("explicit-drop", false, "send Explicit Drop notifications (§6.2.4)")
+		burst    = flag.Int("burst", wire.DefaultBurst, "receive burst size (recvmmsg-style drain)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 			return v == nf.Forward
 		},
 		ExplicitDrop: *explicit,
+		Burst:        *burst,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppnf: %v\n", err)

@@ -36,6 +36,7 @@ func main() {
 		slots   = flag.Int("slots", 4096, "lookup table capacity (0 = baseline L2 switch)")
 		expiry  = flag.Uint("expiry", 1, "expiry threshold MAX_EXP")
 		recirc  = flag.Bool("recirculate", false, "park 384 bytes via recirculation")
+		burst   = flag.Int("burst", wire.DefaultBurst, "receive burst size (recvmmsg-style drain)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 			genMAC: 0,
 		},
 		RecircPipe: -1,
+		Burst:      *burst,
 	}
 	if *slots > 0 {
 		cfg.PP = &core.Config{

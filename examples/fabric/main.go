@@ -1,0 +1,85 @@
+// Fabric example: payload parking across a leaf-spine topology.
+//
+// The paper parks payloads at a single ToR switch; its §7 deployment
+// story is a fabric. This example runs the same offered load through a
+// 4-leaf, 2-spine fabric three ways — no parking, park-at-edge (payload
+// parked at the ingress leaf, slim packets on every fabric hop), and
+// park-at-every-hop (§7 striping: ingress leaf, spine, and egress leaf
+// each park a block) — then demonstrates a link failure with a
+// parking-safe reroute on a 6x3 fabric.
+//
+//	go run ./examples/fabric
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	payloadpark "github.com/payloadpark/payloadpark"
+)
+
+func run(mode payloadpark.ParkMode, sendGbps float64) payloadpark.FabricResult {
+	return payloadpark.SimulateFabric(payloadpark.FabricConfig{
+		Mode:    mode,
+		SendBps: sendGbps * 1e9,
+		Seed:    7,
+	})
+}
+
+func avgUtil(links []payloadpark.LinkStats, pat string) float64 {
+	var sum float64
+	var n int
+	for _, l := range links {
+		if strings.Contains(l.Name, pat) {
+			sum += l.UtilPct
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func main() {
+	fmt.Println("4x2 leaf-spine, 10GbE, datacenter packet mix, 11 Gbps offered per source")
+	fmt.Println("(past the baseline fabric's saturation; within the slim-packet envelope)")
+	fmt.Println()
+	fmt.Println("mode       goodput    drop     lat      spine-util  nf-link-util")
+	var base float64
+	for _, mode := range []payloadpark.ParkMode{
+		payloadpark.ParkNoneMode, payloadpark.ParkEdgeMode, payloadpark.ParkEveryHopMode,
+	} {
+		r := run(mode, 11)
+		if base == 0 {
+			base = r.GoodputGbps
+		}
+		fmt.Printf("%-9s  %.3f Gbps (%+.1f%%)  %.2f%%  %6.1fus  %5.1f%%  %5.1f%%\n",
+			r.Mode, r.GoodputGbps, 100*(r.GoodputGbps/base-1),
+			100*r.UnintendedDropRate, r.AvgLatencyUs,
+			avgUtil(r.Links, "->spine"), avgUtil(r.Links, "->nf"))
+	}
+	fmt.Println()
+	fmt.Println("edge parking keeps the same offered load healthy: every fabric hop")
+	fmt.Println("carries slim packets. striping additionally unloads the NF links and")
+	fmt.Println("spreads switch-memory pressure over the path.")
+
+	// Failure scenario: flow 0's forward spine link dies mid-run; 2 ms
+	// later the route repoints onto a third spine (with two spines the
+	// alternate path would arrive on the egress leaf's merge port and be
+	// dropped as foreign-tag merges — geometry matters).
+	fr := payloadpark.SimulateFabric(payloadpark.FabricConfig{
+		Leaves: 6, Spines: 3,
+		Mode:     payloadpark.ParkEdgeMode,
+		SendBps:  4.5e9,
+		Seed:     7,
+		FailLink: true,
+	})
+	fmt.Println()
+	fmt.Println("link failure on a 6x3 fabric (edge parking, 4.5 Gbps/source):")
+	fmt.Printf("  flow 0 deliveries: pre-fail=%d  outage=%d  post-reroute=%d\n",
+		fr.PhaseDelivered[0], fr.PhaseDelivered[1], fr.PhaseDelivered[2])
+	var orphans int
+	for _, sw := range fr.Switches {
+		orphans += sw.Occupancy
+	}
+	fmt.Printf("  parked payloads orphaned by in-flight losses: %d (expiry eviction reclaims them)\n", orphans)
+	fmt.Println("  the merge port pins the return path, so parked state survives the reroute.")
+}

@@ -142,6 +142,16 @@ func (s *Switch) AddL2Route(mac packet.MAC, port rmt.PortID) { s.l2[mac] = port 
 // PipeOfPort returns the pipe index serving a port.
 func PipeOfPort(port rmt.PortID) int { return int(port) / PortsPerPipe }
 
+// PPOffset returns the PayloadPark header offset frames arriving on port
+// carry (-1 when the port expects none) — the per-port parse geometry a
+// byte-level driver needs to re-parse frames between cascaded switches.
+func (s *Switch) PPOffset(port rmt.PortID) int {
+	if int(port) >= NumPorts {
+		return -1
+	}
+	return s.ppOffset[port]
+}
+
 // RxPackets returns packets received across all pipes. Not meaningful
 // while a parallel batch is in flight.
 func (s *Switch) RxPackets() uint64 {

@@ -59,8 +59,10 @@ func RunCoreSweep(o Options, coreCounts []int, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "saturation knee vs cores (MAC swap, 384 B, MultiServer10G per-core costs, 40GbE):")
 	tw := newTable(w)
-	fmt.Fprintln(tw, "cores\tbase knee(Mpps)\tpp knee(Mpps)\tbase scaling\tpp scaling")
+	fmt.Fprintln(tw, "cores\tbase knee(Mpps)\tpp knee(Mpps)\tbase scaling\tpp scaling\tpp peak rx-q\tpp rss skew")
 	var baseRef, ppRef float64
+	var bestPP sim.Result
+	bestCores := 0
 	for _, c := range coreCounts {
 		_, b := peakHealthySend(mkSat(c, false), 0.3e9, 40e9, iters, healthy)
 		_, p := peakHealthySend(mkSat(c, true), 0.3e9, 40e9, iters, healthy)
@@ -68,10 +70,27 @@ func RunCoreSweep(o Options, coreCounts []int, w io.Writer) error {
 		if baseRef == 0 {
 			baseRef, ppRef = bm, pm
 		}
-		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.1fx\t%.1fx\n", c, bm, pm, bm/baseRef, pm/ppRef)
+		if c > bestCores {
+			bestCores, bestPP = c, p
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.1fx\t%.1fx\t%d\t%s\n",
+			c, bm, pm, bm/baseRef, pm/ppRef, maxPeakQueue(p.PerCore), rssSkew(p.PerCore))
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	// Per-core breakdown at the largest count: RSS spread, drop
+	// attribution, and peak backlog — the PR 2 follow-up counters.
+	if cs := bestPP.PerCore; len(cs) > 1 {
+		fmt.Fprintf(w, "\nper-core detail at %d cores (payloadpark knee run):\n", len(cs))
+		tw = newTable(w)
+		fmt.Fprintln(tw, "core\tserved\trx-drops\tstage-drops\tpeak rx-q")
+		for i, c := range cs {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\n", i, c.Served, c.RxDrops, c.StageDrops, c.PeakQueue)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
 	}
 
 	// Part 2: the Fig. 14-class stall/eviction experiment, per-core-aware.
@@ -104,10 +123,41 @@ func RunCoreSweep(o Options, coreCounts []int, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nstall/eviction onset vs cores (Fig. 14 class: %d slots ~26%% SRAM, EXP=1, 25ms/4ms stalls):\n", slots)
 	tw = newTable(w)
-	fmt.Fprintln(tw, "cores\tpeak no-eviction send(Gbps)\tpeak goodput(Gbps)")
+	fmt.Fprintln(tw, "cores\tpeak no-eviction send(Gbps)\tpeak goodput(Gbps)\tpeak rx-q")
 	for _, c := range coreCounts {
 		peakSend, res := peakHealthySend(mkEv(c), 1e9, 40e9, iters, noPrematureEvictions)
-		fmt.Fprintf(tw, "%d\t%.1f\t%.3f\n", c, peakSend/1e9, res.GoodputGbps)
+		fmt.Fprintf(tw, "%d\t%.1f\t%.3f\t%d\n", c, peakSend/1e9, res.GoodputGbps, maxPeakQueue(res.PerCore))
 	}
 	return tw.Flush()
+}
+
+// maxPeakQueue returns the deepest per-core RX backlog of a run.
+func maxPeakQueue(cs []sim.CoreStat) int {
+	m := 0
+	for _, c := range cs {
+		if c.PeakQueue > m {
+			m = c.PeakQueue
+		}
+	}
+	return m
+}
+
+// rssSkew renders the RSS load imbalance: the busiest core's served
+// share relative to a perfect spread.
+func rssSkew(cs []sim.CoreStat) string {
+	if len(cs) == 0 {
+		return "n/a"
+	}
+	var total, max uint64
+	for _, c := range cs {
+		total += c.Served
+		if c.Served > max {
+			max = c.Served
+		}
+	}
+	if total == 0 {
+		return "n/a"
+	}
+	mean := float64(total) / float64(len(cs))
+	return fmt.Sprintf("%+.1f%%", 100*(float64(max)/mean-1))
 }

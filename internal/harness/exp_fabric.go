@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/payloadpark/payloadpark/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fabric",
+		Title: "Leaf-spine fabric: park-at-edge vs park-at-every-hop, link-failure reroute, per-switch drivers",
+		Paper: "not a paper figure: §7's multi-switch vision (striping, distributed memory pressure) played out on a 4x2 leaf-spine with per-hop stats",
+		Run:   func(o Options, w io.Writer) error { return RunFabricSuite(o, "4x2", nil, w) },
+	})
+}
+
+// FabricSuite bundles the fabric experiment family's results in a
+// machine-readable form (ppbench -json writes it to a BENCH artifact).
+type FabricSuite struct {
+	Topology string `json:"topology"`
+	// Modes holds the baseline/edge/everyhop comparison runs.
+	Modes []sim.FabricResult `json:"modes"`
+	// Failure is the 6x3 link-failure reroute run (edge parking).
+	Failure sim.FabricResult `json:"failure"`
+	// Dataplane compares the striped switch chain driven sequentially vs
+	// with one ParallelDriver per switch.
+	DataplaneSequential sim.FabricDataplaneResult `json:"dataplane_sequential"`
+	DataplanePipelined  sim.FabricDataplaneResult `json:"dataplane_pipelined"`
+}
+
+// ParseTopology parses "LxS" (e.g. "4x2") into leaf and spine counts and
+// rejects geometries the parking modes cannot run: every flow's spine
+// affinity (i mod S) must differ from its egress leaf's ((i+1) mod L mod
+// S), or slim transit traffic would enter that leaf on its merge port.
+func ParseTopology(s string) (leaves, spines int, err error) {
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &leaves, &spines); err != nil {
+		return 0, 0, fmt.Errorf("harness: topology %q: want LxS, e.g. 4x2", s)
+	}
+	if leaves < 2 || leaves > 16 || spines < 1 || spines > 13 {
+		return 0, 0, fmt.Errorf("harness: topology %dx%d outside supported geometry", leaves, spines)
+	}
+	for i := 0; i < leaves; i++ {
+		if i%spines == ((i+1)%leaves)%spines {
+			return 0, 0, fmt.Errorf("harness: topology %dx%d cannot park: flow %d's forward path would enter leaf %d on its merge port (try 4x2 or 6x3)",
+				leaves, spines, i, (i+1)%leaves)
+		}
+	}
+	return leaves, spines, nil
+}
+
+// avgUtil averages the utilization of links whose name contains pat.
+func avgUtil(links []sim.LinkStats, pat string) float64 {
+	var sum float64
+	var n int
+	for _, l := range links {
+		if strings.Contains(l.Name, pat) {
+			sum += l.UtilPct
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func sumDrops(r sim.FabricResult) (links, switches uint64) {
+	for _, l := range r.Links {
+		links += l.Drops + l.Lost
+	}
+	for _, s := range r.Switches {
+		switches += s.Drops
+	}
+	return
+}
+
+// RunFabricSuite runs the fabric experiment family on the given LxS
+// topology: the parking-mode comparison at a load past baseline fabric
+// saturation, the link-failure reroute scenario, and the per-switch
+// parallel-driver dataplane drive. When out is non-nil the results are
+// also collected there for machine-readable export.
+func RunFabricSuite(o Options, topo string, out *FabricSuite, w io.Writer) error {
+	leaves, spines, err := ParseTopology(topo)
+	if err != nil {
+		return err
+	}
+	mk := func(mode sim.ParkMode, sendGbps float64) sim.FabricConfig {
+		return sim.FabricConfig{
+			Leaves: leaves, Spines: spines,
+			Mode: mode, SendBps: sendGbps * 1e9, Seed: o.Seed,
+			WarmupNs: o.warmup(), MeasureNs: o.measure(),
+		}
+	}
+
+	// Part 1: parking modes at 11 Gbps offered per source — past the
+	// 10 GbE fabric's baseline saturation, inside the slim-packet
+	// envelope. Edge parking's gain is end-to-end: every fabric hop
+	// carries slim packets, so the same offered load stays healthy.
+	fmt.Fprintf(w, "parking modes, %s leaf-spine, 10GbE, datacenter mix, 11 Gbps offered per source:\n", topo)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mode\tgoodput(Gbps)\tvs base\tdrop%\thealthy\tavg lat(us)\tspine util%\tnf-link util%\tsplits/switch")
+	var base float64
+	for _, mode := range []sim.ParkMode{sim.ParkNone, sim.ParkEdge, sim.ParkEveryHop} {
+		r := sim.RunLeafSpine(mk(mode, 11))
+		if mode == sim.ParkNone {
+			base = r.GoodputGbps
+		}
+		var perSwitch []string
+		for _, s := range r.Switches {
+			perSwitch = append(perSwitch, fmt.Sprintf("%d", s.Splits))
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%.3f%%\t%t\t%.1f\t%.1f\t%.1f\t%s\n",
+			r.Mode, r.GoodputGbps, pct(r.GoodputGbps, base),
+			100*r.UnintendedDropRate, r.Healthy, r.AvgLatencyUs,
+			avgUtil(r.Links, "->spine"), avgUtil(r.Links, "->nf"),
+			strings.Join(perSwitch, "/"))
+		if out != nil {
+			out.Modes = append(out.Modes, r)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Part 2: link failure + reroute. Parking-safe reroute needs a third
+	// spine (the alternate path must not arrive on the egress leaf's
+	// merge port), so this part runs 6x3 regardless of topo.
+	fcfg := sim.FabricConfig{
+		Leaves: 6, Spines: 3,
+		Mode: sim.ParkEdge, SendBps: 4.5e9, Seed: o.Seed,
+		WarmupNs: o.warmup(), MeasureNs: 4 * o.measure(),
+		FailLink: true, RerouteNs: 2e6,
+	}
+	fr := sim.RunLeafSpine(fcfg)
+	linkDrops, switchDrops := sumDrops(fr)
+	var orphans int
+	for _, s := range fr.Switches {
+		orphans += s.Occupancy
+	}
+	fmt.Fprintf(w, "\nlink failure + reroute (6x3, edge parking, 4.5 Gbps/source; fail flow 0's forward spine link, reroute %.1f ms later):\n",
+		float64(fcfg.RerouteNs)/1e6)
+	fmt.Fprintf(w, "  flow 0 NF deliveries: pre-fail=%d outage=%d post-reroute=%d\n",
+		fr.PhaseDelivered[0], fr.PhaseDelivered[1], fr.PhaseDelivered[2])
+	fmt.Fprintf(w, "  drops: links=%d switches=%d (blackholed during detection); premature evictions=%d\n",
+		linkDrops, switchDrops, totalPremature(fr))
+	fmt.Fprintf(w, "  orphaned parked payloads at run end: %d (reclaimed by expiry eviction as the index wraps)\n", orphans)
+	if out != nil {
+		out.Failure = fr
+	}
+
+	// Part 3: the striped switch chain, sequential vs one ParallelDriver
+	// per switch. Wall-clock speedup needs cores; the counters prove the
+	// two drives are observably identical.
+	dcfg := sim.FabricDataplaneConfig{Switches: 2, Seed: o.Seed}
+	if o.Quick {
+		dcfg.Packets = 256
+		dcfg.Rounds = 8
+	}
+	seq := sim.RunFabricDataplane(dcfg)
+	dcfg.Pipelined = true
+	par := sim.RunFabricDataplane(dcfg)
+	fmt.Fprintf(w, "\nstriped 2-switch chain dataplane (one PayloadPark program per pipe per switch):\n")
+	fmt.Fprintf(w, "  sequential: %s per-switch splits=%v\n", seq, seq.PerSwitch)
+	fmt.Fprintf(w, "  pipelined:  %s per-switch splits=%v\n", par, par.PerSwitch)
+	if seq.Mpps > 0 {
+		fmt.Fprintf(w, "  speedup: %.2fx across %d workers (per-pipe x per-switch)\n", par.Mpps/seq.Mpps, par.Workers)
+	}
+	if out != nil {
+		out.Topology = topo
+		out.DataplaneSequential = seq
+		out.DataplanePipelined = par
+	}
+	return nil
+}
+
+func totalPremature(r sim.FabricResult) uint64 {
+	var n uint64
+	for _, s := range r.Switches {
+		n += s.Premature
+	}
+	return n
+}

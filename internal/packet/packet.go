@@ -264,6 +264,38 @@ func (p *Packet) Clone() *Packet {
 	return &c
 }
 
+// CloneInto deep-copies the packet into dst, reusing dst's header
+// structs and payload backing array — the allocation-free Clone for
+// pooled packets (pcap replay at scale reuses retired packets this way).
+func (p *Packet) CloneInto(dst *Packet) *Packet {
+	udp, tcp, payload := dst.UDP, dst.TCP, dst.Payload
+	*dst = *p
+	dst.UDP, dst.TCP = nil, nil
+	if p.UDP != nil {
+		if udp == nil {
+			udp = &UDP{}
+		}
+		*udp = *p.UDP
+		dst.UDP = udp
+	}
+	if p.TCP != nil {
+		if tcp == nil {
+			tcp = &TCP{}
+		}
+		*tcp = *p.TCP
+		dst.TCP = tcp
+	}
+	if p.PP != nil {
+		dst.ppStore = *p.PP
+		dst.PP = &dst.ppStore
+	} else {
+		dst.PP = nil
+	}
+	dst.Payload = append(payload[:0], p.Payload...)
+	dst.headroom = nil
+	return dst
+}
+
 // FiveTuple returns the flow key examined by shallow NFs.
 func (p *Packet) FiveTuple() FiveTuple {
 	ft := FiveTuple{SrcIP: p.IP.Src, DstIP: p.IP.Dst, Protocol: p.IP.Protocol}

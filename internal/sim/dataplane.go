@@ -35,6 +35,12 @@ type DataplaneConfig struct {
 	Slots int
 	// Seed drives traffic generation.
 	Seed int64
+	// Source, when non-nil, overrides the synthetic generator: it is
+	// called once per pipe with the generator configuration the dataplane
+	// would have used (per-pipe MACs, addressing, seed) and returns the
+	// packet stream to pre-build that pipe's batches from — how a pcap
+	// replay rides the batched dataplane at scale.
+	Source func(pipe int, cfg trafficgen.Config) trafficgen.Source
 }
 
 func (c *DataplaneConfig) fillDefaults() {
@@ -110,12 +116,18 @@ func BuildDataplane(cfg DataplaneConfig) (*core.Switch, [][]core.BatchPacket) {
 		}, -1); err != nil {
 			panic(fmt.Sprintf("sim: dataplane attach pipe %d: %v", pipe, err))
 		}
-		gen := trafficgen.New(trafficgen.Config{
+		genCfg := trafficgen.Config{
 			Sizes: trafficgen.Fixed(cfg.Size), Flows: 256,
 			SrcMAC: MACGen, DstMAC: nfMAC,
 			DstIP: packet.IPv4Addr{10, 1, byte(pipe), 9}, DstPort: 80,
 			Seed: cfg.Seed + int64(pipe),
-		})
+		}
+		var gen trafficgen.Source
+		if cfg.Source != nil {
+			gen = cfg.Source(pipe, genCfg)
+		} else {
+			gen = trafficgen.New(genCfg)
+		}
 		batch := make([]core.BatchPacket, cfg.Packets)
 		for i := range batch {
 			batch[i] = core.BatchPacket{Pkt: gen.Next(), In: splitPort}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -13,7 +14,7 @@ func TestRunsAreDeterministic(t *testing.T) {
 	cfg.MeasureNs = 8e6
 	a := RunTestbed(cfg)
 	b := RunTestbed(cfg)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("identical configs diverged:\n%+v\n%+v", a, b)
 	}
 }

@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/stats"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// Fabric is a graph of simulation nodes — switches, NF servers, traffic
+// sources and sinks — connected by unidirectional Links. It generalizes
+// the hard-coded single-switch testbed: the canonical presets
+// (RunTestbed, RunMultiServer) build one switch with its three cables,
+// while the leaf-spine preset (RunLeafSpine) builds a multi-hop fabric
+// with per-switch PayloadPark programs and static route tables.
+//
+// A Fabric shares the single-threaded discrete-event Engine; all nodes
+// schedule onto the same clock, so runs stay deterministic regardless of
+// topology size.
+type Fabric struct {
+	eng      *Engine
+	switches []*SwitchNode
+	links    []*Link
+	sources  []*SourceNode
+	sinks    []*SinkNode
+}
+
+// NewFabric returns an empty fabric at time zero.
+func NewFabric() *Fabric {
+	return &Fabric{eng: NewEngine()}
+}
+
+// Engine exposes the fabric's event engine (for preset measurement
+// closures and custom scheduling).
+func (f *Fabric) Engine() *Engine { return f.eng }
+
+// Run executes the fabric until the clock passes until.
+func (f *Fabric) Run(until int64) { f.eng.Run(until) }
+
+// AddSwitch adds a switch node with an empty dataplane. Attach programs
+// and routes through node.SW; cable its egress ports with SetOut.
+func (f *Fabric) AddSwitch(name string) *SwitchNode {
+	n := &SwitchNode{f: f, Name: name, SW: core.NewSwitch(name)}
+	n.buf = make([]byte, 0, maxWireFrame)
+	f.switches = append(f.switches, n)
+	return n
+}
+
+// NewLink builds a registered link delivering to the given handler.
+// Registration is what makes the link show up in per-hop reports; the
+// link itself behaves exactly like NewLink's.
+func (f *Fabric) NewLink(name string, bps float64, propNs int64, capBytes int, deliver func(Parcel), onDrop func(Parcel, string)) *Link {
+	l := NewLink(f.eng, bps, propNs, capBytes, deliver, onDrop)
+	l.Name = name
+	f.links = append(f.links, l)
+	return l
+}
+
+// AddSource registers a paced traffic source. Configure its fields, then
+// Start it.
+func (f *Fabric) AddSource(name string, gen trafficgen.Source, out *Link, sendBps float64) *SourceNode {
+	s := &SourceNode{eng: f.eng, Name: name, Gen: gen, Out: out, SendBps: sendBps}
+	s.sendFn = s.sendNext
+	f.sources = append(f.sources, s)
+	return s
+}
+
+// AddSink registers a terminal sink recording delivery latency.
+func (f *Fabric) AddSink(name string, windowEnd int64, recycle func(*packet.Packet)) *SinkNode {
+	s := &SinkNode{eng: f.eng, Name: name, WindowEnd: windowEnd, Recycle: recycle}
+	f.sinks = append(f.sinks, s)
+	return s
+}
+
+// LinkStats is one link's per-hop report.
+type LinkStats struct {
+	Name      string
+	TxPackets uint64
+	TxBits    uint64
+	Drops     uint64
+	Lost      uint64
+	// UtilPct is the fraction of the reported window the link spent
+	// transmitting, as a percentage of line rate.
+	UtilPct float64
+}
+
+// LinkReports returns per-hop link statistics in wiring order, with
+// utilization computed over elapsedNs (pass the measurement window, or
+// Engine().Now() for the whole run).
+func (f *Fabric) LinkReports(elapsedNs int64) []LinkStats {
+	out := make([]LinkStats, 0, len(f.links))
+	for _, l := range f.links {
+		out = append(out, LinkStats{
+			Name:      l.Name,
+			TxPackets: l.Tx.Value(),
+			TxBits:    l.TxBits.Value(),
+			Drops:     l.Drops.Value(),
+			Lost:      l.Lost.Value(),
+			UtilPct:   100 * l.Utilization(elapsedNs),
+		})
+	}
+	return out
+}
+
+// SwitchStats is one switch node's per-hop report: forwarding counters
+// plus the PayloadPark counters summed over its installed programs.
+type SwitchStats struct {
+	Name   string
+	Rx, Tx uint64
+	Drops  uint64
+	// Program counters (zero on pure L2 switches).
+	Splits, Merges, Evictions, Premature, OccupiedSkips, SmallSkips uint64
+	// Occupancy is the number of parked payloads still held at report
+	// time (orphan detection in failure scenarios).
+	Occupancy int
+	// SRAMAvgPct is the average per-stage SRAM utilization of pipe 0.
+	SRAMAvgPct float64
+}
+
+// SwitchReports returns per-switch statistics in creation order.
+func (f *Fabric) SwitchReports() []SwitchStats {
+	out := make([]SwitchStats, 0, len(f.switches))
+	for _, n := range f.switches {
+		st := SwitchStats{
+			Name:  n.Name,
+			Rx:    n.SW.RxPackets(),
+			Tx:    n.SW.TxPackets(),
+			Drops: n.SW.TotalDrops(),
+		}
+		for _, prog := range n.SW.Programs() {
+			st.Splits += prog.C.Splits.Value()
+			st.Merges += prog.C.Merges.Value()
+			st.Evictions += prog.C.Evictions.Value()
+			st.Premature += prog.C.PrematureEvictions.Value()
+			st.OccupiedSkips += prog.C.OccupiedSkips.Value()
+			st.SmallSkips += prog.C.SmallPayloadSkips.Value()
+			st.Occupancy += prog.Occupancy()
+		}
+		if len(n.SW.Programs()) > 0 {
+			st.SRAMAvgPct = n.SW.Pipe(0).Resources().SRAMAvgPct
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// maxWireFrame sizes the per-switch serialization scratch of wire-parse
+// hops (headers + 1500 B payload + cascaded PayloadPark headers).
+const maxWireFrame = 2048
+
+// portHooks is the per-ingress-port drop handling of a switch node: a
+// shared switch (the multi-server preset) charges each tenant's drops to
+// that tenant's own counters and packet pool.
+type portHooks struct {
+	onDrop     func(Parcel, string)
+	onConsumed func(Parcel)
+}
+
+// SwitchNode wraps one core.Switch into the fabric: per-port cables,
+// static routes (the switch's own L2 table), per-ingress-port drop
+// handling, and optional byte-level re-parsing between cascaded
+// programmable switches.
+type SwitchNode struct {
+	f    *Fabric
+	Name string
+	// SW is the behavioural dataplane. Attach programs and routes
+	// directly (AttachPayloadPark, AddL2Route).
+	SW *core.Switch
+	// WireParse makes ingress byte-accurate: arriving packets are
+	// serialized and re-parsed with this switch's per-port header
+	// geometry, exactly as frames cross real inter-switch cables. This is
+	// what lets cascaded PayloadPark programs treat an upstream program's
+	// header as opaque payload (§7 striping); single-switch topologies
+	// leave it off and pass parsed packets straight through, the fast
+	// path the presets rely on. Re-parsing recycles packet objects and
+	// the serialization scratch per switch, so steady state allocates
+	// nothing.
+	WireParse bool
+	// OnDrop receives unintended switch drops (unknown MAC, premature
+	// eviction, bad tag); OnConsumed receives intended explicit-drop
+	// consumption. Required unless every cabled ingress port overrides
+	// them via IngressWith.
+	OnDrop     func(Parcel, string)
+	OnConsumed func(Parcel)
+
+	out      [core.NumPorts]*Link
+	hooks    [core.NumPorts]portHooks
+	ingress  [core.NumPorts]func(Parcel)
+	routeFns [core.NumPorts]func(Parcel)
+
+	em   core.Emission
+	buf  []byte
+	pool []*packet.Packet
+}
+
+// SetOut cables egress port to a link. Emissions routed to an uncabled
+// port are dropped with reason "no route".
+func (n *SwitchNode) SetOut(port rmt.PortID, l *Link) { n.out[port] = l }
+
+// Ingress returns the delivery handler for packets arriving on port,
+// using the node-level drop hooks. The handler is built once per port;
+// links deliver through it without per-packet allocation.
+func (n *SwitchNode) Ingress(port rmt.PortID) func(Parcel) {
+	return n.IngressWith(port, nil, nil)
+}
+
+// IngressWith is Ingress with per-port drop handling: drops of packets
+// that entered on this port go to onDrop/onConsumed instead of the
+// node-level hooks (nil falls back). The multi-server preset uses this to
+// charge each tenant's drops to its own counters.
+func (n *SwitchNode) IngressWith(port rmt.PortID, onDrop func(Parcel, string), onConsumed func(Parcel)) func(Parcel) {
+	if onDrop != nil || onConsumed != nil {
+		n.hooks[port] = portHooks{onDrop: onDrop, onConsumed: onConsumed}
+	}
+	if h := n.ingress[port]; h != nil {
+		return h
+	}
+	h := func(p Parcel) { n.handle(p, port) }
+	n.ingress[port] = h
+	n.routeFns[port] = func(p Parcel) { n.route(p, port) }
+	return h
+}
+
+func (n *SwitchNode) dropOf(port rmt.PortID) func(Parcel, string) {
+	if h := n.hooks[port].onDrop; h != nil {
+		return h
+	}
+	return n.OnDrop
+}
+
+func (n *SwitchNode) consumedOf(port rmt.PortID) func(Parcel) {
+	if h := n.hooks[port].onConsumed; h != nil {
+		return h
+	}
+	return n.OnConsumed
+}
+
+// handle runs one arriving packet through the switch and schedules its
+// emission after the traversal latency.
+func (n *SwitchNode) handle(p Parcel, in rmt.PortID) {
+	if n.WireParse {
+		if !n.reparse(&p, in) {
+			n.dropOf(in)(p, "wire parse error")
+			return
+		}
+	}
+	ok, reason := n.SW.InjectReuse(p.Pkt, in, &n.em)
+	if !ok {
+		if reason != core.DropExplicitDrop {
+			n.dropOf(in)(p, reason)
+		} else {
+			n.consumedOf(in)(p)
+		}
+		return
+	}
+	p.Pkt = n.em.Pkt
+	p.egress = n.em.Port
+	n.f.eng.ScheduleParcel(n.em.LatencyNs, n.routeFns[in], p)
+}
+
+// route forwards an emission onto the cable of its egress port. in is the
+// ingress port the packet arrived on, which owns the drop handling.
+func (n *SwitchNode) route(p Parcel, in rmt.PortID) {
+	if int(p.egress) >= len(n.out) || n.out[p.egress] == nil {
+		n.dropOf(in)(p, "no route")
+		return
+	}
+	n.out[p.egress].Send(p)
+}
+
+// reparse crosses the wire boundary: the parcel's packet is serialized
+// into the node's scratch and re-parsed with this switch's per-port
+// header geometry, so a downstream program sees exactly the bytes an
+// upstream one emitted (its PayloadPark header becomes opaque payload).
+// The retired packet object joins the node pool and backs a later
+// re-parse — steady state allocates nothing.
+func (n *SwitchNode) reparse(p *Parcel, in rmt.PortID) bool {
+	n.buf = p.Pkt.AppendSerialize(n.buf[:0])
+	var np *packet.Packet
+	if k := len(n.pool); k > 0 {
+		np = n.pool[k-1]
+		n.pool = n.pool[:k-1]
+	} else {
+		np = &packet.Packet{}
+	}
+	if err := packet.ParseAtInto(np, n.buf, n.SW.PPOffset(in)); err != nil {
+		n.pool = append(n.pool, np)
+		return false
+	}
+	n.pool = append(n.pool, p.Pkt)
+	p.Pkt = np
+	return true
+}
+
+// SourceNode paces a traffic source at a constant bit rate over frame
+// bits, marking parcels born inside [WindowStart, WindowEnd) as
+// in-window and stopping once the next departure would pass StopAt.
+type SourceNode struct {
+	eng  *Engine
+	Name string
+	Gen  trafficgen.Source
+	Out  *Link
+	// SendBps is the offered load in frame bits/second.
+	SendBps float64
+	// WindowStart/WindowEnd bound the measurement window for in-window
+	// marking; StopAt is the generation horizon.
+	WindowStart, WindowEnd, StopAt int64
+	// OnSend, when set, observes every in-window departure (offered-load
+	// accounting).
+	OnSend func(Parcel)
+
+	sendFn func()
+}
+
+// Start schedules the first departure at absolute time at.
+func (s *SourceNode) Start(at int64) { s.eng.ScheduleAt(at, s.sendFn) }
+
+func (s *SourceNode) sendNext() {
+	pkt := s.Gen.Next()
+	now := s.eng.Now()
+	p := Parcel{Pkt: pkt, Born: now, InWindow: now >= s.WindowStart && now < s.WindowEnd}
+	if p.InWindow && s.OnSend != nil {
+		s.OnSend(p)
+	}
+	s.Out.Send(p)
+	gapNs := int64(float64(pkt.Len()*8) / s.SendBps * 1e9)
+	if gapNs < 1 {
+		gapNs = 1
+	}
+	if now+gapNs < s.StopAt {
+		s.eng.Schedule(gapNs, s.sendFn)
+	}
+}
+
+// SinkNode terminates a path: in-window deliveries before WindowEnd are
+// counted and their end-to-end latency observed, and every packet is
+// recycled to its source pool.
+type SinkNode struct {
+	eng  *Engine
+	Name string
+	// WindowEnd caps measurement; late arrivals still recycle.
+	WindowEnd int64
+	// Recycle returns retired packets to their generator.
+	Recycle func(*packet.Packet)
+	// Hist, when set, also feeds a latency histogram (P99 reporting).
+	Hist *stats.Histogram
+
+	Delivered uint64
+	Latency   stats.Summary
+}
+
+// Receive is the link-delivery handler.
+func (s *SinkNode) Receive(p Parcel) {
+	if p.InWindow && s.eng.Now() <= s.WindowEnd {
+		s.Delivered++
+		us := float64(s.eng.Now()-p.Born) / 1e3
+		s.Latency.Observe(us)
+		if s.Hist != nil {
+			s.Hist.Observe(us)
+		}
+	}
+	s.Recycle(p.Pkt)
+}

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// FabricDataplaneConfig drives a chain of striped PayloadPark switches as
+// fast as the host allows — the fabric analogue of DataplaneConfig. Each
+// switch runs one program per active pipe and parks its own 160-byte
+// block, treating the upstream switch's header as opaque payload (§7
+// striping); frames cross inter-switch hops as bytes, re-parsed with the
+// receiving switch's port geometry. With Pipelined set, every switch gets
+// its own ParallelDriver and its own worker goroutine, so switch k
+// processes batch n while switch k+1 still holds batch n-1 — pipeline
+// parallelism across switches stacked on the per-pipe parallelism inside
+// each driver.
+type FabricDataplaneConfig struct {
+	// Switches is the chain length (1..4, default 2: think ingress leaf
+	// plus spine).
+	Switches int
+	// Pipes is how many pipes carry traffic per switch (1..core.NumPipes).
+	Pipes int
+	// Packets is the number of distinct packets pre-built per pipe.
+	Packets int
+	// Rounds is how many full fabric round trips each packet makes.
+	Rounds int
+	// Batch is the injection batch size (default 256).
+	Batch int
+	// Pipelined runs one driver+worker per switch instead of walking the
+	// chain sequentially on one goroutine.
+	Pipelined bool
+	// Size is the generated packet size in bytes (default 882). It must
+	// leave every switch in the chain enough payload to park.
+	Size int
+	// Slots sizes each program's lookup table (default 8192).
+	Slots int
+	// Seed drives traffic generation.
+	Seed int64
+}
+
+func (c *FabricDataplaneConfig) fillDefaults() {
+	if c.Switches == 0 {
+		c.Switches = 2
+	}
+	if c.Pipes == 0 {
+		c.Pipes = core.NumPipes
+	}
+	if c.Packets == 0 {
+		c.Packets = 1024
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 32
+	}
+	if c.Batch == 0 {
+		c.Batch = 256
+	}
+	if c.Size == 0 {
+		c.Size = 882
+	}
+	if c.Slots == 0 {
+		c.Slots = 8192
+	}
+}
+
+// FabricDataplaneResult reports a fabric dataplane drive.
+type FabricDataplaneResult struct {
+	// Packets is the total number of injections across the chain
+	// (each round trip costs one split and one merge per switch).
+	Packets uint64
+	// Elapsed is the wall-clock drive time.
+	Elapsed     time.Duration
+	NsPerPacket float64
+	Mpps        float64
+	// Splits/Merges are summed over every switch's programs; PerSwitch
+	// holds the per-switch split counts (striping evidence).
+	Splits, Merges uint64
+	PerSwitch      []uint64
+	// Workers is the total pipe-worker count across drivers (1 when
+	// sequential).
+	Workers int
+}
+
+// String renders a one-line summary.
+func (r FabricDataplaneResult) String() string {
+	return fmt.Sprintf("packets=%d elapsed=%s ns/pkt=%.0f Mpps=%.2f workers=%d splits=%d merges=%d",
+		r.Packets, r.Elapsed.Round(time.Millisecond), r.NsPerPacket, r.Mpps, r.Workers, r.Splits, r.Merges)
+}
+
+// fabStage is one switch of the chain plus its injection function.
+type fabStage struct {
+	sw     *core.Switch
+	inject func([]core.BatchPacket, []core.BatchResult)
+	driver *core.ParallelDriver
+}
+
+// fabBatch is one batch's reusable state as it moves along the chain:
+// per-switch packet objects (each switch parses arriving frames into its
+// own), the wire-frame buffers between hops, and the injection scratch.
+type fabBatch struct {
+	n      int
+	trips  int
+	pkts   [][]*packet.Packet // [switch][slot]
+	frames [][]byte           // [slot] serialized wire frames
+	pipes  []int              // [slot] pipe assignment
+	bp     []core.BatchPacket
+	res    []core.BatchResult
+}
+
+// buildFabricDataplane constructs the switch chain and the batches.
+func buildFabricDataplane(cfg FabricDataplaneConfig) ([]*fabStage, []*fabBatch) {
+	stages := make([]*fabStage, cfg.Switches)
+	for k := range stages {
+		sw := core.NewSwitch(fmt.Sprintf("fab%d", k))
+		for pipe := 0; pipe < cfg.Pipes; pipe++ {
+			splitPort, mergePort, sinkPort := dataplanePorts(pipe)
+			nfMAC, sinkMAC := dataplaneMACs(pipe)
+			sw.AddL2Route(nfMAC, mergePort)
+			if k == 0 {
+				sw.AddL2Route(sinkMAC, sinkPort)
+			} else {
+				// Downstream switches return merged traffic toward the
+				// upstream switch over the same cable it arrived on.
+				sw.AddL2Route(sinkMAC, splitPort)
+			}
+			if _, err := sw.AttachPayloadPark(core.Config{
+				Slots: cfg.Slots, MaxExpiry: 1,
+				SplitPort: splitPort, MergePort: mergePort,
+			}, -1); err != nil {
+				panic(fmt.Sprintf("sim: fabric dataplane attach %d/%d: %v", k, pipe, err))
+			}
+		}
+		stages[k] = &fabStage{sw: sw, inject: sw.InjectBatch}
+	}
+
+	// Pre-build the traffic, sliced into batches round-robin over pipes.
+	total := cfg.Pipes * cfg.Packets
+	var batches []*fabBatch
+	gens := make([]*trafficgen.Generator, cfg.Pipes)
+	for pipe := range gens {
+		nfMAC, _ := dataplaneMACs(pipe)
+		gens[pipe] = trafficgen.New(trafficgen.Config{
+			Sizes: trafficgen.Fixed(cfg.Size), Flows: 256,
+			SrcMAC: MACGen, DstMAC: nfMAC,
+			DstIP: packet.IPv4Addr{10, 3, byte(pipe), 9}, DstPort: 80,
+			Seed: cfg.Seed + int64(pipe),
+		})
+	}
+	for off := 0; off < total; off += cfg.Batch {
+		n := cfg.Batch
+		if off+n > total {
+			n = total - off
+		}
+		b := &fabBatch{
+			n:      n,
+			pkts:   make([][]*packet.Packet, cfg.Switches),
+			frames: make([][]byte, n),
+			pipes:  make([]int, n),
+			bp:     make([]core.BatchPacket, n),
+			res:    make([]core.BatchResult, n),
+		}
+		for k := range b.pkts {
+			b.pkts[k] = make([]*packet.Packet, n)
+		}
+		for i := 0; i < n; i++ {
+			pipe := (off + i) % cfg.Pipes
+			b.pipes[i] = pipe
+			b.pkts[0][i] = gens[pipe].Next()
+			for k := 1; k < cfg.Switches; k++ {
+				b.pkts[k][i] = &packet.Packet{}
+			}
+			b.frames[i] = make([]byte, 0, maxWireFrame)
+		}
+		batches = append(batches, b)
+	}
+	return stages, batches
+}
+
+// serializeEmissions writes each slot's emission into its frame buffer.
+func (b *fabBatch) serializeEmissions() {
+	for i := 0; i < b.n; i++ {
+		if b.res[i].OK {
+			b.frames[i] = b.res[i].Em.Pkt.AppendSerialize(b.frames[i][:0])
+		}
+	}
+}
+
+// parseInto re-parses the frames into switch k's packet objects, using
+// the geometry of the port each slot is about to enter.
+func (b *fabBatch) parseInto(st *fabStage, k int, merge bool) {
+	for i := 0; i < b.n; i++ {
+		splitPort, mergePort, _ := dataplanePorts(b.pipes[i])
+		in := splitPort
+		if merge {
+			in = mergePort
+		}
+		pkt := b.pkts[k][i]
+		if err := packet.ParseAtInto(pkt, b.frames[i], st.sw.PPOffset(in)); err != nil {
+			panic(fmt.Sprintf("sim: fabric dataplane reparse: %v", err))
+		}
+		b.bp[i] = core.BatchPacket{Pkt: pkt, In: in}
+	}
+}
+
+// fabSplit injects the batch on switch k's split ports. For k == 0 the
+// packets are the generator originals (already parsed); deeper switches
+// parse the arriving frames first.
+func fabSplit(st *fabStage, b *fabBatch, k int) {
+	if k == 0 {
+		for i := 0; i < b.n; i++ {
+			splitPort, _, _ := dataplanePorts(b.pipes[i])
+			nfMAC, _ := dataplaneMACs(b.pipes[i])
+			pkt := b.pkts[0][i]
+			pkt.Eth.Dst = nfMAC
+			b.bp[i] = core.BatchPacket{Pkt: pkt, In: splitPort}
+		}
+	} else {
+		b.parseInto(st, k, false)
+	}
+	st.inject(b.bp, b.res)
+	b.serializeEmissions()
+}
+
+// fabTurnaround plays the NF at the end of the chain: the deepest split
+// emissions turn around onto the merge ports, readdressed to the sink.
+func fabTurnaround(st *fabStage, b *fabBatch) {
+	for i := 0; i < b.n; i++ {
+		_, mergePort, _ := dataplanePorts(b.pipes[i])
+		_, sinkMAC := dataplaneMACs(b.pipes[i])
+		pkt := b.res[i].Em.Pkt
+		pkt.Eth.Dst = sinkMAC
+		b.bp[i] = core.BatchPacket{Pkt: pkt, In: mergePort}
+	}
+	st.inject(b.bp, b.res)
+	b.serializeEmissions()
+}
+
+// fabMerge re-parses the returning frames and merges them on switch k.
+// At k == 0 the batch's slot-0 packet objects end up holding the fully
+// restored originals, ready for the next round.
+func fabMerge(st *fabStage, b *fabBatch, k int) {
+	b.parseInto(st, k, true)
+	st.inject(b.bp, b.res)
+	if k == 0 {
+		for i := 0; i < b.n; i++ {
+			b.pkts[0][i] = b.res[i].Em.Pkt
+		}
+	} else {
+		b.serializeEmissions()
+	}
+}
+
+// RunFabricDataplane builds and drives the striped switch chain,
+// reporting throughput. Each round trip splits at every switch on the way
+// in and merges at every switch on the way back, so the restored packets
+// are byte-identical originals and rounds reuse them without touching
+// generator state.
+func RunFabricDataplane(cfg FabricDataplaneConfig) FabricDataplaneResult {
+	cfg.fillDefaults()
+	if cfg.Switches < 1 || cfg.Switches > 4 {
+		panic(fmt.Sprintf("sim: fabric dataplane supports 1..4 switches, got %d", cfg.Switches))
+	}
+	// Every switch downstream of the first sees the upstream park replace
+	// 160 payload bytes with a 7-byte header; the deepest still needs a
+	// full parkable block.
+	if need := packet.HeaderUnitLen + core.BaseParkBytes +
+		(cfg.Switches-1)*(core.BaseParkBytes-packet.PPHeaderLen); cfg.Size < need {
+		panic(fmt.Sprintf("sim: %d B packets too small for %d striping switches (need >= %d)", cfg.Size, cfg.Switches, need))
+	}
+	stages, batches := buildFabricDataplane(cfg)
+
+	workers := 1
+	if cfg.Pipelined {
+		workers = 0
+		for _, st := range stages {
+			st.driver = core.NewParallelDriver(st.sw)
+			st.inject = st.driver.InjectBatch
+			workers += st.driver.Workers()
+		}
+		defer func() {
+			for _, st := range stages {
+				st.driver.Close()
+			}
+		}()
+	}
+
+	injectionsPerTrip := uint64(2 * cfg.Switches)
+	var injected uint64
+	start := time.Now()
+
+	if !cfg.Pipelined {
+		for _, b := range batches {
+			for r := 0; r < cfg.Rounds; r++ {
+				for k := 0; k < cfg.Switches; k++ {
+					fabSplit(stages[k], b, k)
+				}
+				fabTurnaround(stages[cfg.Switches-1], b)
+				for k := cfg.Switches - 2; k >= 0; k-- {
+					fabMerge(stages[k], b, k)
+				}
+				injected += injectionsPerTrip * uint64(b.n)
+			}
+		}
+	} else {
+		injected = runPipelined(cfg, stages, batches, injectionsPerTrip)
+	}
+	elapsed := time.Since(start)
+
+	res := FabricDataplaneResult{Packets: injected, Elapsed: elapsed, Workers: workers}
+	if injected > 0 {
+		res.NsPerPacket = float64(elapsed.Nanoseconds()) / float64(injected)
+		res.Mpps = float64(injected) / elapsed.Seconds() / 1e6
+	}
+	for _, st := range stages {
+		var s uint64
+		for _, prog := range st.sw.Programs() {
+			s += prog.C.Splits.Value()
+			res.Merges += prog.C.Merges.Value()
+		}
+		res.Splits += s
+		res.PerSwitch = append(res.PerSwitch, s)
+	}
+	return res
+}
+
+// fabMsg moves a batch between switch workers; fwd tells the receiver
+// which direction the batch is traveling.
+type fabMsg struct {
+	b   *fabBatch
+	fwd bool
+}
+
+// runPipelined drives the chain with one worker goroutine per switch.
+// Worker k owns switch k exclusively (ParallelDriver batches are not
+// reentrant); batches circulate A -> ... -> Z -> ... -> A, so up to
+// len(batches) round trips overlap across the chain.
+func runPipelined(cfg FabricDataplaneConfig, stages []*fabStage, batches []*fabBatch, perTrip uint64) uint64 {
+	n := len(stages)
+	if n == 1 {
+		// Degenerate chain: the single driver still parallelizes pipes.
+		var injected uint64
+		for _, b := range batches {
+			for r := 0; r < cfg.Rounds; r++ {
+				fabSplit(stages[0], b, 0)
+				fabTurnaround(stages[0], b)
+				injected += perTrip * uint64(b.n)
+			}
+		}
+		return injected
+	}
+
+	in := make([]chan fabMsg, n)
+	for k := range in {
+		in[k] = make(chan fabMsg, len(batches)+1)
+	}
+	var wg sync.WaitGroup
+	var injected uint64
+
+	// Worker 0: completes round trips, launches the next one, retires
+	// finished batches, and tears the pipeline down when all are done.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		retired := 0
+		for msg := range in[0] {
+			b := msg.b
+			if !msg.fwd {
+				fabMerge(stages[0], b, 0)
+				b.trips++
+				injected += perTrip * uint64(b.n)
+			}
+			if b.trips == cfg.Rounds {
+				retired++
+				if retired == len(batches) {
+					close(in[1])
+					return
+				}
+				continue
+			}
+			fabSplit(stages[0], b, 0)
+			in[1] <- fabMsg{b: b, fwd: true}
+		}
+	}()
+	// Middle and last workers.
+	for k := 1; k < n; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if k+1 < n {
+				defer close(in[k+1])
+			}
+			for msg := range in[k] {
+				b := msg.b
+				if msg.fwd {
+					fabSplit(stages[k], b, k)
+					if k == n-1 {
+						fabTurnaround(stages[k], b)
+						in[k-1] <- fabMsg{b: b, fwd: false}
+					} else {
+						in[k+1] <- fabMsg{b: b, fwd: true}
+					}
+				} else {
+					fabMerge(stages[k], b, k)
+					in[k-1] <- fabMsg{b: b, fwd: false}
+				}
+			}
+		}()
+	}
+	for _, b := range batches {
+		in[0] <- fabMsg{b: b, fwd: true}
+	}
+	wg.Wait()
+	return injected
+}

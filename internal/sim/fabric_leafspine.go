@@ -1,0 +1,478 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/stats"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// ParkMode selects where a leaf-spine fabric parks payloads.
+type ParkMode uint8
+
+const (
+	// ParkNone runs the fabric as plain L2 switches (baseline).
+	ParkNone ParkMode = iota
+	// ParkEdge parks at the ingress leaf only: slim packets cross every
+	// fabric hop and the payload is restored when the headers return to
+	// the ingress leaf, just before leaving the programmable domain.
+	ParkEdge
+	// ParkEveryHop stripes the payload across the path (§7): the ingress
+	// leaf, the spine, and the egress leaf each park a block, each
+	// treating the upstream PayloadPark header as opaque payload. The
+	// NF-facing link carries the least bytes; memory pressure spreads
+	// over three switches.
+	ParkEveryHop
+)
+
+// String names the mode in reports.
+func (m ParkMode) String() string {
+	switch m {
+	case ParkEdge:
+		return "edge"
+	case ParkEveryHop:
+		return "everyhop"
+	default:
+		return "baseline"
+	}
+}
+
+// Leaf-spine port layout. Leaves use pipe-0 ports: 0 = traffic source,
+// 1 = sink, 2 = local NF server, 3+s = spine s. Spines use port i for
+// leaf i. Both layouts must fit one pipe (16 ports).
+const (
+	leafPortGen   = rmt.PortID(0)
+	leafPortSink  = rmt.PortID(1)
+	leafPortNF    = rmt.PortID(2)
+	leafPortSpine = rmt.PortID(3)
+)
+
+// FabricConfig describes one leaf-spine simulation run.
+type FabricConfig struct {
+	// Leaves and Spines size the fabric (defaults 4 and 2). Spines must
+	// be >= 2 and Leaves even when parking is enabled, so that a flow's
+	// forward path never enters the egress leaf on a merge port (spine
+	// affinity alternates with leaf parity).
+	Leaves, Spines int
+	// LinkBps is the fabric and edge link rate.
+	LinkBps float64
+	// SendBps is the offered load per traffic source.
+	SendBps float64
+	// Dist draws packet sizes; Flows is each source's 5-tuple pool size.
+	Dist  trafficgen.SizeDist
+	Flows int
+	// Mode selects the parking scheme.
+	Mode ParkMode
+	// Slots sizes each installed program's lookup table; MaxExpiry is the
+	// eviction threshold.
+	Slots     int
+	MaxExpiry uint32
+	// Server calibrates the NF servers (one per leaf).
+	Server ServerModel
+	// Seed drives all randomness.
+	Seed int64
+	// WarmupNs/MeasureNs bound the measurement window.
+	WarmupNs  int64
+	MeasureNs int64
+	// PropNs is the per-link propagation delay; QueueBytes the egress
+	// buffer per fabric port.
+	PropNs     int64
+	QueueBytes int
+	// FailLink enables the failure scenario: flow 0's forward spine->leaf
+	// link goes down at FailAtNs, and the forward path is rerouted onto
+	// the alternate spine RerouteNs later (route detection + programming
+	// delay). The parked state at the ingress leaf survives, because the
+	// merge port pins the return path; only packets in flight on the dead
+	// link orphan their parked payloads.
+	FailLink  bool
+	FailAtNs  int64
+	RerouteNs int64
+}
+
+func (c *FabricConfig) fillDefaults() {
+	if c.Leaves == 0 {
+		c.Leaves = 4
+	}
+	if c.Spines == 0 {
+		c.Spines = 2
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 10e9
+	}
+	if c.Dist == nil {
+		c.Dist = trafficgen.Datacenter{}
+	}
+	if c.Flows == 0 {
+		c.Flows = 1024
+	}
+	if c.Slots == 0 {
+		c.Slots = 8192
+	}
+	if c.MaxExpiry == 0 {
+		c.MaxExpiry = 1
+	}
+	if c.Server.FreqHz == 0 {
+		c.Server = DefaultServerModel()
+	}
+	if c.WarmupNs == 0 {
+		c.WarmupNs = 5e6
+	}
+	if c.MeasureNs == 0 {
+		c.MeasureNs = 20e6
+	}
+	if c.PropNs == 0 {
+		c.PropNs = 500
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 1 << 20
+	}
+	if c.FailAtNs == 0 {
+		c.FailAtNs = c.WarmupNs + c.MeasureNs/4
+	}
+	if c.RerouteNs == 0 {
+		c.RerouteNs = 2e6
+	}
+}
+
+// FlowResult reports one source->NF->sink flow across the fabric.
+type FlowResult struct {
+	// Name is "leaf<i>->nf<j>".
+	Name string
+	// SendGbps is the offered load measured at the source.
+	SendGbps float64
+	// GoodputGbps is the paper's header-unit goodput measured at delivery
+	// over the egress-leaf->NF link (42 B per delivered packet).
+	GoodputGbps float64
+	// ToNFGbps / ToNFMpps describe that link's actual traffic.
+	ToNFGbps float64
+	ToNFMpps float64
+	// Latency of packets delivered to the sink, microseconds.
+	AvgLatencyUs float64
+	MaxLatencyUs float64
+	// Delivered counts packets reaching the sink in-window.
+	Delivered uint64
+}
+
+// FabricResult is the outcome of one leaf-spine run: per-flow end-to-end
+// metrics plus the per-hop link and switch reports.
+type FabricResult struct {
+	Mode  string
+	Flows []FlowResult
+	// Links and Switches are the per-hop reports, in wiring order.
+	Links    []LinkStats
+	Switches []SwitchStats
+	// Aggregates over all flows.
+	SendGbps     float64
+	GoodputGbps  float64
+	AvgLatencyUs float64
+	// UnintendedDropRate is fabric-wide: every queue/ring/link/eviction
+	// drop of an in-window packet, anywhere on any path, over packets
+	// offered in-window.
+	SentWindow         uint64
+	UnintendedDrops    uint64
+	UnintendedDropRate float64
+	Healthy            bool
+	// PhaseDelivered counts flow 0's NF deliveries before the failure,
+	// during the outage, and after the reroute (all zero when the
+	// failure scenario is off).
+	PhaseDelivered [3]uint64
+}
+
+// spineOf returns the spine affinity of flow i (used for both the
+// forward and the return path, which is what pins the merge port).
+func (c *FabricConfig) spineOf(i int) int { return i % c.Spines }
+
+func leafSpineMACs(i int) (gen, nfm packet.MAC) {
+	return packet.MAC{0x02, 0x40, 0, 0, 0, byte(i)}, packet.MAC{0x02, 0x50, 0, 0, 0, byte(i)}
+}
+
+// RunLeafSpine simulates a leaf-spine fabric: every leaf hosts a traffic
+// source, a sink, and an NF server running a MAC-swap chain; flow i
+// enters at leaf i and is served by the NF at leaf (i+1) mod Leaves,
+// crossing spine i mod Spines in both directions. Parking follows
+// cfg.Mode; static route tables (each switch's L2 table) map every flow
+// to its port path.
+func RunLeafSpine(cfg FabricConfig) FabricResult {
+	cfg.fillDefaults()
+	L, S := cfg.Leaves, cfg.Spines
+	if L < 2 || L > 16 || S < 1 || S > 13 {
+		panic(fmt.Sprintf("sim: leaf-spine %dx%d outside supported geometry", L, S))
+	}
+	if cfg.Mode != ParkNone {
+		// A slim transit packet entering the egress leaf on that leaf's
+		// merge port would be treated as a merge with a foreign tag and
+		// dropped as a premature eviction, so every flow's spine affinity
+		// must differ from its egress leaf's (4x2 and 6x3 qualify; 4x3
+		// does not — flow 3's affinity collides with leaf 0's).
+		for i := 0; i < L; i++ {
+			if cfg.spineOf(i) == cfg.spineOf((i+1)%L) {
+				panic(fmt.Sprintf("sim: leaf-spine %dx%d cannot park: flow %d's forward path enters leaf %d on its merge port", L, S, i, (i+1)%L))
+			}
+		}
+		if cfg.FailLink && S < 3 {
+			panic(fmt.Sprintf("sim: parking-safe reroute needs a third spine (got %d): with two, the alternate path arrives on the egress leaf's merge port", S))
+		}
+	}
+
+	f := NewFabric()
+	eng := f.Engine()
+	windowStart := cfg.WarmupNs
+	windowEnd := cfg.WarmupNs + cfg.MeasureNs
+
+	// Nodes first: leaves, then spines, so reports read in that order.
+	leaves := make([]*SwitchNode, L)
+	for i := range leaves {
+		leaves[i] = f.AddSwitch(fmt.Sprintf("leaf%d", i))
+	}
+	spines := make([]*SwitchNode, S)
+	for s := range spines {
+		spines[s] = f.AddSwitch(fmt.Sprintf("spine%d", s))
+	}
+
+	// Static routes. Flow i: leaf i -> spine i%S -> leaf (i+1)%L -> NF,
+	// and the exact reverse for the returning headers.
+	for i := 0; i < L; i++ {
+		for k := 0; k < L; k++ {
+			genK, nfK := leafSpineMACs(k)
+			if k == i {
+				// NF k hangs off this leaf; merged headers for source k
+				// leave toward its sink.
+				leaves[i].SW.AddL2Route(nfK, leafPortNF)
+				leaves[i].SW.AddL2Route(genK, leafPortSink)
+				continue
+			}
+			// Toward NF k: the flow sourced at leaf k-1 owns the path.
+			leaves[i].SW.AddL2Route(nfK, leafPortSpine+rmt.PortID(cfg.spineOf((k-1+L)%L)))
+			// Toward source k: the return path of flow k.
+			leaves[i].SW.AddL2Route(genK, leafPortSpine+rmt.PortID(cfg.spineOf(k)))
+		}
+	}
+	for s := 0; s < S; s++ {
+		for k := 0; k < L; k++ {
+			genK, nfK := leafSpineMACs(k)
+			spines[s].SW.AddL2Route(nfK, rmt.PortID(k))
+			spines[s].SW.AddL2Route(genK, rmt.PortID(k))
+		}
+	}
+
+	// Programs.
+	attach := func(n *SwitchNode, split, merge rmt.PortID) {
+		if _, err := n.SW.AttachPayloadPark(core.Config{
+			Slots: cfg.Slots, MaxExpiry: cfg.MaxExpiry,
+			SplitPort: split, MergePort: merge,
+		}, -1); err != nil {
+			panic(fmt.Sprintf("sim: leaf-spine attach %s: %v", n.Name, err))
+		}
+	}
+	if cfg.Mode != ParkNone {
+		// Ingress-leaf programs: split what the source sends, merge what
+		// returns from this flow's spine.
+		for i := 0; i < L; i++ {
+			attach(leaves[i], leafPortGen, leafPortSpine+rmt.PortID(cfg.spineOf(i)))
+		}
+	}
+	if cfg.Mode == ParkEveryHop {
+		// Striping parks again at the spine and at the egress leaf; each
+		// downstream program sees the upstream header as payload, which
+		// requires byte-accurate hops.
+		for _, n := range leaves {
+			n.WireParse = true
+		}
+		for _, n := range spines {
+			n.WireParse = true
+		}
+		for i := 0; i < L; i++ {
+			j := (i + 1) % L
+			attach(spines[cfg.spineOf(i)], rmt.PortID(i), rmt.PortID(j))
+			// Last-hop program at the egress leaf: split what arrives from
+			// the flow's spine, merge what the local NF returns.
+			attach(leaves[j], leafPortSpine+rmt.PortID(cfg.spineOf(i)), leafPortNF)
+		}
+	}
+
+	// Per-flow state.
+	type flowState struct {
+		gen      *trafficgen.Generator
+		sink     *SinkNode
+		goodput  *stats.RateMeter
+		toNF     *stats.RateMeter
+		sentBits *stats.RateMeter
+	}
+	flows := make([]*flowState, L)
+	var sentWindow, unintendedDrops uint64
+	// dropFor builds a drop hook recycling into flow r's pool. Drops can
+	// strike mid-fabric where the owning flow is unknown; recycling into a
+	// neighbour pool is harmless (generators fully rewrite reused packets).
+	dropFor := func(r int) func(Parcel, string) {
+		return func(p Parcel, _ string) {
+			if p.InWindow {
+				unintendedDrops++
+			}
+			flows[r].gen.Recycle(p.Pkt)
+		}
+	}
+	consumeFor := func(r int) func(Parcel) {
+		return func(p Parcel) { flows[r].gen.Recycle(p.Pkt) }
+	}
+
+	for i := 0; i < L; i++ {
+		gen, _ := leafSpineMACs(i)
+		_, nfDst := leafSpineMACs((i + 1) % L)
+		flows[i] = &flowState{
+			gen: trafficgen.New(trafficgen.Config{
+				Sizes: cfg.Dist, Flows: cfg.Flows,
+				SrcMAC: gen, DstMAC: nfDst,
+				DstIP: packet.IPv4Addr{10, 2, byte(i), 9}, DstPort: 80,
+				Seed: cfg.Seed + int64(i),
+			}),
+			goodput:  stats.NewRateMeter(windowStart),
+			toNF:     stats.NewRateMeter(windowStart),
+			sentBits: stats.NewRateMeter(windowStart),
+		}
+		leaves[i].OnDrop = dropFor(i)
+		leaves[i].OnConsumed = consumeFor(i)
+	}
+	for s := 0; s < S; s++ {
+		spines[s].OnDrop = dropFor(s % L)
+		spines[s].OnConsumed = consumeFor(s % L)
+	}
+
+	// Failure bookkeeping (flow 0).
+	var phaseDelivered [3]uint64
+	phase := func(now int64) int {
+		if !cfg.FailLink || now < cfg.FailAtNs {
+			return 0
+		}
+		if now < cfg.FailAtNs+cfg.RerouteNs {
+			return 1
+		}
+		return 2
+	}
+
+	// Cables. Fabric links both ways between every leaf and every spine.
+	fabricLink := func(name string, deliver func(Parcel), onDrop func(Parcel, string)) *Link {
+		return f.NewLink(name, cfg.LinkBps, cfg.PropNs, cfg.QueueBytes, deliver, onDrop)
+	}
+	var failLink *Link
+	for i := 0; i < L; i++ {
+		for s := 0; s < S; s++ {
+			up := fabricLink(fmt.Sprintf("leaf%d->spine%d", i, s),
+				spines[s].Ingress(rmt.PortID(i)), dropFor(i))
+			leaves[i].SetOut(leafPortSpine+rmt.PortID(s), up)
+			down := fabricLink(fmt.Sprintf("spine%d->leaf%d", s, i),
+				leaves[i].Ingress(leafPortSpine+rmt.PortID(s)), dropFor(i))
+			spines[s].SetOut(rmt.PortID(i), down)
+			if cfg.FailLink && s == cfg.spineOf(0) && i == 1%L {
+				failLink = down // flow 0's forward last fabric hop
+			}
+		}
+	}
+
+	// Edge cables: source, sink, and NF server per leaf.
+	for i := 0; i < L; i++ {
+		i := i
+		fs := flows[i]
+		j := (i + 1) % L
+
+		genLink := f.NewLink(fmt.Sprintf("gen%d->leaf%d", i, i),
+			2*cfg.LinkBps, cfg.PropNs, 4<<20, leaves[i].Ingress(leafPortGen), dropFor(i))
+
+		fs.sink = f.AddSink(fmt.Sprintf("sink%d", i), windowEnd, fs.gen.Recycle)
+		sinkLink := f.NewLink(fmt.Sprintf("leaf%d->sink%d", i, i),
+			2*cfg.LinkBps, cfg.PropNs, 2*cfg.QueueBytes, fs.sink.Receive, dropFor(i))
+		leaves[i].SetOut(leafPortSink, sinkLink)
+
+		// The NF at leaf j serves flow i: its delivery tap owns flow i's
+		// goodput meters.
+		srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.MACSwap{})})
+		returnLink := f.NewLink(fmt.Sprintf("nf%d->leaf%d", j, j),
+			cfg.LinkBps, cfg.PropNs, cfg.QueueBytes, leaves[j].Ingress(leafPortNF), dropFor(i))
+		srvSim := NewServerSim(eng, cfg.Server, srv, cfg.Seed+(int64(i)+1)<<40,
+			returnLink.Send, dropFor(i), consumeFor(i))
+		toNFLink := f.NewLink(fmt.Sprintf("leaf%d->nf%d", j, j),
+			cfg.LinkBps, cfg.PropNs, cfg.QueueBytes,
+			func(p Parcel) {
+				now := eng.Now()
+				if p.InWindow && now >= windowStart && now <= windowEnd {
+					fs.goodput.Record(now, packet.HeaderUnitLen*8)
+					fs.toNF.Record(now, float64(WireBytes(p.Pkt)*8))
+				}
+				if i == 0 {
+					phaseDelivered[phase(now)]++
+				}
+				srvSim.Receive(p)
+			}, dropFor(i))
+		leaves[j].SetOut(leafPortNF, toNFLink)
+
+		src := f.AddSource(fmt.Sprintf("gen%d", i), fs.gen, genLink, cfg.SendBps)
+		src.WindowStart, src.WindowEnd = windowStart, windowEnd
+		src.StopAt = windowEnd + cfg.WarmupNs/2
+		src.OnSend = func(p Parcel) {
+			sentWindow++
+			fs.sentBits.Record(eng.Now(), float64(p.Pkt.Len()*8))
+		}
+		src.Start(int64(i) * 131) // desynchronize sources slightly
+	}
+
+	// Failure scenario: fail flow 0's forward spine->leaf link, then
+	// repoint the forward route onto an alternate spine. With parking on,
+	// the alternate must avoid both the dead spine and the spine whose
+	// arrival port is the egress leaf's merge port (validated above);
+	// parked state at leaf 0 survives because the merge port pins the
+	// untouched return path.
+	if cfg.FailLink {
+		_, nfDst := leafSpineMACs(1 % L)
+		alt := (cfg.spineOf(0) + 1) % S
+		if cfg.Mode != ParkNone {
+			for alt == cfg.spineOf(0) || alt == cfg.spineOf(1%L) {
+				alt = (alt + 1) % S
+			}
+		}
+		altPort := leafPortSpine + rmt.PortID(alt)
+		eng.ScheduleAt(cfg.FailAtNs, func() { failLink.Down = true })
+		eng.ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
+			leaves[0].SW.AddL2Route(nfDst, altPort)
+		})
+	}
+
+	f.Run(windowEnd + cfg.WarmupNs)
+
+	// Harvest.
+	res := FabricResult{
+		Mode:            cfg.Mode.String(),
+		Links:           f.LinkReports(windowEnd + cfg.WarmupNs),
+		Switches:        f.SwitchReports(),
+		SentWindow:      sentWindow,
+		UnintendedDrops: unintendedDrops,
+		PhaseDelivered:  phaseDelivered,
+	}
+	for i, fs := range flows {
+		fs.sentBits.CloseAt(windowEnd)
+		fs.goodput.CloseAt(windowEnd)
+		fs.toNF.CloseAt(windowEnd)
+		fr := FlowResult{
+			Name:         fmt.Sprintf("leaf%d->nf%d", i, (i+1)%L),
+			SendGbps:     fs.sentBits.Gbps(),
+			GoodputGbps:  fs.goodput.Gbps(),
+			ToNFGbps:     fs.toNF.Gbps(),
+			ToNFMpps:     fs.goodput.Mpps(),
+			AvgLatencyUs: fs.sink.Latency.Mean(),
+			MaxLatencyUs: fs.sink.Latency.Max(),
+			Delivered:    fs.sink.Delivered,
+		}
+		res.Flows = append(res.Flows, fr)
+		res.SendGbps += fr.SendGbps
+		res.GoodputGbps += fr.GoodputGbps
+		res.AvgLatencyUs += fr.AvgLatencyUs
+	}
+	res.AvgLatencyUs /= float64(L)
+	if sentWindow > 0 {
+		res.UnintendedDropRate = float64(unintendedDrops) / float64(sentWindow)
+	}
+	res.Healthy = res.UnintendedDropRate < HealthyDropRate
+	return res
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+)
+
+// leafSpineSmoke is a fast 4x2 configuration for tests.
+func leafSpineSmoke(mode ParkMode, sendGbps float64) FabricConfig {
+	return FabricConfig{
+		Mode: mode, SendBps: sendGbps * 1e9, Seed: 1,
+		WarmupNs: 2e6, MeasureNs: 8e6,
+	}
+}
+
+// TestLeafSpineDeterministic: a fixed seed produces identical per-flow,
+// per-link, and per-switch statistics, run to run — including the
+// failure scenario's event timeline.
+func TestLeafSpineDeterministic(t *testing.T) {
+	for _, mode := range []ParkMode{ParkNone, ParkEdge, ParkEveryHop} {
+		a := RunLeafSpine(leafSpineSmoke(mode, 9))
+		b := RunLeafSpine(leafSpineSmoke(mode, 9))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %s: identical configs diverged:\n%+v\n%+v", mode, a, b)
+		}
+	}
+	mk := func() FabricConfig {
+		cfg := FabricConfig{
+			Leaves: 6, Spines: 3,
+			Mode: ParkEdge, SendBps: 4e9, Seed: 3,
+			WarmupNs: 2e6, MeasureNs: 10e6, FailLink: true,
+		}
+		return cfg
+	}
+	a, b := RunLeafSpine(mk()), RunLeafSpine(mk())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("failure scenario diverged:\n%+v\n%+v", a, b)
+	}
+	// And the seed genuinely matters.
+	cfg := leafSpineSmoke(ParkEdge, 9)
+	cfg.Seed = 2
+	c := RunLeafSpine(cfg)
+	first := RunLeafSpine(leafSpineSmoke(ParkEdge, 9))
+	if reflect.DeepEqual(first.Flows, c.Flows) {
+		t.Error("different seeds produced identical flows (suspicious)")
+	}
+}
+
+// TestLeafSpineEdgeParking: below saturation, edge parking delivers the
+// same header-unit goodput as the baseline while moving fewer bytes over
+// every fabric hop, and all parked payloads are reclaimed.
+func TestLeafSpineEdgeParking(t *testing.T) {
+	base := RunLeafSpine(leafSpineSmoke(ParkNone, 4))
+	edge := RunLeafSpine(leafSpineSmoke(ParkEdge, 4))
+	if !base.Healthy || !edge.Healthy {
+		t.Fatalf("unhealthy below saturation: base=%+v edge=%+v", base, base.Healthy)
+	}
+	if d := edge.GoodputGbps/base.GoodputGbps - 1; d > 0.01 || d < -0.01 {
+		t.Errorf("goodput diverged below saturation: base=%.3f edge=%.3f", base.GoodputGbps, edge.GoodputGbps)
+	}
+	for i := range edge.Flows {
+		if edge.Flows[i].ToNFGbps >= base.Flows[i].ToNFGbps {
+			t.Errorf("flow %d: edge toNF %.3f >= base %.3f (no bytes saved)",
+				i, edge.Flows[i].ToNFGbps, base.Flows[i].ToNFGbps)
+		}
+	}
+	for _, sw := range edge.Switches {
+		switch sw.Name[0] {
+		case 'l':
+			if sw.Splits == 0 || sw.Splits != sw.Merges {
+				t.Errorf("%s: splits=%d merges=%d, want equal and nonzero", sw.Name, sw.Splits, sw.Merges)
+			}
+			if sw.Occupancy != 0 {
+				t.Errorf("%s: %d parked payloads leaked", sw.Name, sw.Occupancy)
+			}
+		case 's':
+			if sw.Splits != 0 {
+				t.Errorf("%s: spine split in edge mode", sw.Name)
+			}
+		}
+	}
+	// Fabric links carry slim packets: compare spine-hop bits.
+	var baseBits, edgeBits uint64
+	for i := range base.Links {
+		if strings.Contains(base.Links[i].Name, "->spine") {
+			baseBits += base.Links[i].TxBits
+			edgeBits += edge.Links[i].TxBits
+		}
+	}
+	if edgeBits >= baseBits {
+		t.Errorf("edge parking did not slim the fabric hops: %d >= %d", edgeBits, baseBits)
+	}
+}
+
+// TestLeafSpineEveryHopStripes: striping parks at the spine and the
+// egress leaf too, so the NF-facing link carries fewer bytes than under
+// edge parking, and the round trip still reclaims every slot.
+func TestLeafSpineEveryHopStripes(t *testing.T) {
+	edge := RunLeafSpine(leafSpineSmoke(ParkEdge, 4))
+	hop := RunLeafSpine(leafSpineSmoke(ParkEveryHop, 4))
+	if !hop.Healthy {
+		t.Fatalf("striping unhealthy below saturation: %+v", hop)
+	}
+	if d := hop.GoodputGbps/edge.GoodputGbps - 1; d > 0.01 || d < -0.01 {
+		t.Errorf("striping changed header goodput below saturation: edge=%.3f hop=%.3f",
+			edge.GoodputGbps, hop.GoodputGbps)
+	}
+	for i := range hop.Flows {
+		if hop.Flows[i].ToNFGbps >= edge.Flows[i].ToNFGbps {
+			t.Errorf("flow %d: everyhop NF link %.3f >= edge %.3f", i,
+				hop.Flows[i].ToNFGbps, edge.Flows[i].ToNFGbps)
+		}
+	}
+	for _, sw := range hop.Switches {
+		if sw.Splits == 0 || sw.Splits != sw.Merges {
+			t.Errorf("%s: splits=%d merges=%d, want equal and nonzero (striping parks at every hop)",
+				sw.Name, sw.Splits, sw.Merges)
+		}
+		if sw.Occupancy != 0 {
+			t.Errorf("%s: %d parked payloads leaked", sw.Name, sw.Occupancy)
+		}
+	}
+}
+
+// TestLeafSpineFailureReroute: the dead link blackholes flow 0 until the
+// reroute lands; afterwards delivery resumes with no premature
+// evictions, because the merge port pinned the untouched return path.
+func TestLeafSpineFailureReroute(t *testing.T) {
+	cfg := FabricConfig{
+		Leaves: 6, Spines: 3,
+		Mode: ParkEdge, SendBps: 4e9, Seed: 1,
+		WarmupNs: 2e6, MeasureNs: 12e6,
+		FailLink: true, FailAtNs: 5e6, RerouteNs: 1e6,
+	}
+	r := RunLeafSpine(cfg)
+	if r.PhaseDelivered[0] == 0 || r.PhaseDelivered[2] == 0 {
+		t.Fatalf("no recovery: phases=%v", r.PhaseDelivered)
+	}
+	if r.PhaseDelivered[1] > r.PhaseDelivered[0]/10 {
+		t.Errorf("outage did not blackhole flow 0: phases=%v", r.PhaseDelivered)
+	}
+	if n := totalPrematureStats(r); n != 0 {
+		t.Errorf("reroute caused %d premature evictions; the alternate path must avoid merge ports", n)
+	}
+	if r.UnintendedDrops == 0 {
+		t.Error("failure scenario recorded no drops")
+	}
+	// Only in-flight packets on the dead link orphan payloads; the orphans
+	// sit at the ingress leaf awaiting expiry eviction.
+	for _, sw := range r.Switches {
+		if sw.Name != "leaf0" && sw.Occupancy != 0 {
+			t.Errorf("%s: unexpected orphaned payloads: %d", sw.Name, sw.Occupancy)
+		}
+	}
+}
+
+func totalPrematureStats(r FabricResult) uint64 {
+	var n uint64
+	for _, s := range r.Switches {
+		n += s.Premature
+	}
+	return n
+}
+
+// TestFabricDataplaneEquivalence: the pipelined per-switch drivers are
+// observably equivalent to the sequential chain walk — same split/merge
+// counters on every switch, packets fully restored every round.
+func TestFabricDataplaneEquivalence(t *testing.T) {
+	for _, switches := range []int{2, 3} {
+		cfg := FabricDataplaneConfig{Switches: switches, Packets: 64, Rounds: 4, Batch: 32, Seed: 7}
+		seq := RunFabricDataplane(cfg)
+		cfg.Pipelined = true
+		par := RunFabricDataplane(cfg)
+		if seq.Packets == 0 || seq.Packets != par.Packets {
+			t.Fatalf("chain %d: injections seq=%d par=%d", switches, seq.Packets, par.Packets)
+		}
+		if !reflect.DeepEqual(seq.PerSwitch, par.PerSwitch) {
+			t.Errorf("chain %d: per-switch splits diverged: %v vs %v", switches, seq.PerSwitch, par.PerSwitch)
+		}
+		if seq.Splits != par.Splits || seq.Merges != par.Merges {
+			t.Errorf("chain %d: counters diverged: seq=%+v par=%+v", switches, seq, par)
+		}
+		if seq.Splits != seq.Merges {
+			t.Errorf("chain %d: splits=%d merges=%d (slots leaked)", switches, seq.Splits, seq.Merges)
+		}
+		want := uint64(switches * 64 * 4 * core.NumPipes)
+		if seq.Splits != want {
+			t.Errorf("chain %d: splits=%d, want %d (every switch parks every packet every round)",
+				switches, seq.Splits, want)
+		}
+	}
+}
+
+// TestLeafSpineGeometryValidation: invalid parking geometries panic with
+// a diagnostic rather than silently corrupting flows.
+func TestLeafSpineGeometryValidation(t *testing.T) {
+	expectPanic := func(name string, cfg FabricConfig) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		RunLeafSpine(cfg)
+	}
+	// 4x3: flow 3's affinity collides with leaf 0's merge port.
+	expectPanic("4x3", FabricConfig{Leaves: 4, Spines: 3, Mode: ParkEdge, SendBps: 1e9})
+	// Failure reroute with two spines would land on a merge port.
+	expectPanic("fail-2spines", FabricConfig{Mode: ParkEdge, SendBps: 1e9, FailLink: true})
+}

@@ -38,12 +38,19 @@ func WireBytes(p *packet.Packet) int {
 	return p.Len() + trafficgen.WireOverheadBytes
 }
 
+// DropLinkDown is the drop reason reported for packets sent into a
+// failed link (fabric link-failure scenarios).
+const DropLinkDown = "link down"
+
 // Link models a point-to-point link with an egress queue of finite byte
 // capacity (the transmit buffer of the upstream device), a serialization
 // rate, and a propagation delay. Packets overflowing the queue are
 // dropped and reported to onDrop.
 type Link struct {
 	eng *Engine
+	// Name labels the link in per-hop fabric reports ("" for the
+	// anonymous links of the single-switch presets).
+	Name string
 	// Bps is the line rate in bits/second.
 	Bps float64
 	// PropNs is the propagation delay.
@@ -54,6 +61,11 @@ type Link struct {
 	// (corrupted frames, flapping optics) — the §7 "lossy links" failure
 	// scenario. Zero for a clean link.
 	LossRate float64
+	// Down marks a failed link: everything sent into it drops (fiber cut).
+	// Packets already serialized or propagating still arrive — failing a
+	// link mid-run only stops new transmissions, like pulling the cable on
+	// the sender side.
+	Down bool
 
 	deliver func(Parcel)
 	onDrop  func(Parcel, string)
@@ -86,6 +98,13 @@ func (l *Link) QueuedBytes() int { return l.queuedBytes }
 
 // Send enqueues a packet for transmission, dropping it if the queue is full.
 func (l *Link) Send(p Parcel) {
+	if l.Down {
+		l.Drops.Inc()
+		if l.onDrop != nil {
+			l.onDrop(p, DropLinkDown)
+		}
+		return
+	}
 	wire := WireBytes(p.Pkt)
 	if l.queuedBytes+wire > l.CapBytes {
 		l.Drops.Inc()

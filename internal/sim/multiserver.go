@@ -59,7 +59,9 @@ type MultiServerResult struct {
 }
 
 // RunMultiServer simulates all servers against one shared switch in a
-// single discrete-event run.
+// single discrete-event run. It is a preset over Fabric: one switch node
+// whose per-ingress-port drop hooks charge each tenant's failures to its
+// own counters and packet pool.
 func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
 	if cfg.Servers < 1 || cfg.Servers > 8 {
 		panic(fmt.Sprintf("sim: servers = %d outside [1,8]", cfg.Servers))
@@ -76,16 +78,17 @@ func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
 	if cfg.Cores > 0 {
 		cfg.Server.Cores = cfg.Cores
 	}
-	eng := NewEngine()
-	sw := core.NewSwitch("multiserver")
+	f := NewFabric()
+	swn := f.AddSwitch("multiserver")
+	sw := swn.SW
 	windowStart := cfg.WarmupNs
 	windowEnd := cfg.WarmupNs + cfg.MeasureNs
 
 	results := make([]Result, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		wireServer(eng, sw, cfg, i, windowStart, windowEnd, &results[i])
+		wireServer(f, swn, cfg, i, windowStart, windowEnd, &results[i])
 	}
-	eng.Run(windowEnd + cfg.WarmupNs)
+	f.Run(windowEnd + cfg.WarmupNs)
 
 	out := MultiServerResult{PerServer: results}
 	pipes := (cfg.Servers + 1) / 2
@@ -100,10 +103,12 @@ func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
 	return out
 }
 
-// wireServer attaches one generator/server pair to the shared switch.
-// Server i lives on pipe i/2; the second server of a pipe uses the upper
-// port block.
-func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, windowStart, windowEnd int64, res *Result) {
+// wireServer attaches one generator/server pair to the shared switch
+// node. Server i lives on pipe i/2; the second server of a pipe uses the
+// upper port block. The server's two ingress ports register per-port
+// drop hooks, so its failures recycle into its own generator pool.
+func wireServer(f *Fabric, swn *SwitchNode, cfg MultiServerConfig, i int, windowStart, windowEnd int64, res *Result) {
+	eng := f.Engine()
 	pipe := i / 2
 	base := rmt.PortID(core.PortsPerPipe*pipe + 8*(i%2))
 	split, nfPort, sinkPort := base, base+1, base+2
@@ -111,12 +116,12 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 	macGen := packet.MAC{0x02, 0x10, 0, 0, 0, byte(i)}
 	macNF := packet.MAC{0x02, 0x20, 0, 0, 0, byte(i)}
 	macSink := packet.MAC{0x02, 0x30, 0, 0, 0, byte(i)}
-	sw.AddL2Route(macNF, nfPort)
-	sw.AddL2Route(macSink, sinkPort)
-	sw.AddL2Route(macGen, sinkPort) // MAC swap returns toward the generator
+	swn.SW.AddL2Route(macNF, nfPort)
+	swn.SW.AddL2Route(macSink, sinkPort)
+	swn.SW.AddL2Route(macGen, sinkPort) // MAC swap returns toward the generator
 
 	if cfg.PayloadPark {
-		_, err := sw.AttachPayloadPark(core.Config{
+		_, err := swn.SW.AttachPayloadPark(core.Config{
 			Slots: cfg.SlotsPerServer, MaxExpiry: cfg.MaxExpiry,
 			SplitPort: split, MergePort: nfPort,
 		}, -1)
@@ -140,7 +145,6 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 	res.Name = fmt.Sprintf("server-%d", i+1)
 	goodput := stats.NewRateMeter(windowStart)
 	toNF := stats.NewRateMeter(windowStart)
-	var latency stats.Summary
 	var sent, drops uint64
 	onDrop := func(p Parcel, _ string) {
 		if p.InWindow {
@@ -148,14 +152,14 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 		}
 		recycle(p.Pkt)
 	}
+	consumed := func(p Parcel) { recycle(p.Pkt) }
 
-	var handle func(p Parcel, in rmt.PortID)
-	returnLink := NewLink(eng, cfg.LinkBps, 500, 1<<20,
-		func(p Parcel) { handle(p, nfPort) }, onDrop)
+	name := func(hop string) string { return fmt.Sprintf("%s[%d]", hop, i+1) }
+	returnLink := f.NewLink(name("nf->switch"), cfg.LinkBps, 500, 1<<20,
+		swn.IngressWith(nfPort, onDrop, consumed), onDrop)
 	srvSim := NewServerSim(eng, cfg.Server, srv, cfg.Seed+(int64(i)+1)<<40,
-		returnLink.Send, onDrop,
-		func(p Parcel) { recycle(p.Pkt) })
-	toNFLink := NewLink(eng, cfg.LinkBps, 500, 1<<20,
+		returnLink.Send, onDrop, consumed)
+	toNFLink := f.NewLink(name("switch->nf"), cfg.LinkBps, 500, 1<<20,
 		func(p Parcel) {
 			if now := eng.Now(); p.InWindow && now <= windowEnd {
 				// Goodput records what actually crossed the link: the full
@@ -167,71 +171,32 @@ func wireServer(eng *Engine, sw *core.Switch, cfg MultiServerConfig, i int, wind
 			}
 			srvSim.Receive(p)
 		}, onDrop)
-	sinkLink := NewLink(eng, 2*cfg.LinkBps, 500, 2<<20,
-		func(p Parcel) {
-			if p.InWindow && eng.Now() <= windowEnd {
-				latency.Observe(float64(eng.Now()-p.Born) / 1e3)
-			}
-			recycle(p.Pkt)
-		}, onDrop)
-	genLink := NewLink(eng, 2*cfg.LinkBps, 500, 4<<20,
-		func(p Parcel) { handle(p, split) }, onDrop)
+	sink := f.AddSink(name("sink"), windowEnd, recycle)
+	sinkLink := f.NewLink(name("switch->sink"), 2*cfg.LinkBps, 500, 2<<20,
+		sink.Receive, onDrop)
+	genLink := f.NewLink(name("gen->switch"), 2*cfg.LinkBps, 500, 4<<20,
+		swn.IngressWith(split, onDrop, consumed), onDrop)
 
-	route := func(p Parcel) {
-		switch p.egress {
-		case nfPort:
-			toNFLink.Send(p)
-		case sinkPort:
-			sinkLink.Send(p)
-		default:
-			onDrop(p, "no route")
-		}
-	}
-	var em core.Emission
-	handle = func(p Parcel, in rmt.PortID) {
-		ok, reason := sw.InjectReuse(p.Pkt, in, &em)
-		if !ok {
-			if reason != core.DropExplicitDrop {
-				onDrop(p, reason)
-			} else {
-				recycle(p.Pkt)
-			}
-			return
-		}
-		p.Pkt = em.Pkt
-		p.egress = em.Port
-		eng.ScheduleParcel(em.LatencyNs, route, p)
-	}
+	swn.SetOut(nfPort, toNFLink)
+	swn.SetOut(sinkPort, sinkLink)
 
-	var sendNext func()
-	sendNext = func() {
-		pkt := gen.Next()
-		now := eng.Now()
-		p := Parcel{Pkt: pkt, Born: now, InWindow: now >= windowStart && now < windowEnd}
-		if p.InWindow {
-			sent++
-		}
-		genLink.Send(p)
-		gap := int64(float64(pkt.Len()*8) / cfg.SendBps * 1e9)
-		if gap < 1 {
-			gap = 1
-		}
-		if now+gap < windowEnd+cfg.WarmupNs/2 {
-			eng.Schedule(gap, sendNext)
-		}
-	}
-	eng.Schedule(int64(i)*97, sendNext) // desynchronize servers slightly
+	src := f.AddSource(name("gen"), gen, genLink, cfg.SendBps)
+	src.WindowStart, src.WindowEnd = windowStart, windowEnd
+	src.StopAt = windowEnd + cfg.WarmupNs/2
+	src.OnSend = func(Parcel) { sent++ }
+	src.Start(int64(i) * 97) // desynchronize servers slightly
 
 	// Finalize this server's result when the run ends.
 	eng.ScheduleAt(windowEnd+cfg.WarmupNs-1, func() {
 		goodput.CloseAt(windowEnd)
 		toNF.CloseAt(windowEnd)
+		res.PerCore = srvSim.CoreStats()
 		res.GoodputGbps = goodput.Gbps()
 		res.ToNFGbps = toNF.Gbps()
 		res.ToNFMpps = toNF.Mpps()
-		res.AvgLatencyUs = latency.Mean()
-		res.MaxLatencyUs = latency.Max()
-		res.JitterUs = latency.Max() - latency.Mean()
+		res.AvgLatencyUs = sink.Latency.Mean()
+		res.MaxLatencyUs = sink.Latency.Max()
+		res.JitterUs = sink.Latency.Max() - sink.Latency.Mean()
 		if sent > 0 {
 			res.UnintendedDropRate = float64(drops) / float64(sent)
 		}

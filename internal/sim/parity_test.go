@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// The fabric refactor rebuilt RunTestbed and RunMultiServer as presets
+// over sim.Fabric. These goldens were recorded from the pre-refactor
+// implementations (same configurations, same seeds) and pin every
+// pre-existing Result field: the presets must reproduce the old wiring's
+// event timeline exactly, not just approximately.
+
+func goldenCfg(pp bool, sendGbps float64, seed int64) TestbedConfig {
+	return TestbedConfig{
+		Name: "golden", LinkBps: 10e9, SendBps: sendGbps * 1e9,
+		Dist: trafficgen.Datacenter{}, Seed: seed,
+		BuildChain: func() *nf.Chain {
+			return nf.NewChain(
+				nf.NewFirewall([]nf.FirewallRule{{Prefix: packet.IPv4Addr{172, 16, 0, 0}, Bits: 12}}),
+				nf.NewNAT(packet.IPv4Addr{198, 51, 100, 1}),
+			)
+		},
+		PayloadPark: pp,
+		PP:          core.Config{Slots: 16384, MaxExpiry: 1},
+		WarmupNs:    2e6, MeasureNs: 10e6,
+	}
+}
+
+// assertGolden compares every pre-refactor Result field. Floats must
+// match to relative 1e-12: the event timeline is identical, so the same
+// additions happen in the same order.
+func assertGolden(t *testing.T, name string, got, want Result) {
+	t.Helper()
+	feq := func(field string, g, w float64) {
+		if g != w && math.Abs(g-w) > 1e-12*math.Abs(w) {
+			t.Errorf("%s: %s = %v, want %v", name, field, g, w)
+		}
+	}
+	ueq := func(field string, g, w uint64) {
+		if g != w {
+			t.Errorf("%s: %s = %d, want %d", name, field, g, w)
+		}
+	}
+	feq("SendGbps", got.SendGbps, want.SendGbps)
+	feq("GoodputGbps", got.GoodputGbps, want.GoodputGbps)
+	feq("ToNFGbps", got.ToNFGbps, want.ToNFGbps)
+	feq("ToNFMpps", got.ToNFMpps, want.ToNFMpps)
+	feq("AvgLatencyUs", got.AvgLatencyUs, want.AvgLatencyUs)
+	feq("P99LatencyUs", got.P99LatencyUs, want.P99LatencyUs)
+	feq("MaxLatencyUs", got.MaxLatencyUs, want.MaxLatencyUs)
+	feq("JitterUs", got.JitterUs, want.JitterUs)
+	ueq("Delivered", got.Delivered, want.Delivered)
+	feq("UnintendedDropRate", got.UnintendedDropRate, want.UnintendedDropRate)
+	ueq("NFDrops", got.NFDrops, want.NFDrops)
+	feq("PCIeGbps", got.PCIeGbps, want.PCIeGbps)
+	feq("PCIeUtilPct", got.PCIeUtilPct, want.PCIeUtilPct)
+	ueq("Splits", got.Splits, want.Splits)
+	ueq("Merges", got.Merges, want.Merges)
+	ueq("Evictions", got.Evictions, want.Evictions)
+	ueq("Premature", got.Premature, want.Premature)
+	ueq("OccupiedSkips", got.OccupiedSkips, want.OccupiedSkips)
+	ueq("SmallSkips", got.SmallSkips, want.SmallSkips)
+	ueq("ExplicitDrops", got.ExplicitDrops, want.ExplicitDrops)
+	if got.Healthy != want.Healthy {
+		t.Errorf("%s: Healthy = %t, want %t", name, got.Healthy, want.Healthy)
+	}
+	feq("SRAMPct", got.SRAMPct, want.SRAMPct)
+}
+
+func TestTestbedFabricParity(t *testing.T) {
+	// PayloadPark at light load.
+	assertGolden(t, "pp-light", RunTestbed(goldenCfg(true, 4, 1)), Result{
+		Name: "golden", SendGbps: 3.9998584, GoodputGbps: 0.1912848, ToNFGbps: 3.6220184,
+		ToNFMpps: 0.5693, AvgLatencyUs: 5.301349384885778, P99LatencyUs: 7.077478645124461,
+		MaxLatencyUs: 6.846, JitterUs: 1.5446506151142225, Delivered: 0x163a,
+		PCIeGbps: 7.1004792, PCIeUtilPct: 10.758301818181819,
+		Splits: 0x115e, Merges: 0x115f, SmallSkips: 0x714, Healthy: true,
+		SRAMPct: 17.500101725260418,
+	})
+	// Baseline at light load.
+	assertGolden(t, "baseline-light", RunTestbed(goldenCfg(false, 4, 1)), Result{
+		Name: "golden", SendGbps: 3.9998584, GoodputGbps: 0.1912848, ToNFGbps: 4.1078976,
+		ToNFMpps: 0.5693, AvgLatencyUs: 5.576470650263611, P99LatencyUs: 7.077478645124461,
+		MaxLatencyUs: 7.132, JitterUs: 1.5555293497363882, Delivered: 0x163a,
+		PCIeGbps: 8.0724656, PCIeUtilPct: 12.231008484848482, Healthy: true,
+	})
+	// PayloadPark past saturation (queue drops, unhealthy).
+	assertGolden(t, "pp-overload", RunTestbed(goldenCfg(true, 12, 3)), Result{
+		Name: "golden", SendGbps: 12.0083288, GoodputGbps: 0.5208672, ToNFGbps: 9.8259184,
+		ToNFMpps: 1.5502, AvgLatencyUs: 572.5190586489431, P99LatencyUs: 890.386482912101,
+		MaxLatencyUs: 843.987, JitterUs: 271.4679413510569, Delivered: 0x3c8b,
+		UnintendedDropRate: 0.01662583129156458,
+		PCIeGbps:           19.609192, PCIeUtilPct: 29.710896969696968,
+		Splits: 0x3346, Merges: 0x32c2, SmallSkips: 0x1643,
+		SRAMPct: 17.500101725260418,
+	})
+	// Recirculation + explicit drop + lossy NF link + jittery server.
+	cfg := goldenCfg(true, 6, 4)
+	cfg.PP.Recirculate = true
+	cfg.ExplicitDrop = true
+	cfg.BuildChain = func() *nf.Chain {
+		return nf.NewChain(nf.NewFirewall(nf.BlacklistFraction(0.1)), nf.NewNAT(packet.IPv4Addr{198, 51, 100, 1}))
+	}
+	cfg.NFLinkLossRate = 0.001
+	srv := DefaultServerModel()
+	srv.ServiceJitterPct = 0.2
+	cfg.Server = srv
+	assertGolden(t, "pp-recirc-lossy", RunTestbed(cfg), Result{
+		Name: "golden", SendGbps: 6.0014192, GoodputGbps: 0.2881536, ToNFGbps: 4.7451784,
+		ToNFMpps: 0.8576, AvgLatencyUs: 5.386311221945125, P99LatencyUs: 7.077478645124461,
+		MaxLatencyUs: 6.559, JitterUs: 1.1726887780548756, Delivered: 0x1f54,
+		UnintendedDropRate: 0.0023285597857724996, NFDrops: 0xf9,
+		PCIeGbps: 8.996688, PCIeUtilPct: 13.631345454545455,
+		Splits: 0x1478, Merges: 0x132c, SmallSkips: 0x104c, ExplicitDrops: 0x140,
+		SRAMPct: 17.500101725260418,
+	})
+}
+
+func TestMultiServerFabricParity(t *testing.T) {
+	cfg := MultiServerConfig{
+		Servers: 8, LinkBps: 10e9, SendBps: 11e9,
+		Dist: trafficgen.Fixed(384), SlotsPerServer: 12000, MaxExpiry: 1,
+		PayloadPark: true, Seed: 7, WarmupNs: 5e6, MeasureNs: 20e6,
+	}
+	r := RunMultiServer(cfg)
+	if math.Abs(r.SRAMAvgPct-25.634969) > 1e-5 || math.Abs(r.SRAMPeakPct-29.296875) > 1e-5 {
+		t.Errorf("SRAM = %.6f/%.6f, want 25.634969/29.296875", r.SRAMAvgPct, r.SRAMPeakPct)
+	}
+	// Server 1 and 2 of the pre-refactor run, field for field.
+	assertGolden(t, "ms-pp-1", r.PerServer[0], Result{
+		Name: "server-1", GoodputGbps: 6.6230472, ToNFGbps: 7.311156, ToNFMpps: 3.5839,
+		AvgLatencyUs: 3.673, MaxLatencyUs: 3.673, Healthy: true,
+	})
+	assertGolden(t, "ms-pp-2", r.PerServer[1], Result{
+		Name: "server-2", GoodputGbps: 6.6231396, ToNFGbps: 7.311258, ToNFMpps: 3.58395,
+		AvgLatencyUs: 3.673, MaxLatencyUs: 3.673, Healthy: true,
+	})
+
+	cfg.PayloadPark = false
+	cfg.Servers = 3
+	r = RunMultiServer(cfg)
+	assertGolden(t, "ms-base-1", r.PerServer[0], Result{
+		Name: "server-1", GoodputGbps: 9.02784, ToNFGbps: 9.59208, ToNFMpps: 2.93875,
+		AvgLatencyUs: 841.3129976858164, MaxLatencyUs: 841.452,
+		JitterUs: 0.13900231418358544, UnintendedDropRate: 0.1441744322303443,
+	})
+	assertGolden(t, "ms-base-3", r.PerServer[2], Result{
+		Name: "server-3", GoodputGbps: 9.02784, ToNFGbps: 9.59208, ToNFMpps: 2.93875,
+		AvgLatencyUs: 841.3129984005208, MaxLatencyUs: 841.452,
+		JitterUs: 0.1390015994792293, UnintendedDropRate: 0.1441724210085792,
+	})
+}

@@ -148,6 +148,26 @@ type ServerSim struct {
 	RxDrops    stats.Counter
 	StageDrops stats.Counter
 	PCIeBytes  stats.Counter
+
+	// Per-core accounting: even with a shared descriptor ring, an
+	// overflow strikes whichever core's backlog let the ring fill, and
+	// RSS skew shows up as per-core queue depth long before aggregate
+	// drops do. coreQueue tracks each core's live RX backlog.
+	coreStats []CoreStat
+	coreQueue []int
+}
+
+// CoreStat is one RX core's drop and occupancy record.
+type CoreStat struct {
+	// Served counts packets whose RX completed on this core.
+	Served uint64
+	// RxDrops counts ring-overflow drops charged to this core (the core
+	// the RSS hash had picked for the dropped packet); StageDrops counts
+	// this core's inter-NF ring overflows.
+	RxDrops    uint64
+	StageDrops uint64
+	// PeakQueue is the deepest RX backlog the core accumulated.
+	PeakQueue int
 }
 
 // NewServerSim builds a server simulation around a behavioural server.
@@ -162,11 +182,13 @@ func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, seed int64, ou
 	s := &ServerSim{
 		eng: eng, model: model, srv: srv,
 		out: out, onDrop: onDrop, onConsumed: onConsumed,
-		cores:    cores,
-		chainLen: chainLen,
-		rx:       make([]station, cores),
-		stages:   make([]station, cores*chainLen),
-		rng:      rand.New(rand.NewSource(scrambleSeed(seed))),
+		cores:     cores,
+		chainLen:  chainLen,
+		rx:        make([]station, cores),
+		stages:    make([]station, cores*chainLen),
+		coreStats: make([]CoreStat, cores),
+		coreQueue: make([]int, cores),
+		rng:       rand.New(rand.NewSource(scrambleSeed(seed))),
 	}
 	s.rxDoneFn = s.rxDone
 	s.stageDoneFn = s.stageDone
@@ -189,6 +211,11 @@ func NewServerSim(eng *Engine, model ServerModel, srv *nf.Server, seed int64, ou
 
 // Cores returns the number of RX/NF cores the server runs.
 func (s *ServerSim) Cores() int { return s.cores }
+
+// CoreStats returns a copy of the per-core drop/occupancy counters.
+func (s *ServerSim) CoreStats() []CoreStat {
+	return append([]CoreStat(nil), s.coreStats...)
+}
 
 // jitter perturbs a service time by the configured uniform percentage.
 func (s *ServerSim) jitter(ns int64) int64 {
@@ -220,17 +247,22 @@ func (s *ServerSim) pcieTransfer(pktBytes int) int64 {
 // onDrop, whose owner recycles it — ServerSim never holds a reference to
 // a dropped parcel.
 func (s *ServerSim) Receive(p Parcel) {
+	core := 0
+	if s.cores > 1 {
+		core = int(RSSHash(p.Pkt.FiveTuple()) % uint32(s.cores))
+	}
 	if s.rxOccupancy >= s.model.NICRing {
 		s.RxDrops.Inc()
+		s.coreStats[core].RxDrops++
 		if s.onDrop != nil {
 			s.onDrop(p, "nic ring overflow")
 		}
 		return
 	}
 	s.rxOccupancy++
-	core := 0
-	if s.cores > 1 {
-		core = int(RSSHash(p.Pkt.FiveTuple()) % uint32(s.cores))
+	s.coreQueue[core]++
+	if s.coreQueue[core] > s.coreStats[core].PeakQueue {
+		s.coreStats[core].PeakQueue = s.coreQueue[core]
 	}
 	p.core = int32(core)
 	// DMA into host memory, then this queue's RX core picks it up.
@@ -251,6 +283,8 @@ func (s *ServerSim) Receive(p Parcel) {
 // stations.
 func (s *ServerSim) rxDone(p Parcel) {
 	s.rxOccupancy--
+	s.coreQueue[p.core]--
+	s.coreStats[p.core].Served++
 	p.res = s.srv.Handle(p.Pkt)
 	p.stage = 0
 	s.enterStage(p)
@@ -269,6 +303,7 @@ func (s *ServerSim) enterStage(p Parcel) {
 	st := &s.stages[int(p.core)*s.chainLen+i]
 	if st.queued >= s.model.StageQueue {
 		s.StageDrops.Inc()
+		s.coreStats[p.core].StageDrops++
 		if s.onDrop != nil {
 			s.onDrop(p, "stage queue overflow")
 		}

@@ -126,6 +126,9 @@ type Result struct {
 	Healthy bool
 	// SRAMPct is the average per-stage SRAM utilization of the ingress pipe.
 	SRAMPct float64
+	// PerCore is the NF server's per-core drop/occupancy record over the
+	// whole run (RSS spread, ring-overflow attribution, peak RX backlog).
+	PerCore []CoreStat
 }
 
 // String renders a one-line summary.
@@ -134,13 +137,19 @@ func (r Result) String() string {
 		r.Name, r.SendGbps, r.GoodputGbps, r.AvgLatencyUs, 100*r.UnintendedDropRate, r.PCIeUtilPct, r.Healthy)
 }
 
-// RunTestbed simulates one deployment and reports measurements.
+// RunTestbed simulates one deployment and reports measurements. It is a
+// thin preset over Fabric: one switch node with three cables (generator,
+// NF server, sink), reproducing the paper's Fig. 5 topology. The wiring
+// and scheduling order match the pre-fabric implementation exactly, so
+// results are byte-identical (see TestTestbedFabricParity).
 func RunTestbed(cfg TestbedConfig) Result {
 	cfg.fillDefaults()
-	eng := NewEngine()
+	f := NewFabric()
+	eng := f.Engine()
 
 	// Behavioural components.
-	sw := core.NewSwitch(cfg.Name)
+	swn := f.AddSwitch(cfg.Name)
+	sw := swn.SW
 	sw.AddL2Route(MACNF, portNF)
 	sw.AddL2Route(MACSink, portSink)
 	sw.AddL2Route(MACGen, portSink) // MAC-swap chains return toward the generator
@@ -199,9 +208,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 		goodput         = stats.NewRateMeter(windowStart)
 		toNF            = stats.NewRateMeter(windowStart)
 		pcie            = stats.NewRateMeter(windowStart)
-		latency         stats.Summary
 		latencyHist     = stats.NewHistogram(stats.ExponentialBounds(1, 1.122, 120)) // 1 µs .. ~1 s
-		delivered       uint64
 		nfDrops         uint64
 		unintendedDrops uint64
 	)
@@ -212,13 +219,16 @@ func RunTestbed(cfg TestbedConfig) Result {
 		}
 		recycle(p.Pkt)
 	}
+	// Everything except intended explicit-drop consumption is a failure
+	// (premature eviction, bad tag, unknown MAC).
+	swn.OnDrop = dropUnintended
+	swn.OnConsumed = func(p Parcel) { recycle(p.Pkt) }
 
 	// Wiring, back to front. Return path: server -> link -> switch merge.
 	var srvSim *ServerSim
-	var handleSwitch func(p Parcel, in rmt.PortID)
 
-	returnLink := NewLink(eng, cfg.LinkBps, cfg.PropNs, cfg.SwitchQueueBytes,
-		func(p Parcel) { handleSwitch(p, portNF) }, dropUnintended)
+	returnLink := f.NewLink("nf->switch", cfg.LinkBps, cfg.PropNs, cfg.SwitchQueueBytes,
+		swn.Ingress(portNF), dropUnintended)
 	returnLink.LossRate = cfg.NFLinkLossRate
 
 	srvSim = NewServerSim(eng, cfg.Server, srv, cfg.Seed,
@@ -235,7 +245,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 	// Goodput is measured on delivery over the switch->NF link: useful-
 	// header bits that actually reached the NF server (§6.1, including
 	// packets the firewall later drops — §6.2.4).
-	toNFLink := NewLink(eng, cfg.LinkBps, cfg.PropNs, cfg.SwitchQueueBytes,
+	toNFLink := f.NewLink("switch->nf", cfg.LinkBps, cfg.PropNs, cfg.SwitchQueueBytes,
 		func(p Parcel) {
 			now := eng.Now()
 			if p.InWindow && now >= windowStart && now <= windowEnd {
@@ -246,44 +256,13 @@ func RunTestbed(cfg TestbedConfig) Result {
 		}, dropUnintended)
 	toNFLink.LossRate = cfg.NFLinkLossRate
 
-	sinkLink := NewLink(eng, 2*cfg.LinkBps, cfg.PropNs, 2*cfg.SwitchQueueBytes,
-		func(p Parcel) {
-			if p.InWindow && eng.Now() <= windowEnd {
-				delivered++
-				us := float64(eng.Now()-p.Born) / 1e3
-				latency.Observe(us)
-				latencyHist.Observe(us)
-			}
-			recycle(p.Pkt)
-		}, dropUnintended)
+	sink := f.AddSink("sink", windowEnd, recycle)
+	sink.Hist = latencyHist
+	sinkLink := f.NewLink("switch->sink", 2*cfg.LinkBps, cfg.PropNs, 2*cfg.SwitchQueueBytes,
+		sink.Receive, dropUnintended)
 
-	route := func(p Parcel) {
-		switch p.egress {
-		case portNF:
-			toNFLink.Send(p)
-		case portSink:
-			sinkLink.Send(p)
-		default:
-			dropUnintended(p, "no route")
-		}
-	}
-	var em core.Emission
-	handleSwitch = func(p Parcel, in rmt.PortID) {
-		ok, reason := sw.InjectReuse(p.Pkt, in, &em)
-		if !ok {
-			if reason != core.DropExplicitDrop {
-				// Everything except intended explicit-drop consumption is
-				// a failure (premature eviction, bad tag, unknown MAC).
-				dropUnintended(p, reason)
-			} else {
-				recycle(p.Pkt)
-			}
-			return
-		}
-		p.Pkt = em.Pkt
-		p.egress = em.Port
-		eng.ScheduleParcel(em.LatencyNs, route, p)
-	}
+	swn.SetOut(portNF, toNFLink)
+	swn.SetOut(portSink, sinkLink)
 
 	// PCIe utilization: sample the server's cumulative DMA byte counter
 	// periodically inside the window.
@@ -306,26 +285,15 @@ func RunTestbed(cfg TestbedConfig) Result {
 	eng.ScheduleAt(windowStart, func() { pcieBase = srvSim.PCIeBytes.Value(); pcieSample() })
 
 	// Generator: constant bit rate over frame bits.
-	genLink := NewLink(eng, 2*cfg.LinkBps, cfg.PropNs, 4<<20,
-		func(p Parcel) { handleSwitch(p, portSplit) }, dropUnintended)
+	genLink := f.NewLink("gen->switch", 2*cfg.LinkBps, cfg.PropNs, 4<<20,
+		swn.Ingress(portSplit), dropUnintended)
 
-	var sendNext func()
-	sendNext = func() {
-		pkt := gen.Next()
-		now := eng.Now()
-		p := Parcel{Pkt: pkt, Born: now, InWindow: now >= windowStart && now < windowEnd}
-		if p.InWindow {
-			sentWindow++
-			sentBits.Record(now, float64(pkt.Len()*8))
-		}
-		genLink.Send(p)
-		gapNs := int64(float64(pkt.Len()*8) / cfg.SendBps * 1e9)
-		if gapNs < 1 {
-			gapNs = 1
-		}
-		if now+gapNs < windowEnd+cfg.WarmupNs/2 {
-			eng.Schedule(gapNs, sendNext)
-		}
+	src := f.AddSource("gen", gen, genLink, cfg.SendBps)
+	src.WindowStart, src.WindowEnd = windowStart, windowEnd
+	src.StopAt = windowEnd + cfg.WarmupNs/2
+	src.OnSend = func(p Parcel) {
+		sentWindow++
+		sentBits.Record(eng.Now(), float64(p.Pkt.Len()*8))
 	}
 
 	// Counter snapshot at window start for in-window deltas.
@@ -336,9 +304,9 @@ func RunTestbed(cfg TestbedConfig) Result {
 		}
 	})
 
-	eng.Schedule(0, sendNext)
+	src.Start(0)
 	// Drain period after the window so in-flight packets can land.
-	eng.Run(windowEnd + cfg.WarmupNs)
+	f.Run(windowEnd + cfg.WarmupNs)
 
 	sentBits.CloseAt(windowEnd)
 	goodput.CloseAt(windowEnd)
@@ -351,14 +319,15 @@ func RunTestbed(cfg TestbedConfig) Result {
 		GoodputGbps: goodput.Gbps(),
 		ToNFGbps:    toNF.Gbps(),
 		ToNFMpps:    goodput.Mpps(),
-		Delivered:   delivered,
+		Delivered:   sink.Delivered,
 		NFDrops:     nfDrops,
 		PCIeGbps:    pcie.Gbps(),
 		PCIeUtilPct: 100 * pcie.Gbps() * 1e9 / cfg.Server.PCIeBps,
+		PerCore:     srvSim.CoreStats(),
 	}
-	res.AvgLatencyUs = latency.Mean()
-	res.MaxLatencyUs = latency.Max()
-	res.JitterUs = latency.Max() - latency.Mean()
+	res.AvgLatencyUs = sink.Latency.Mean()
+	res.MaxLatencyUs = sink.Latency.Max()
+	res.JitterUs = sink.Latency.Max() - sink.Latency.Mean()
 	res.P99LatencyUs = latencyHist.Quantile(0.99)
 	if sentWindow > 0 {
 		res.UnintendedDropRate = float64(unintendedDrops) / float64(sentWindow)

@@ -17,11 +17,14 @@ type Source interface {
 
 // Replay replays the packets of a capture in order, looping at the end,
 // with L2 addresses rewritten to the testbed topology (a capture's MACs
-// belong to the network it was taken on).
+// belong to the network it was taken on). Retired packets handed back
+// through Recycle are reused by Next, so replay at scale allocates
+// nothing in steady state — the same contract the Generator offers.
 type Replay struct {
 	pkts []*packet.Packet
 	idx  int
 	n    uint64
+	pool []*packet.Packet
 }
 
 // ErrEmptyCapture reports a capture with no usable packets.
@@ -52,12 +55,26 @@ func (r *Replay) Len() int { return len(r.pkts) }
 func (r *Replay) Generated() uint64 { return r.n }
 
 // Next returns a clone of the next captured packet (clones, because the
-// dataplane mutates packets in place).
+// dataplane mutates packets in place). Recycled packets back the clone.
 func (r *Replay) Next() *packet.Packet {
-	p := r.pkts[r.idx].Clone()
+	src := r.pkts[r.idx]
 	r.idx = (r.idx + 1) % len(r.pkts)
 	r.n++
-	return p
+	if n := len(r.pool); n > 0 {
+		p := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		return src.CloneInto(p)
+	}
+	return src.Clone()
+}
+
+// Recycle hands a retired packet back for reuse by Next. The caller must
+// guarantee no other reference to the packet (or its payload) remains.
+func (r *Replay) Recycle(p *packet.Packet) {
+	if p == nil {
+		return
+	}
+	r.pool = append(r.pool, p)
 }
 
 // WriteWorkload generates n packets from a Generator configuration and

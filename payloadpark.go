@@ -66,6 +66,8 @@ type (
 	SimConfig = sim.TestbedConfig
 	// ServerModel calibrates the simulated NF server.
 	ServerModel = sim.ServerModel
+	// CoreStat is one NF-server core's drop/occupancy record.
+	CoreStat = sim.CoreStat
 	// SizeDist draws packet sizes for generated traffic.
 	SizeDist = trafficgen.SizeDist
 	// Experiment is one paper table/figure reproduction.
@@ -303,6 +305,42 @@ type MultiServerResult = sim.MultiServerResult
 func SimulateMultiServer(cfg MultiServerConfig) MultiServerResult {
 	return sim.RunMultiServer(cfg)
 }
+
+// Fabric topology simulation (multi-switch leaf-spine deployments).
+type (
+	// FabricConfig parameterizes a leaf-spine fabric run: geometry,
+	// parking mode, per-flow load, and the link-failure scenario.
+	FabricConfig = sim.FabricConfig
+	// FabricResult carries per-flow end-to-end metrics plus per-hop link
+	// and switch reports.
+	FabricResult = sim.FabricResult
+	// ParkMode selects where the fabric parks payloads.
+	ParkMode = sim.ParkMode
+	// FlowResult is one source->NF->sink flow's measurements.
+	FlowResult = sim.FlowResult
+	// LinkStats / SwitchStats are the per-hop reports.
+	LinkStats   = sim.LinkStats
+	SwitchStats = sim.SwitchStats
+)
+
+// Parking modes for SimulateFabric.
+const (
+	// ParkNoneMode runs the fabric as plain L2 switches (baseline).
+	ParkNoneMode = sim.ParkNone
+	// ParkEdgeMode parks at the ingress leaf: slim packets cross every
+	// fabric hop and are restored just before leaving the programmable
+	// domain.
+	ParkEdgeMode = sim.ParkEdge
+	// ParkEveryHopMode stripes the payload across the path (§7): every
+	// switch parks its own block.
+	ParkEveryHopMode = sim.ParkEveryHop
+)
+
+// SimulateFabric runs a leaf-spine fabric simulation: every leaf hosts a
+// traffic source, a sink, and an NF server; flows cross the spine in
+// both directions, parked according to cfg.Mode, with static route
+// tables and per-switch PayloadPark programs.
+func SimulateFabric(cfg FabricConfig) FabricResult { return sim.RunLeafSpine(cfg) }
 
 // DefaultServerModel is the OpenNetVM-on-Xeon calibration: the paper's
 // 8-core machine with RSS receive-side scaling across all cores (see
