@@ -256,8 +256,12 @@ func BenchmarkTable1Resources(b *testing.B) {
 
 func BenchmarkS621Equivalence(b *testing.B) {
 	// The §6.2.6 functional-equivalence check via the harness.
+	eq, ok := harness.ByID("equiv")
+	if !ok {
+		b.Fatal("equiv experiment missing")
+	}
 	for i := 0; i < b.N; i++ {
-		if err := RunExperiment("equiv", true, 1, io.Discard); err != nil {
+		if err := eq.Run(harness.Options{Quick: true, Seed: 1}, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

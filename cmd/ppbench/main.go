@@ -1,14 +1,22 @@
 // Command ppbench regenerates the paper's tables and figures from the
-// simulation harness.
+// simulation harness, which itself runs on the unified Scenario API
+// (payloadpark.Run / RunSweep): every experiment is a declarative grid
+// or peak search over Scenarios, runs grid points in parallel, and
+// aborts promptly on Ctrl-C (context cancellation reaches into running
+// simulations).
 //
 // Usage:
 //
 //	ppbench -list
-//	ppbench -exp fig7 [-quick] [-seed N]
-//	ppbench -exp all  [-quick]
+//	ppbench -exp fig7 [-quick] [-seed N] [-json out.json]
+//	ppbench -exp all  [-quick] [-json out.json]
 //	ppbench -parallel [-quick] [-seed N]
-//	ppbench -cores 1,2,4,8 [-quick] [-seed N]
+//	ppbench -cores 1,2,4,8 [-quick] [-seed N] [-json out.json]
 //	ppbench -topology 4x2 [-json BENCH_fabric.json] [-quick] [-seed N]
+//
+// -json writes the experiment's structured result (the same data the
+// text tables render) as a machine-readable artifact; it works for
+// every experiment, not just the fabric family.
 //
 // -parallel skips the discrete-event harness and drives the raw dataplane
 // across all four pipes, sequentially and then with one worker per pipe,
@@ -21,15 +29,16 @@
 //
 // -topology runs the leaf-spine fabric experiment family (parking-mode
 // comparison, link-failure reroute, per-switch parallel drivers) on the
-// given LxS geometry; -json additionally writes the machine-readable
-// results to a BENCH artifact.
+// given LxS geometry.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -47,19 +56,32 @@ func main() {
 		parallel = flag.Bool("parallel", false, "drive the raw dataplane sequentially vs one worker per pipe")
 		cores    = flag.String("cores", "", "comma-separated NF-server core counts to sweep (e.g. 1,2,4,8)")
 		topology = flag.String("topology", "", "leaf-spine geometry LxS (e.g. 4x2): run the fabric experiment family")
-		jsonOut  = flag.String("json", "", "with -topology: write machine-readable results to this file")
+		jsonOut  = flag.String("json", "", "write the structured experiment result to this file")
 	)
 	flag.Parse()
 
 	if *parallel {
+		// Wall-clock dataplane drive: no simulation context to cancel, so
+		// leave the default SIGINT behavior (kill) in place.
 		runParallel(*quick, *seed)
 		return
 	}
 
+	// Ctrl-C cancels mid-simulation through the Scenario API. The first
+	// interrupt cancels the context; stop() then restores the default
+	// handler, so a second Ctrl-C force-kills (covers the wall-clock
+	// fabric dataplane drive, which has no context to poll).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	opts := harness.Options{Quick: *quick, Seed: *seed, Ctx: ctx}
+
 	if *topology != "" {
-		if err := runTopology(*topology, *jsonOut, *quick, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
-			os.Exit(1)
+		if err := runTopology(opts, *topology, *jsonOut); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -71,18 +93,23 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		if err := harness.RunCoreSweep(harness.Options{Quick: *quick, Seed: *seed}, counts, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "ppbench: core sweep: %v\n", err)
-			os.Exit(1)
+		res, err := harness.CollectCoreSweep(opts, counts)
+		if err != nil {
+			fail(fmt.Errorf("core sweep: %w", err))
+		}
+		if err := harness.RenderCoreSweep(res, os.Stdout); err != nil {
+			fail(err)
 		}
 		fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
+		writeJSON(*jsonOut, res)
 		return
 	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
-		for _, e := range harness.All() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		for _, id := range harness.IDs() {
+			e, _ := harness.ByID(id)
+			fmt.Printf("  %-8s %s\n", id, e.Title)
 		}
 		if *exp == "" && !*list {
 			os.Exit(2)
@@ -90,12 +117,22 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed}
+	collected := map[string]any{}
 	run := func(e harness.Experiment) error {
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("   paper: %s\n", e.Paper)
 		start := time.Now()
-		err := e.Run(opts, os.Stdout)
+		var err error
+		if *jsonOut != "" {
+			// Collect once; render the same data as text.
+			var res any
+			if res, err = e.Collect(opts); err == nil {
+				collected[e.ID] = res
+				err = renderAny(e, res)
+			}
+		} else {
+			err = e.Run(opts, os.Stdout)
+		}
 		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
 		return err
 	}
@@ -104,20 +141,54 @@ func main() {
 		for _, e := range harness.All() {
 			if err := run(e); err != nil {
 				fmt.Fprintf(os.Stderr, "ppbench: %s: %v\n", e.ID, err)
+				// Keep the experiments that did complete: a late failure
+				// (or Ctrl-C) should not discard hours of results.
+				writeJSON(*jsonOut, collected)
 				os.Exit(1)
 			}
 		}
+		writeJSON(*jsonOut, collected)
 		return
 	}
 	e, ok := harness.ByID(*exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ppbench: unknown experiment %q (use -list)\n", *exp)
+		fmt.Fprintf(os.Stderr, "ppbench: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(harness.IDs(), ", "))
 		os.Exit(2)
 	}
 	if err := run(e); err != nil {
-		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
+	if res, ok := collected[e.ID]; ok {
+		writeJSON(*jsonOut, res)
+	}
+}
+
+// renderAny re-renders a collected result as text so -json runs still
+// show the tables. Falls back to running the experiment if the renderer
+// needs the raw collect (never the case today, but harmless).
+func renderAny(e harness.Experiment, res any) error {
+	return harness.Render(e, res, os.Stdout)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+	os.Exit(1)
+}
+
+// writeJSON marshals v to path (no-op when path is empty).
+func writeJSON(path string, v any) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("   wrote %s\n", path)
 }
 
 // parseCores parses the -cores list.
@@ -134,26 +205,19 @@ func parseCores(s string) ([]int, error) {
 }
 
 // runTopology runs the fabric experiment family and optionally exports
-// the results as JSON.
-func runTopology(topo, jsonPath string, quick bool, seed int64) error {
+// the results as a BENCH artifact.
+func runTopology(opts harness.Options, topo, jsonPath string) error {
 	start := time.Now()
 	fmt.Printf("== fabric: leaf-spine %s experiment family\n", topo)
-	var suite harness.FabricSuite
-	if err := harness.RunFabricSuite(harness.Options{Quick: quick, Seed: seed}, topo, &suite, os.Stdout); err != nil {
-		return err
-	}
-	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
-	if jsonPath == "" {
-		return nil
-	}
-	data, err := json.MarshalIndent(&suite, "", "  ")
+	suite, err := harness.CollectFabricSuite(opts, topo)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+	if err := harness.RenderFabricSuite(suite, os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("   wrote %s\n", jsonPath)
+	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
+	writeJSON(jsonPath, suite)
 	return nil
 }
 

@@ -1,0 +1,131 @@
+//lint:file-ignore SA1019 this file exists to pin the deprecated wrappers
+package payloadpark
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The API redesign keeps Simulate / SimulateMultiServer / SimulateFabric
+// as deprecated wrappers. These tests pin each wrapper's output
+// byte-identical to the unified Run entrypoint for the same parameters:
+// the old surface and the new surface must be the same simulation, not
+// merely similar ones.
+
+func TestSimulateMatchesRun(t *testing.T) {
+	legacy := Simulate(SimConfig{
+		Name: "wrap", LinkBps: 10e9, SendBps: 4e9,
+		Dist: Datacenter(), Seed: 3,
+		BuildChain:  func() *Chain { return NewChain(NewNAT(IPv4Addr{198, 51, 100, 1})) },
+		PayloadPark: true,
+		PP:          Config{Slots: 4096, MaxExpiry: 2},
+		WarmupNs:    1e6, MeasureNs: 5e6,
+	})
+	rep, err := Run(context.Background(), Scenario{
+		Name:     "wrap",
+		Topology: TestbedTopology{},
+		Parking:  ParkingPolicy{Mode: ParkEdgeMode, Slots: 4096, MaxExpiry: 2},
+		Traffic:  Traffic{SendBps: 4e9, Dist: Datacenter()},
+		Chain:    func() *Chain { return NewChain(NewNAT(IPv4Addr{198, 51, 100, 1})) },
+		Opts:     RunOptions{Seed: 3, WarmupNs: 1e6, MeasureNs: 5e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, *rep.Testbed) {
+		t.Errorf("Simulate diverged from Run:\nlegacy %+v\n   run %+v", legacy, *rep.Testbed)
+	}
+}
+
+func TestSimulateMultiServerMatchesRun(t *testing.T) {
+	legacy := SimulateMultiServer(MultiServerConfig{
+		Servers: 3, LinkBps: 10e9, SendBps: 2e9,
+		Dist: Fixed(384), SlotsPerServer: 2048, MaxExpiry: 1,
+		PayloadPark: true, Seed: 5, WarmupNs: 1e6, MeasureNs: 4e6,
+	})
+	rep, err := Run(context.Background(), Scenario{
+		Name:     "wrap-ms",
+		Topology: MultiServerTopology{Servers: 3},
+		Parking:  ParkingPolicy{Mode: ParkEdgeMode, Slots: 2048},
+		Traffic:  Traffic{SendBps: 2e9, Dist: Fixed(384)},
+		Opts:     RunOptions{Seed: 5, WarmupNs: 1e6, MeasureNs: 4e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, *rep.MultiServer) {
+		t.Errorf("SimulateMultiServer diverged from Run")
+	}
+}
+
+func TestSimulateFabricMatchesRun(t *testing.T) {
+	legacy := SimulateFabric(FabricConfig{
+		Leaves: 4, Spines: 2, Mode: ParkEdgeMode, SendBps: 3e9,
+		Slots: 8192, MaxExpiry: 1, Seed: 9,
+		WarmupNs: 1e6, MeasureNs: 4e6,
+	})
+	rep, err := Run(context.Background(), Scenario{
+		Name:     "wrap-fabric",
+		Topology: LeafSpineTopology{Leaves: 4, Spines: 2},
+		Parking:  ParkingPolicy{Mode: ParkEdgeMode},
+		Traffic:  Traffic{SendBps: 3e9},
+		Opts:     RunOptions{Seed: 9, WarmupNs: 1e6, MeasureNs: 4e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, *rep.Fabric) {
+		t.Errorf("SimulateFabric diverged from Run")
+	}
+}
+
+// TestRunSweepFacade exercises the sweep surface end to end through the
+// public package.
+func TestRunSweepFacade(t *testing.T) {
+	rep, err := RunSweep(context.Background(), Sweep{
+		Base: Scenario{
+			Name:     "facade",
+			Topology: TestbedTopology{},
+			Traffic:  Traffic{SendBps: 2e9},
+			Opts:     RunOptions{Seed: 1, WarmupNs: 2e5, MeasureNs: 1e6},
+		},
+		Axes: []Axis{ParkingAxis(ParkNoneMode, ParkEdgeMode)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 || rep.Points[0].Report == nil || rep.Points[1].Report == nil {
+		t.Fatalf("sweep points: %+v", rep.Points)
+	}
+	if rep.Points[0].Report.Mode != "baseline" || rep.Points[1].Report.Mode != "edge" {
+		t.Errorf("modes: %s / %s", rep.Points[0].Report.Mode, rep.Points[1].Report.Mode)
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 13 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("ids not sorted: %v", ids)
+		}
+	}
+}
+
+// TestRunExperimentUnknownListsIDs: the unknown-id error names the valid
+// ids (the satellite contract for CLI ergonomics).
+func TestRunExperimentUnknownListsIDs(t *testing.T) {
+	err := RunExperiment("nope", true, 1, nil)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range []string{"fig7", "table1", "equiv"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %s", err, want)
+		}
+	}
+}

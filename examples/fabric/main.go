@@ -1,30 +1,26 @@
-// Fabric example: payload parking across a leaf-spine topology.
+// Fabric example: payload parking across a leaf-spine topology, driven
+// through the unified Scenario API.
 //
 // The paper parks payloads at a single ToR switch; its §7 deployment
-// story is a fabric. This example runs the same offered load through a
+// story is a fabric. This example sweeps the same offered load through a
 // 4-leaf, 2-spine fabric three ways — no parking, park-at-edge (payload
 // parked at the ingress leaf, slim packets on every fabric hop), and
 // park-at-every-hop (§7 striping: ingress leaf, spine, and egress leaf
-// each park a block) — then demonstrates a link failure with a
-// parking-safe reroute on a 6x3 fabric.
+// each park a block) — as one RunSweep grid whose points run in
+// parallel, then demonstrates a link failure with a parking-safe reroute
+// on a 6x3 fabric.
 //
 //	go run ./examples/fabric
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"strings"
 
 	payloadpark "github.com/payloadpark/payloadpark"
 )
-
-func run(mode payloadpark.ParkMode, sendGbps float64) payloadpark.FabricResult {
-	return payloadpark.SimulateFabric(payloadpark.FabricConfig{
-		Mode:    mode,
-		SendBps: sendGbps * 1e9,
-		Seed:    7,
-	})
-}
 
 func avgUtil(links []payloadpark.LinkStats, pat string) float64 {
 	var sum float64
@@ -39,22 +35,42 @@ func avgUtil(links []payloadpark.LinkStats, pat string) float64 {
 }
 
 func main() {
+	ctx := context.Background()
+
 	fmt.Println("4x2 leaf-spine, 10GbE, datacenter packet mix, 11 Gbps offered per source")
 	fmt.Println("(past the baseline fabric's saturation; within the slim-packet envelope)")
 	fmt.Println()
+
+	// One declarative grid: the parking mode is the axis, everything else
+	// is the base scenario. The three points run in parallel workers.
+	grid, err := payloadpark.RunSweep(ctx, payloadpark.Sweep{
+		Base: payloadpark.Scenario{
+			Name:     "fabric",
+			Topology: payloadpark.LeafSpineTopology{Leaves: 4, Spines: 2},
+			Traffic:  payloadpark.Traffic{SendBps: 11e9},
+			Opts:     payloadpark.RunOptions{Seed: 7},
+		},
+		Axes: []payloadpark.Axis{
+			payloadpark.ParkingAxis(
+				payloadpark.ParkNoneMode, payloadpark.ParkEdgeMode, payloadpark.ParkEveryHopMode,
+			),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("mode       goodput    drop     lat      spine-util  nf-link-util")
 	var base float64
-	for _, mode := range []payloadpark.ParkMode{
-		payloadpark.ParkNoneMode, payloadpark.ParkEdgeMode, payloadpark.ParkEveryHopMode,
-	} {
-		r := run(mode, 11)
+	for _, pt := range grid.Points {
+		r := pt.Report
 		if base == 0 {
 			base = r.GoodputGbps
 		}
 		fmt.Printf("%-9s  %.3f Gbps (%+.1f%%)  %.2f%%  %6.1fus  %5.1f%%  %5.1f%%\n",
 			r.Mode, r.GoodputGbps, 100*(r.GoodputGbps/base-1),
 			100*r.UnintendedDropRate, r.AvgLatencyUs,
-			avgUtil(r.Links, "->spine"), avgUtil(r.Links, "->nf"))
+			avgUtil(r.Fabric.Links, "->spine"), avgUtil(r.Fabric.Links, "->nf"))
 	}
 	fmt.Println()
 	fmt.Println("edge parking keeps the same offered load healthy: every fabric hop")
@@ -65,13 +81,17 @@ func main() {
 	// later the route repoints onto a third spine (with two spines the
 	// alternate path would arrive on the egress leaf's merge port and be
 	// dropped as foreign-tag merges — geometry matters).
-	fr := payloadpark.SimulateFabric(payloadpark.FabricConfig{
-		Leaves: 6, Spines: 3,
-		Mode:     payloadpark.ParkEdgeMode,
-		SendBps:  4.5e9,
-		Seed:     7,
-		FailLink: true,
+	rep, err := payloadpark.Run(ctx, payloadpark.Scenario{
+		Name:     "fabric-failure",
+		Topology: payloadpark.LeafSpineTopology{Leaves: 6, Spines: 3, FailLink: true},
+		Parking:  payloadpark.ParkingPolicy{Mode: payloadpark.ParkEdgeMode},
+		Traffic:  payloadpark.Traffic{SendBps: 4.5e9},
+		Opts:     payloadpark.RunOptions{Seed: 7},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := rep.Fabric
 	fmt.Println()
 	fmt.Println("link failure on a 6x3 fabric (edge parking, 4.5 Gbps/source):")
 	fmt.Printf("  flow 0 deliveries: pre-fail=%d  outage=%d  post-reroute=%d\n",

@@ -1,17 +1,20 @@
-// Multi-server example (§6.2.3): eight NF servers share one switch, two
-// per pipe, with the reserved switch memory statically sliced between
-// them. Performance isolation means every server sees the same gain.
+// Multi-server example (§6.2.3), driven through the unified Scenario
+// API: eight NF servers share one switch, two per pipe, with the
+// reserved switch memory statically sliced between them. Performance
+// isolation means every server sees the same gain.
 //
 // Each server is an 8-core Xeon whose NIC spreads flows over per-core RX
-// queues with an RSS hash; -cores sweeps that core count to show
-// saturation emerging from per-core queues.
+// queues with an RSS hash; -cores sweeps that core count (one RunSweep
+// grid) to show saturation emerging from per-core queues.
 //
 //	go run ./examples/multiserver [-cores 1,2,4,8]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"strconv"
 	"strings"
 
@@ -20,37 +23,43 @@ import (
 
 // headerGbps converts a delivered packet rate into the paper's
 // header-unit goodput (42 B of useful header per packet, §6.1).
-// Result.GoodputGbps holds the bits that actually crossed the to-NF link
-// (full packets for baseline, header remainders for PayloadPark), so the
-// two metrics answer different questions: how loaded is the link vs how
-// many useful headers reached the NF.
+// SimResult.GoodputGbps holds the bits that actually crossed the to-NF
+// link (full packets for baseline, header remainders for PayloadPark),
+// so the two metrics answer different questions: how loaded is the link
+// vs how many useful headers reached the NF.
 func headerGbps(r payloadpark.SimResult) float64 {
 	return r.ToNFMpps * 1e6 * payloadpark.HeaderUnitLen * 8 / 1e9
 }
 
-func run(pp bool, sendGbps float64, cores int) payloadpark.MultiServerResult {
-	return payloadpark.SimulateMultiServer(payloadpark.MultiServerConfig{
-		Servers:        8,
-		LinkBps:        10e9,
-		SendBps:        sendGbps * 1e9,
-		Dist:           payloadpark.Fixed(384), // small packets stress switch memory
-		SlotsPerServer: 12000,
-		MaxExpiry:      1,
-		Cores:          cores,
-		PayloadPark:    pp,
-		Seed:           7,
-		WarmupNs:       5e6,
-		MeasureNs:      20e6,
-	})
+// scenario builds the 8-server run; the parking mode is the only knob
+// the comparison turns.
+func scenario(mode payloadpark.ParkMode, sendGbps float64) payloadpark.Scenario {
+	return payloadpark.Scenario{
+		Name:     "multiserver",
+		Topology: payloadpark.MultiServerTopology{Servers: 8},
+		Parking:  payloadpark.ParkingPolicy{Mode: mode, Slots: 12000},
+		Traffic:  payloadpark.Traffic{SendBps: sendGbps * 1e9, Dist: payloadpark.Fixed(384)},
+		Opts:     payloadpark.RunOptions{Seed: 7, WarmupNs: 5e6, MeasureNs: 20e6},
+	}
 }
 
 func main() {
 	coresFlag := flag.String("cores", "", "comma-separated core counts to sweep (e.g. 1,2,4,8)")
 	flag.Parse()
+	ctx := context.Background()
 
-	// Run just past the baseline link's saturation point so the gain shows.
-	base := run(false, 12, 0)
-	pp := run(true, 12, 0)
+	// Run just past the baseline link's saturation point so the gain
+	// shows. One grid, two points, run in parallel.
+	grid, err := payloadpark.RunSweep(ctx, payloadpark.Sweep{
+		Base: scenario(payloadpark.ParkNoneMode, 12),
+		Axes: []payloadpark.Axis{
+			payloadpark.ParkingAxis(payloadpark.ParkNoneMode, payloadpark.ParkEdgeMode),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, pp := grid.Points[0].Report.MultiServer, grid.Points[1].Report.MultiServer
 
 	fmt.Println("8 NF servers (MAC-swap), 384B packets, 12 Gbps offered per server (baseline link caps at ~9.4)")
 	fmt.Println()
@@ -67,23 +76,36 @@ func main() {
 	if *coresFlag == "" {
 		return
 	}
-	fmt.Println()
-	fmt.Println("core sweep (MultiServerModel per-core costs, 8 Gbps offered, baseline):")
-	fmt.Println("cores   drop-rate   avg-latency")
+	var counts []int
 	for _, f := range strings.Split(*coresFlag, ",") {
 		c, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || c < 1 || c > 64 {
-			fmt.Printf("  bad core count %q (want 1..64)\n", f)
-			continue
+			log.Fatalf("bad core count %q (want 1..64)", f)
 		}
-		res := payloadpark.SimulateMultiServer(payloadpark.MultiServerConfig{
-			Servers: 2, LinkBps: 10e9, SendBps: 8e9,
-			Dist: payloadpark.Fixed(384), SlotsPerServer: 12000, MaxExpiry: 1,
-			Server: payloadpark.MultiServerModel(), Cores: c,
-			Seed: 7, WarmupNs: 5e6, MeasureNs: 20e6,
-		})
-		r := res.PerServer[0]
-		fmt.Printf("  %d     %6.2f%%     %8.1f us\n", c, 100*r.UnintendedDropRate, r.AvgLatencyUs)
+		counts = append(counts, c)
+	}
+
+	// The core sweep is a CoresAxis grid over a 2-server scenario.
+	sweep, err := payloadpark.RunSweep(ctx, payloadpark.Sweep{
+		Base: payloadpark.Scenario{
+			Name:     "cores",
+			Topology: payloadpark.MultiServerTopology{Servers: 2},
+			Parking:  payloadpark.ParkingPolicy{Slots: 12000},
+			Traffic:  payloadpark.Traffic{SendBps: 8e9, Dist: payloadpark.Fixed(384)},
+			Server:   payloadpark.MultiServerModel(),
+			Opts:     payloadpark.RunOptions{Seed: 7, WarmupNs: 5e6, MeasureNs: 20e6},
+		},
+		Axes: []payloadpark.Axis{payloadpark.CoresAxis(counts...)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("core sweep (MultiServerModel per-core costs, 8 Gbps offered, baseline):")
+	fmt.Println("cores   drop-rate   avg-latency")
+	for _, pt := range sweep.Points {
+		r := pt.Report.MultiServer.PerServer[0]
+		fmt.Printf("  %s     %6.2f%%     %8.1f us\n", pt.Labels[0], 100*r.UnintendedDropRate, r.AvgLatencyUs)
 	}
 	fmt.Println("per-core RX queues saturate one by one: drops vanish once the core count covers the offered load.")
 }

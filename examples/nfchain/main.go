@@ -1,13 +1,16 @@
 // NF chain example: the paper's headline experiment (Fig. 7) in miniature.
 // A FW -> NAT -> LB chain on a 10 GbE link receives enterprise-datacenter
 // traffic; we compare baseline and PayloadPark deployments as the offered
-// load crosses the link's capacity.
+// load crosses the link's capacity — one declarative sweep grid whose
+// points run in parallel.
 //
 //	go run ./examples/nfchain
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	payloadpark "github.com/payloadpark/payloadpark"
 )
@@ -27,34 +30,32 @@ func buildChain() *payloadpark.Chain {
 	return payloadpark.NewChain(fw, nat, lb)
 }
 
-func run(sendGbps float64, pp bool) payloadpark.SimResult {
-	cfg := payloadpark.SimConfig{
-		Name:       "nfchain",
-		LinkBps:    10e9,
-		SendBps:    sendGbps * 1e9,
-		Dist:       payloadpark.Datacenter(),
-		Seed:       1,
-		BuildChain: buildChain,
-		Server:     payloadpark.DefaultServerModel(),
-		WarmupNs:   5e6,
-		MeasureNs:  20e6,
-	}
-	if pp {
-		cfg.PayloadPark = true
-		cfg.PP = payloadpark.Config{Slots: 16384, MaxExpiry: 1}
-	}
-	return payloadpark.Simulate(cfg)
-}
-
 func main() {
+	grid, err := payloadpark.RunSweep(context.Background(), payloadpark.Sweep{
+		Base: payloadpark.Scenario{
+			Name:     "nfchain",
+			Topology: payloadpark.TestbedTopology{},
+			Parking:  payloadpark.ParkingPolicy{Slots: 16384},
+			Traffic:  payloadpark.Traffic{Dist: payloadpark.Datacenter()},
+			Chain:    buildChain,
+			Opts:     payloadpark.RunOptions{Seed: 1, WarmupNs: 5e6, MeasureNs: 20e6},
+		},
+		Axes: []payloadpark.Axis{
+			payloadpark.SendGbpsAxis(4, 8, 10, 11, 12),
+			payloadpark.ParkingAxis(payloadpark.ParkNoneMode, payloadpark.ParkEdgeMode),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("FW->NAT->LB on 10GbE, datacenter traffic (avg 882B, 30% small)")
 	fmt.Println()
 	fmt.Println("send(G)  baseline-goodput  pp-goodput  baseline-lat   pp-lat")
-	for _, g := range []float64{4, 8, 10, 11, 12} {
-		b := run(g, false)
-		p := run(g, true)
-		fmt.Printf("%5.0f    %.3f Gbps        %.3f Gbps  %8.1f us  %8.1f us\n",
-			g, b.GoodputGbps, p.GoodputGbps, b.AvgLatencyUs, p.AvgLatencyUs)
+	for i := 0; i < grid.Shape[0]; i++ {
+		b, p := grid.At(i, 0).Report, grid.At(i, 1).Report
+		fmt.Printf("%5s    %.3f Gbps        %.3f Gbps  %8.1f us  %8.1f us\n",
+			grid.At(i, 0).Labels[0], b.GoodputGbps, p.GoodputGbps, b.AvgLatencyUs, p.AvgLatencyUs)
 	}
 	fmt.Println()
 	fmt.Println("past 10G the baseline link saturates: its latency spikes and goodput")

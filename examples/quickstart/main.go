@@ -1,11 +1,14 @@
 // Quickstart: park one packet's payload in the switch, process the header
-// through an NF, and get the byte-identical packet back.
+// through an NF, and get the byte-identical packet back — then run the
+// same deployment as a timed scenario through the unified Run
+// entrypoint.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -47,4 +50,23 @@ func main() {
 	r := dep.Resources()
 	fmt.Printf("switch resources: SRAM %.2f%% avg, PHV %.1f%%, VLIW %.1f%%\n",
 		r.SRAMAvgPct, r.PHVPct, r.VLIWPct)
+
+	// The same deployment as a timed measurement: one Scenario, one Run.
+	// A Scenario composes a topology (here the paper's Fig. 5 testbed), a
+	// parking policy, traffic, and run options; the Report carries the
+	// paper's metrics for any topology.
+	rep, err := payloadpark.Run(context.Background(), payloadpark.Scenario{
+		Name:     "quickstart",
+		Topology: payloadpark.TestbedTopology{},
+		Parking:  payloadpark.ParkingPolicy{Mode: payloadpark.ParkEdgeMode, Slots: 1024},
+		Traffic:  payloadpark.Traffic{SendBps: 8e9, Dist: payloadpark.Datacenter()},
+		Opts:     payloadpark.RunOptions{Seed: 1, Quick: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated 8 Gbps for %s: goodput=%.3f Gbps, avg latency=%.1fus, healthy=%t\n",
+		rep.Scenario, rep.GoodputGbps, rep.AvgLatencyUs, rep.Healthy)
+	fmt.Printf("splits=%d merges=%d on the simulated switch\n",
+		rep.Testbed.Splits, rep.Testbed.Merges)
 }

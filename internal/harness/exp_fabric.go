@@ -5,16 +5,18 @@ import (
 	"io"
 	"strings"
 
+	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
 )
 
 func init() {
-	register(Experiment{
+	register(experiment(Experiment{
 		ID:    "fabric",
 		Title: "Leaf-spine fabric: park-at-edge vs park-at-every-hop, link-failure reroute, per-switch drivers",
 		Paper: "not a paper figure: §7's multi-switch vision (striping, distributed memory pressure) played out on a 4x2 leaf-spine with per-hop stats",
-		Run:   func(o Options, w io.Writer) error { return RunFabricSuite(o, "4x2", nil, w) },
-	})
+	}, func(o Options) (*FabricSuite, error) {
+		return CollectFabricSuite(o, "4x2")
+	}, RenderFabricSuite))
 }
 
 // FabricSuite bundles the fabric experiment family's results in a
@@ -77,35 +79,93 @@ func sumDrops(r sim.FabricResult) (links, switches uint64) {
 	return
 }
 
-// RunFabricSuite runs the fabric experiment family on the given LxS
-// topology: the parking-mode comparison at a load past baseline fabric
-// saturation, the link-failure reroute scenario, and the per-switch
-// parallel-driver dataplane drive. When out is non-nil the results are
-// also collected there for machine-readable export.
-func RunFabricSuite(o Options, topo string, out *FabricSuite, w io.Writer) error {
+// CollectFabricSuite runs the fabric experiment family on the given LxS
+// topology: the parking-mode comparison (a declarative ParkingAxis sweep
+// at a load past baseline fabric saturation), the link-failure reroute
+// scenario, and the per-switch parallel-driver dataplane drive.
+func CollectFabricSuite(o Options, topo string) (*FabricSuite, error) {
 	leaves, spines, err := ParseTopology(topo)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	mk := func(mode sim.ParkMode, sendGbps float64) sim.FabricConfig {
-		return sim.FabricConfig{
-			Leaves: leaves, Spines: spines,
-			Mode: mode, SendBps: sendGbps * 1e9, Seed: o.Seed,
-			WarmupNs: o.warmup(), MeasureNs: o.measure(),
-		}
-	}
+	out := &FabricSuite{Topology: topo}
 
 	// Part 1: parking modes at 11 Gbps offered per source — past the
 	// 10 GbE fabric's baseline saturation, inside the slim-packet
-	// envelope. Edge parking's gain is end-to-end: every fabric hop
-	// carries slim packets, so the same offered load stays healthy.
-	fmt.Fprintf(w, "parking modes, %s leaf-spine, 10GbE, datacenter mix, 11 Gbps offered per source:\n", topo)
+	// envelope. One ParkingAxis sweep; the grid runs in parallel.
+	grid, err := runSweep(o, scenario.Sweep{
+		Base: scenario.Scenario{
+			Name:     "fabric-modes",
+			Topology: scenario.LeafSpine{Leaves: leaves, Spines: spines},
+			Traffic:  scenario.Traffic{SendBps: 11e9},
+			Opts:     o.scnOpts(),
+		},
+		Axes: []scenario.Axis{
+			scenario.ParkingAxis(sim.ParkNone, sim.ParkEdge, sim.ParkEveryHop),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range grid.Points {
+		if pt.Err != "" {
+			return nil, fmt.Errorf("harness: fabric mode %v: %s", pt.Labels, pt.Err)
+		}
+		out.Modes = append(out.Modes, *pt.Report.Fabric)
+	}
+
+	// Part 2: link failure + reroute. Parking-safe reroute needs a third
+	// spine (the alternate path must not arrive on the egress leaf's
+	// merge port), so this part runs 6x3 regardless of topo.
+	fr, err := run(o, scenario.Scenario{
+		Name:     "fabric-failure",
+		Topology: scenario.LeafSpine{Leaves: 6, Spines: 3, FailLink: true, RerouteNs: 2e6},
+		Parking:  scenario.Parking{Mode: sim.ParkEdge},
+		Traffic:  scenario.Traffic{SendBps: 4.5e9},
+		Opts: scenario.RunOptions{
+			Seed: o.Seed, WarmupNs: o.warmup(), MeasureNs: 4 * o.measure(),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Failure = *fr.Fabric
+
+	// Part 3: the striped switch chain, sequential vs one ParallelDriver
+	// per switch. This is a wall-clock dataplane drive, not a
+	// discrete-event scenario.
+	dcfg := sim.FabricDataplaneConfig{Switches: 2, Seed: o.Seed}
+	if o.Quick {
+		dcfg.Packets = 256
+		dcfg.Rounds = 8
+	}
+	out.DataplaneSequential = sim.RunFabricDataplane(dcfg)
+	dcfg.Pipelined = true
+	out.DataplanePipelined = sim.RunFabricDataplane(dcfg)
+	return out, nil
+}
+
+// RunFabricSuite collects the suite and renders it as text. When out is
+// non-nil the collected results are also copied there for
+// machine-readable export (the ppbench -topology -json path).
+func RunFabricSuite(o Options, topo string, out *FabricSuite, w io.Writer) error {
+	suite, err := CollectFabricSuite(o, topo)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		*out = *suite
+	}
+	return RenderFabricSuite(suite, w)
+}
+
+func RenderFabricSuite(suite *FabricSuite, w io.Writer) error {
+	fmt.Fprintf(w, "parking modes, %s leaf-spine, 10GbE, datacenter mix, 11 Gbps offered per source:\n", suite.Topology)
 	tw := newTable(w)
 	fmt.Fprintln(tw, "mode\tgoodput(Gbps)\tvs base\tdrop%\thealthy\tavg lat(us)\tspine util%\tnf-link util%\tsplits/switch")
 	var base float64
-	for _, mode := range []sim.ParkMode{sim.ParkNone, sim.ParkEdge, sim.ParkEveryHop} {
-		r := sim.RunLeafSpine(mk(mode, 11))
-		if mode == sim.ParkNone {
+	for i, r := range suite.Modes {
+		if i == 0 {
 			base = r.GoodputGbps
 		}
 		var perSwitch []string
@@ -117,61 +177,30 @@ func RunFabricSuite(o Options, topo string, out *FabricSuite, w io.Writer) error
 			100*r.UnintendedDropRate, r.Healthy, r.AvgLatencyUs,
 			avgUtil(r.Links, "->spine"), avgUtil(r.Links, "->nf"),
 			strings.Join(perSwitch, "/"))
-		if out != nil {
-			out.Modes = append(out.Modes, r)
-		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 
-	// Part 2: link failure + reroute. Parking-safe reroute needs a third
-	// spine (the alternate path must not arrive on the egress leaf's
-	// merge port), so this part runs 6x3 regardless of topo.
-	fcfg := sim.FabricConfig{
-		Leaves: 6, Spines: 3,
-		Mode: sim.ParkEdge, SendBps: 4.5e9, Seed: o.Seed,
-		WarmupNs: o.warmup(), MeasureNs: 4 * o.measure(),
-		FailLink: true, RerouteNs: 2e6,
-	}
-	fr := sim.RunLeafSpine(fcfg)
+	fr := suite.Failure
 	linkDrops, switchDrops := sumDrops(fr)
 	var orphans int
 	for _, s := range fr.Switches {
 		orphans += s.Occupancy
 	}
-	fmt.Fprintf(w, "\nlink failure + reroute (6x3, edge parking, 4.5 Gbps/source; fail flow 0's forward spine link, reroute %.1f ms later):\n",
-		float64(fcfg.RerouteNs)/1e6)
+	fmt.Fprintf(w, "\nlink failure + reroute (6x3, edge parking, 4.5 Gbps/source; fail flow 0's forward spine link, reroute 2.0 ms later):\n")
 	fmt.Fprintf(w, "  flow 0 NF deliveries: pre-fail=%d outage=%d post-reroute=%d\n",
 		fr.PhaseDelivered[0], fr.PhaseDelivered[1], fr.PhaseDelivered[2])
 	fmt.Fprintf(w, "  drops: links=%d switches=%d (blackholed during detection); premature evictions=%d\n",
 		linkDrops, switchDrops, totalPremature(fr))
 	fmt.Fprintf(w, "  orphaned parked payloads at run end: %d (reclaimed by expiry eviction as the index wraps)\n", orphans)
-	if out != nil {
-		out.Failure = fr
-	}
 
-	// Part 3: the striped switch chain, sequential vs one ParallelDriver
-	// per switch. Wall-clock speedup needs cores; the counters prove the
-	// two drives are observably identical.
-	dcfg := sim.FabricDataplaneConfig{Switches: 2, Seed: o.Seed}
-	if o.Quick {
-		dcfg.Packets = 256
-		dcfg.Rounds = 8
-	}
-	seq := sim.RunFabricDataplane(dcfg)
-	dcfg.Pipelined = true
-	par := sim.RunFabricDataplane(dcfg)
+	seq, par := suite.DataplaneSequential, suite.DataplanePipelined
 	fmt.Fprintf(w, "\nstriped 2-switch chain dataplane (one PayloadPark program per pipe per switch):\n")
 	fmt.Fprintf(w, "  sequential: %s per-switch splits=%v\n", seq, seq.PerSwitch)
 	fmt.Fprintf(w, "  pipelined:  %s per-switch splits=%v\n", par, par.PerSwitch)
 	if seq.Mpps > 0 {
 		fmt.Fprintf(w, "  speedup: %.2fx across %d workers (per-pipe x per-switch)\n", par.Mpps/seq.Mpps, par.Workers)
-	}
-	if out != nil {
-		out.Topology = topo
-		out.DataplaneSequential = seq
-		out.DataplanePipelined = par
 	}
 	return nil
 }

@@ -4,53 +4,49 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
 
 func init() {
-	register(Experiment{
+	register(experiment(Experiment{
 		ID:    "fig8",
 		Title: "Peak goodput vs fixed packet size for FW, NAT and FW->NAT on OpenNetVM, 40GbE",
 		Paper: "+10-36% goodput for 384-1492 B packets; negligible gain at 256 B; chains gain less than single NFs",
-		Run:   runFig8,
-	})
-	register(Experiment{
+	}, collectFig8, renderPeakGrid))
+	register(experiment(Experiment{
 		ID:    "fig9",
 		Title: "PCIe bandwidth utilization vs fixed packet size (lower is better)",
 		Paper: "PayloadPark saves 2-58% of PCIe bandwidth; the largest saving is at 256 B packets",
-		Run:   runFig9,
-	})
-	register(Experiment{
+	}, collectFig9, renderFig9))
+	register(experiment(Experiment{
 		ID:    "s621",
 		Title: "FW->NAT on OpenNetVM, 40GbE, datacenter traffic (§6.2.1)",
 		Paper: "15.6% goodput improvement, no latency penalty, ~12% PCIe bandwidth savings at all send rates",
-		Run:   runS621,
-	})
-	register(Experiment{
+	}, collectS621, renderS621))
+	register(experiment(Experiment{
 		ID:    "fig15",
 		Title: "Peak goodput for NF-Light/Medium/Heavy across packet sizes",
 		Paper: "gains persist at 1492 B for all NFs; no gain for NF-Heavy at <=1024 B (compute bound ~5 Mpps); NF-Medium loses 3.9% at 256 B to premature evictions",
-		Run:   runFig15,
-	})
+	}, collectFig15, renderPeakGrid))
 }
 
-// fixedCfg builds the 40GbE OpenNetVM fixed-size run.
-func fixedCfg(o Options, name string, size int, sendBps float64, chain func() *nf.Chain, pp bool, server sim.ServerModel) sim.TestbedConfig {
-	return sim.TestbedConfig{
-		Name:        name,
-		LinkBps:     40e9,
-		SendBps:     sendBps,
-		Dist:        trafficgen.Fixed(size),
-		Seed:        o.Seed,
-		BuildChain:  chain,
-		Server:      server,
-		PayloadPark: pp,
-		PP:          core.Config{Slots: MacroSlots, MaxExpiry: 1},
-		WarmupNs:    o.warmup(),
-		MeasureNs:   o.measure(),
+// fixedScenario builds the 40GbE OpenNetVM fixed-size base scenario.
+func fixedScenario(o Options, name string, size int, chain func() *nf.Chain, server sim.ServerModel) scenario.Scenario {
+	var dist trafficgen.SizeDist = trafficgen.Datacenter{}
+	if size > 0 {
+		dist = trafficgen.Fixed(size)
+	}
+	return scenario.Scenario{
+		Name:     name,
+		Topology: scenario.Testbed{LinkBps: 40e9},
+		Parking:  scenario.Parking{Slots: MacroSlots, MaxExpiry: 1},
+		Traffic:  scenario.Traffic{Dist: dist},
+		Chain:    chain,
+		Server:   server,
+		Opts:     o.scnOpts(),
 	}
 }
 
@@ -61,114 +57,238 @@ func fig8Sizes(o Options) []int {
 	return []int{256, 384, 512, 1024, 1492}
 }
 
-func runFig8(o Options, w io.Writer) error {
-	chains := []struct {
+// PeakGridRow is one (workload, size) cell of a peak-goodput grid.
+type PeakGridRow struct {
+	Workload    string           `json:"workload"`
+	SizeBytes   int              `json:"size_bytes"`
+	Base        *scenario.Report `json:"base"`
+	PP          *scenario.Report `json:"pp"`
+	GainPct     float64          `json:"gain_pct"`
+	PPPremature uint64           `json:"pp_premature"`
+}
+
+// PeakGridResult is the structured output of the fig8/fig15 peak grids.
+type PeakGridResult struct {
+	// ShowPremature selects the fig15 text rendering (premature column).
+	ShowPremature bool          `json:"show_premature"`
+	Rows          []PeakGridRow `json:"rows"`
+}
+
+// collectPeakGrid searches the peak healthy send for base and parked
+// variants of every (workload, size) cell. Cells are independent, so
+// they run across a worker pool (each cell's binary search stays
+// sequential — every probe depends on the previous verdict); row order
+// is deterministic regardless of worker interleaving.
+func collectPeakGrid(o Options, name string, workloads []struct {
+	name  string
+	chain func() *nf.Chain
+}, sizes []int, premature bool) (*PeakGridResult, error) {
+	iters := 7
+	if o.Quick {
+		iters = 5
+	}
+	rows := make([]PeakGridRow, len(workloads)*len(sizes))
+	searchCell := func(i int) error {
+		wl, size := workloads[i/len(sizes)], sizes[i%len(sizes)]
+		base := fixedScenario(o, name, size, wl.chain, OpenNetVM40G())
+		mk := func(mode sim.ParkMode) func(bps float64) scenario.Scenario {
+			return func(bps float64) scenario.Scenario {
+				return base.With(func(s *scenario.Scenario) {
+					s.Parking.Mode = mode
+					s.Traffic.SendBps = bps
+				})
+			}
+		}
+		_, b, err := peakHealthySend(o, mk(sim.ParkNone), 2e9, 60e9, iters, healthy)
+		if err != nil {
+			return err
+		}
+		_, p, err := peakHealthySend(o, mk(sim.ParkEdge), 2e9, 60e9, iters, healthy)
+		if err != nil {
+			return err
+		}
+		rows[i] = PeakGridRow{Workload: wl.name, SizeBytes: size, Base: b, PP: p, PPPremature: p.Premature}
+		if b.GoodputGbps > 0 {
+			rows[i].GainPct = 100 * (p.GoodputGbps - b.GoodputGbps) / b.GoodputGbps
+		}
+		return nil
+	}
+	if err := forEachCell(len(rows), searchCell); err != nil {
+		return nil, err
+	}
+	return &PeakGridResult{ShowPremature: premature, Rows: rows}, nil
+}
+
+func renderPeakGrid(res *PeakGridResult, w io.Writer) error {
+	tw := newTable(w)
+	if res.ShowPremature {
+		fmt.Fprintln(tw, "nf\tsize(B)\tbase peak gput(Gbps)\tpp peak gput(Gbps)\tgain\tpp premature")
+	} else {
+		fmt.Fprintln(tw, "chain\tsize(B)\tbase peak gput(Gbps)\tpp peak gput(Gbps)\tgain")
+	}
+	for _, r := range res.Rows {
+		if res.ShowPremature {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%s\t%d\n",
+				r.Workload, r.SizeBytes, r.Base.GoodputGbps, r.PP.GoodputGbps,
+				pct(r.PP.GoodputGbps, r.Base.GoodputGbps), r.PPPremature)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%s\n",
+				r.Workload, r.SizeBytes, r.Base.GoodputGbps, r.PP.GoodputGbps,
+				pct(r.PP.GoodputGbps, r.Base.GoodputGbps))
+		}
+	}
+	return tw.Flush()
+}
+
+func collectFig8(o Options) (*PeakGridResult, error) {
+	return collectPeakGrid(o, "fig8", []struct {
 		name  string
-		build func() *nf.Chain
+		chain func() *nf.Chain
 	}{
 		{"FW", ChainFW1},
 		{"NAT", ChainNAT},
 		{"FW->NAT", ChainFWNAT},
-	}
-	iters := 7
-	if o.Quick {
-		iters = 5
-	}
-	tw := newTable(w)
-	fmt.Fprintln(tw, "chain\tsize(B)\tbase peak gput(Gbps)\tpp peak gput(Gbps)\tgain")
-	for _, c := range chains {
-		for _, size := range fig8Sizes(o) {
-			mk := func(pp bool) func(bps float64) sim.TestbedConfig {
-				return func(bps float64) sim.TestbedConfig {
-					return fixedCfg(o, "fig8", size, bps, c.build, pp, OpenNetVM40G())
-				}
-			}
-			_, base := peakHealthySend(mk(false), 2e9, 60e9, iters, healthy)
-			_, pp := peakHealthySend(mk(true), 2e9, 60e9, iters, healthy)
-			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%s\n",
-				c.name, size, base.GoodputGbps, pp.GoodputGbps, pct(pp.GoodputGbps, base.GoodputGbps))
-		}
-	}
-	return tw.Flush()
+	}, fig8Sizes(o), false)
 }
 
-func runFig9(o Options, w io.Writer) error {
-	tw := newTable(w)
-	fmt.Fprintln(tw, "size(B)\tbase pcie(Gbps)\tpp pcie(Gbps)\tbase util%\tpp util%\tsavings")
-	for _, size := range fig8Sizes(o) {
-		// Compare at a common send rate that keeps both deployments
-		// healthy so pps is identical and the per-packet byte ratio shows.
-		send := 16e9
-		b := sim.RunTestbed(fixedCfg(o, "fig9-base", size, send, ChainFWNAT, false, OpenNetVM40G()))
-		p := sim.RunTestbed(fixedCfg(o, "fig9-pp", size, send, ChainFWNAT, true, OpenNetVM40G()))
-		savings := 0.0
-		if b.PCIeGbps > 0 {
-			savings = 100 * (b.PCIeGbps - p.PCIeGbps) / b.PCIeGbps
-		}
-		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.1f\t%.1f\t%.1f%%\n",
-			size, b.PCIeGbps, p.PCIeGbps, b.PCIeUtilPct, p.PCIeUtilPct, savings)
-	}
-	return tw.Flush()
-}
-
-func runS621(o Options, w io.Writer) error {
-	mk := func(pp bool) func(bps float64) sim.TestbedConfig {
-		return func(bps float64) sim.TestbedConfig {
-			cfg := fixedCfg(o, "s621", 0, bps, ChainFWNAT, pp, OpenNetVM40G())
-			cfg.Dist = trafficgen.Datacenter{}
-			return cfg
-		}
-	}
-	iters := 7
-	if o.Quick {
-		iters = 5
-	}
-	_, base := peakHealthySend(mk(false), 10e9, 45e9, iters, healthy)
-	_, pp := peakHealthySend(mk(true), 10e9, 45e9, iters, healthy)
-	fmt.Fprintf(w, "peak goodput: baseline=%.3f Gbps pp=%.3f Gbps gain=%s (paper: +15.6%%)\n",
-		base.GoodputGbps, pp.GoodputGbps, pct(pp.GoodputGbps, base.GoodputGbps))
-	fmt.Fprintf(w, "latency at peak: baseline=%.1fus pp=%.1fus\n", base.AvgLatencyUs, pp.AvgLatencyUs)
-
-	// PCIe savings at a fixed sub-saturation send rate.
-	b := sim.RunTestbed(mk(false)(15e9))
-	p := sim.RunTestbed(mk(true)(15e9))
-	if b.PCIeGbps > 0 {
-		fmt.Fprintf(w, "pcie at 15G send: baseline=%.2f Gbps pp=%.2f Gbps savings=%.1f%% (paper: ~12%%)\n",
-			b.PCIeGbps, p.PCIeGbps, 100*(b.PCIeGbps-p.PCIeGbps)/b.PCIeGbps)
-	}
-	return nil
-}
-
-func runFig15(o Options, w io.Writer) error {
-	nfs := []struct {
-		name   string
-		cycles uint64
-	}{
-		{"NF-Light", 50}, {"NF-Medium", 300}, {"NF-Heavy", 570},
-	}
+func collectFig15(o Options) (*PeakGridResult, error) {
 	sizes := []int{256, 512, 1024, 1492}
 	if o.Quick {
 		sizes = []int{256, 1492}
 	}
+	return collectPeakGrid(o, "fig15", []struct {
+		name  string
+		chain func() *nf.Chain
+	}{
+		{"NF-Light", ChainSynthetic("NF-Light", 50)},
+		{"NF-Medium", ChainSynthetic("NF-Medium", 300)},
+		{"NF-Heavy", ChainSynthetic("NF-Heavy", 570)},
+	}, sizes, true)
+}
+
+// --- fig9: PCIe vs packet size ---
+
+// PCIeSizeRow is one packet size's PCIe comparison.
+type PCIeSizeRow struct {
+	SizeBytes   int     `json:"size_bytes"`
+	BaseGbps    float64 `json:"base_gbps"`
+	PPGbps      float64 `json:"pp_gbps"`
+	BaseUtilPct float64 `json:"base_util_pct"`
+	PPUtilPct   float64 `json:"pp_util_pct"`
+	SavingsPct  float64 `json:"savings_pct"`
+}
+
+// Fig9Result is the structured fig9 output.
+type Fig9Result struct {
+	SendGbps float64       `json:"send_gbps"`
+	Rows     []PCIeSizeRow `json:"rows"`
+}
+
+func collectFig9(o Options) (*Fig9Result, error) {
+	// Compare at a common send rate that keeps both deployments healthy
+	// so pps is identical and the per-packet byte ratio shows.
+	const send = 16.0
+	res := &Fig9Result{SendGbps: send}
+	grid, err := runSweep(o, scenario.Sweep{
+		Base: fixedScenario(o, "fig9", 256, ChainFWNAT, OpenNetVM40G()).With(func(s *scenario.Scenario) {
+			s.Traffic.SendBps = send * 1e9
+		}),
+		Axes: []scenario.Axis{
+			scenario.PacketSizeAxis(fig8Sizes(o)...),
+			scenario.ParkingAxis(sim.ParkNone, sim.ParkEdge),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range fig8Sizes(o) {
+		b, p := grid.At(i, 0).Report.Testbed, grid.At(i, 1).Report.Testbed
+		row := PCIeSizeRow{
+			SizeBytes: size,
+			BaseGbps:  b.PCIeGbps, PPGbps: p.PCIeGbps,
+			BaseUtilPct: b.PCIeUtilPct, PPUtilPct: p.PCIeUtilPct,
+		}
+		if b.PCIeGbps > 0 {
+			row.SavingsPct = 100 * (b.PCIeGbps - p.PCIeGbps) / b.PCIeGbps
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func renderFig9(res *Fig9Result, w io.Writer) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "size(B)\tbase pcie(Gbps)\tpp pcie(Gbps)\tbase util%\tpp util%\tsavings")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.1f\t%.1f\t%.1f%%\n",
+			r.SizeBytes, r.BaseGbps, r.PPGbps, r.BaseUtilPct, r.PPUtilPct, r.SavingsPct)
+	}
+	return tw.Flush()
+}
+
+// --- s621 ---
+
+// S621Result is the structured §6.2.1 output.
+type S621Result struct {
+	BasePeak *scenario.Report `json:"base_peak"`
+	PPPeak   *scenario.Report `json:"pp_peak"`
+	GainPct  float64          `json:"gain_pct"`
+	PCIe     *PCIeCompare     `json:"pcie,omitempty"`
+}
+
+func collectS621(o Options) (*S621Result, error) {
+	base := fixedScenario(o, "s621", 0, ChainFWNAT, OpenNetVM40G())
+	mk := func(mode sim.ParkMode) func(bps float64) scenario.Scenario {
+		return func(bps float64) scenario.Scenario {
+			return base.With(func(s *scenario.Scenario) {
+				s.Parking.Mode = mode
+				s.Traffic.SendBps = bps
+			})
+		}
+	}
 	iters := 7
 	if o.Quick {
 		iters = 5
 	}
-	tw := newTable(w)
-	fmt.Fprintln(tw, "nf\tsize(B)\tbase peak gput(Gbps)\tpp peak gput(Gbps)\tgain\tpp premature")
-	for _, f := range nfs {
-		for _, size := range sizes {
-			mk := func(pp bool) func(bps float64) sim.TestbedConfig {
-				return func(bps float64) sim.TestbedConfig {
-					return fixedCfg(o, "fig15", size, bps, ChainSynthetic(f.name, f.cycles), pp, OpenNetVM40G())
-				}
-			}
-			_, base := peakHealthySend(mk(false), 2e9, 60e9, iters, healthy)
-			_, pp := peakHealthySend(mk(true), 2e9, 60e9, iters, healthy)
-			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%s\t%d\n",
-				f.name, size, base.GoodputGbps, pp.GoodputGbps,
-				pct(pp.GoodputGbps, base.GoodputGbps), pp.Premature)
+	res := &S621Result{}
+	var err error
+	if _, res.BasePeak, err = peakHealthySend(o, mk(sim.ParkNone), 10e9, 45e9, iters, healthy); err != nil {
+		return nil, err
+	}
+	if _, res.PPPeak, err = peakHealthySend(o, mk(sim.ParkEdge), 10e9, 45e9, iters, healthy); err != nil {
+		return nil, err
+	}
+	if res.BasePeak.GoodputGbps > 0 {
+		res.GainPct = 100 * (res.PPPeak.GoodputGbps - res.BasePeak.GoodputGbps) / res.BasePeak.GoodputGbps
+	}
+
+	// PCIe savings at a fixed sub-saturation send rate.
+	b, err := run(o, mk(sim.ParkNone)(15e9))
+	if err != nil {
+		return nil, err
+	}
+	p, err := run(o, mk(sim.ParkEdge)(15e9))
+	if err != nil {
+		return nil, err
+	}
+	if bt := b.Testbed; bt.PCIeGbps > 0 {
+		res.PCIe = &PCIeCompare{
+			SendGbps: 15, BaseGbps: bt.PCIeGbps, PPGbps: p.Testbed.PCIeGbps,
+			SavingsPct: 100 * (bt.PCIeGbps - p.Testbed.PCIeGbps) / bt.PCIeGbps,
 		}
 	}
-	return tw.Flush()
+	return res, nil
+}
+
+func renderS621(res *S621Result, w io.Writer) error {
+	fmt.Fprintf(w, "peak goodput: baseline=%.3f Gbps pp=%.3f Gbps gain=%s (paper: +15.6%%)\n",
+		res.BasePeak.GoodputGbps, res.PPPeak.GoodputGbps,
+		pct(res.PPPeak.GoodputGbps, res.BasePeak.GoodputGbps))
+	fmt.Fprintf(w, "latency at peak: baseline=%.1fus pp=%.1fus\n",
+		res.BasePeak.AvgLatencyUs, res.PPPeak.AvgLatencyUs)
+	if res.PCIe != nil {
+		fmt.Fprintf(w, "pcie at %.0fG send: baseline=%.2f Gbps pp=%.2f Gbps savings=%.1f%% (paper: ~12%%)\n",
+			res.PCIe.SendGbps, res.PCIe.BaseGbps, res.PCIe.PPGbps, res.PCIe.SavingsPct)
+	}
+	return nil
 }

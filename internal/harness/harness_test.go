@@ -2,11 +2,14 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
@@ -28,6 +31,46 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Error("ByID(nope) succeeded")
+	}
+	// Every experiment provides both the text and the structured path.
+	for _, e := range all {
+		if e.Run == nil || e.Collect == nil {
+			t.Errorf("%s: missing Run or Collect", e.ID)
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Errorf("IDs()[%d] = %s, want %s", i, id, want[i])
+		}
+	}
+}
+
+// TestCollectStructured: a collected result marshals to JSON and matches
+// what the text rendering prints (fig6 as the cheap probe).
+func TestCollectStructured(t *testing.T) {
+	e, _ := ByID("fig6")
+	res, err := e.Collect(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "mean_bytes") {
+		t.Errorf("fig6 JSON missing fields: %s", data)
+	}
+	fig6 := res.(*Fig6Result)
+	var buf bytes.Buffer
+	if err := e.Run(Options{Quick: true, Seed: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("samples=%d", fig6.Samples)) {
+		t.Errorf("text render disagrees with collected struct:\n%s", buf.String())
 	}
 }
 
@@ -109,16 +152,20 @@ func TestPeakHealthySendConverges(t *testing.T) {
 	// peak healthy send should land near its capacity.
 	// Windows long enough that a saturated egress queue actually
 	// overflows within the measurement horizon.
-	mk := func(bps float64) sim.TestbedConfig {
-		return sim.TestbedConfig{
-			Name: "peak-test", LinkBps: 10e9, SendBps: bps,
-			Dist: trafficgen.Fixed(882), Seed: 1,
-			BuildChain: ChainNAT,
-			Server:     NetBricks10G(),
-			WarmupNs:   2e6, MeasureNs: 16e6,
+	mk := func(bps float64) scenario.Scenario {
+		return scenario.Scenario{
+			Name:     "peak-test",
+			Topology: scenario.Testbed{},
+			Traffic:  scenario.Traffic{SendBps: bps, Dist: trafficgen.Fixed(882)},
+			Chain:    ChainNAT,
+			Server:   NetBricks10G(),
+			Opts:     scenario.RunOptions{Seed: 1, WarmupNs: 2e6, MeasureNs: 16e6},
 		}
 	}
-	peak, res := peakHealthySend(mk, 6e9, 14e9, 6, healthy)
+	peak, res, err := peakHealthySend(Options{Seed: 1}, mk, 6e9, 14e9, 6, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if peak < 8.5e9 || peak > 10.5e9 {
 		t.Errorf("peak send = %.2fG, want ~9.7G (link capacity)", peak/1e9)
 	}
@@ -126,7 +173,10 @@ func TestPeakHealthySendConverges(t *testing.T) {
 		t.Error("returned result unhealthy")
 	}
 	// Floor-unhealthy case returns the floor run.
-	_, res = peakHealthySend(mk, 20e9, 30e9, 3, healthy)
+	_, res, err = peakHealthySend(Options{Seed: 1}, mk, 20e9, 30e9, 3, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Healthy {
 		t.Error("20G floor should be unhealthy on a 10G link")
 	}
@@ -134,8 +184,20 @@ func TestPeakHealthySendConverges(t *testing.T) {
 
 func TestFig7Directional(t *testing.T) {
 	o := Options{Quick: true, Seed: 1}
-	base := sim.RunTestbed(sweepConfig(o, "t-base", 11, false, false))
-	pp := sim.RunTestbed(sweepConfig(o, "t-pp", 11, true, false))
+	mk := func(mode sim.ParkMode) scenario.Scenario {
+		return sweepScenario(o, "t", false).With(func(s *scenario.Scenario) {
+			s.Parking.Mode = mode
+			s.Traffic.SendBps = 11e9
+		})
+	}
+	base, err := run(o, mk(sim.ParkNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := run(o, mk(sim.ParkEdge))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pp.GoodputGbps <= base.GoodputGbps {
 		t.Errorf("payloadpark goodput %.3f <= baseline %.3f at 11G on 10GbE",
 			pp.GoodputGbps, base.GoodputGbps)

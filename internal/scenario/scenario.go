@@ -1,0 +1,243 @@
+// Package scenario is the unified simulation entrypoint behind the
+// public payloadpark API: one Scenario descriptor composes a Topology
+// (testbed, multi-server, leaf-spine, or custom), a Parking policy, a
+// Traffic spec, a ServerModel and RunOptions; Run executes it and
+// returns one structured, JSON-serializable Report regardless of
+// topology. Sweep expands a parameter grid over a base Scenario and runs
+// the points in parallel with context cancellation honored
+// mid-simulation.
+//
+// The paper's evaluation (§6) is exactly such a grid — topology ×
+// parking mode × traffic × server calibration — and the per-figure
+// harness builds its experiments as Scenarios and Sweeps over this
+// package.
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/sim"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+// Topology selects the deployment shape a Scenario simulates. It is a
+// closed sum over the supported shapes — Testbed, MultiServer, LeafSpine
+// — plus the Custom escape hatch for bespoke fabrics that still want
+// Run/Sweep's worker pool and Report plumbing.
+type Topology interface {
+	// Kind names the topology in reports ("testbed", "multiserver",
+	// "leafspine", or a custom name).
+	Kind() string
+	// validate rejects impossible geometry or unsupported knob
+	// combinations with a descriptive error, before any simulation runs.
+	validate(s *Scenario) error
+	// run executes the scenario on this topology.
+	run(ctx context.Context, s *Scenario) (*Report, error)
+}
+
+// Testbed is the paper's canonical Fig. 5 single-switch topology:
+// traffic generator -> switch -> NF server, with the generator's receive
+// side as the sink. It is the only topology that accepts a custom NF
+// chain, a replay Source, and the recirculation / boundary-offset /
+// explicit-drop parking knobs.
+type Testbed struct {
+	// LinkBps is the switch<->NF-server line rate (default 10 GbE).
+	LinkBps float64
+	// SwitchQueueBytes is the egress buffer per switch port (default 1 MB).
+	SwitchQueueBytes int
+	// PropNs is the per-link propagation delay (default 500 ns).
+	PropNs int64
+	// NFLinkLossRate injects random loss on both directions of the
+	// switch<->NF link (§7 failure scenarios).
+	NFLinkLossRate float64
+}
+
+// Kind implements Topology.
+func (Testbed) Kind() string { return "testbed" }
+
+// MultiServer is the §6.2.3 deployment: up to 8 NF servers (each
+// running a MAC-swap chain) sharing one switch, two per pipe, with the
+// reserved switch memory statically sliced between them.
+type MultiServer struct {
+	// Servers is the NF server count (1..8, default 8).
+	Servers int
+	// LinkBps is each server's link rate (default 10 GbE).
+	LinkBps float64
+	// Cores, when non-zero, overrides Server.Cores on every server.
+	Cores int
+}
+
+// Kind implements Topology.
+func (MultiServer) Kind() string { return "multiserver" }
+
+// LeafSpine is the multi-switch fabric topology: every leaf hosts a
+// traffic source, a sink, and an NF server; flow i enters at leaf i, is
+// served by the NF at leaf (i+1) mod Leaves, and crosses spine i mod
+// Spines in both directions. Parking follows Scenario.Parking.Mode
+// (park-at-edge or §7 every-hop striping).
+type LeafSpine struct {
+	// Leaves and Spines size the fabric (defaults 4 and 2).
+	Leaves, Spines int
+	// LinkBps is the fabric and edge link rate (default 10 GbE).
+	LinkBps float64
+	// PropNs is the per-link propagation delay (default 500 ns).
+	PropNs int64
+	// QueueBytes is the egress buffer per fabric port (default 1 MB).
+	QueueBytes int
+	// FailLink enables the link-failure scenario: flow 0's forward
+	// spine->leaf link goes down at FailAtNs and the forward path is
+	// rerouted RerouteNs later.
+	FailLink  bool
+	FailAtNs  int64
+	RerouteNs int64
+}
+
+// Kind implements Topology.
+func (LeafSpine) Kind() string { return "leafspine" }
+
+// Custom runs a user-provided topology under the same entrypoint: the
+// Run hook receives the composed Scenario (parking, traffic, server,
+// options) and returns a Report. It is how bespoke fabrics — e.g. a
+// socket-backed deployment — ride Sweep's worker pool and the structured
+// result plumbing.
+type Custom struct {
+	// Name is the topology kind reported for this scenario.
+	Name string
+	// Run executes the scenario. It must honor ctx promptly (bind it to
+	// the sim engine's Cancel hook via CancelFunc).
+	Run func(ctx context.Context, s Scenario) (*Report, error)
+}
+
+// Kind implements Topology.
+func (c Custom) Kind() string {
+	if c.Name == "" {
+		return "custom"
+	}
+	return c.Name
+}
+
+// Parking is the PayloadPark policy of a Scenario. The zero value is the
+// baseline (no parking); set Mode to park.
+type Parking struct {
+	// Mode selects where payloads park: sim.ParkNone (baseline),
+	// sim.ParkEdge, or sim.ParkEveryHop (leaf-spine striping; on a
+	// single-switch topology it is equivalent to ParkEdge).
+	Mode sim.ParkMode
+	// Slots is each installed program's lookup-table capacity
+	// (default 8192; per server on MultiServer, per switch on LeafSpine).
+	Slots int
+	// MaxExpiry is the eviction threshold (default 1).
+	MaxExpiry uint32
+	// Recirculate enables 384-byte parking via a second pipe
+	// (Testbed only).
+	Recirculate bool
+	// BoundaryOffset moves the §7 decoupling boundary (Testbed only).
+	BoundaryOffset int
+	// ExplicitDrop enables the §6.2.4 framework modification
+	// (Testbed only).
+	ExplicitDrop bool
+}
+
+// Enabled reports whether the policy parks at all.
+func (p Parking) Enabled() bool { return p.Mode != sim.ParkNone }
+
+func (p *Parking) fillDefaults() {
+	if p.Slots == 0 {
+		p.Slots = 8192
+	}
+	if p.MaxExpiry == 0 {
+		p.MaxExpiry = 1
+	}
+}
+
+// Traffic is the offered-load spec of a Scenario.
+type Traffic struct {
+	// SendBps is the offered load per traffic source, in frame
+	// bits/second.
+	SendBps float64
+	// Dist draws packet sizes (default: the Fig. 6 datacenter mix on
+	// Testbed and LeafSpine, Fixed(384) on MultiServer, matching the
+	// paper's workloads).
+	Dist trafficgen.SizeDist
+	// Flows is each source's 5-tuple pool size (default 1024 on Testbed
+	// and LeafSpine; MultiServer pins sim.MultiServerFlows).
+	Flows int
+	// Source, when non-nil, overrides the synthetic generator with an
+	// arbitrary packet stream, e.g. a pcap replay (Testbed only). The
+	// builder is called once per run so replays start fresh.
+	Source func() trafficgen.Source
+}
+
+// RunOptions are the execution knobs shared by every topology.
+type RunOptions struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Quick shrinks the default measurement window for CI-speed runs
+	// (2 ms warmup + 8 ms measured instead of 10 + 40). It applies
+	// per field: whichever of WarmupNs/MeasureNs is set explicitly wins
+	// over Quick for that field alone.
+	Quick bool
+	// WarmupNs/MeasureNs bound the measurement window explicitly.
+	WarmupNs  int64
+	MeasureNs int64
+	// Progress, when non-nil, is called with a short label when the run
+	// completes (and by RunSweep once per completed grid point). It may
+	// be called from multiple goroutines during a sweep; RunSweep
+	// serializes the calls.
+	Progress func(label string)
+}
+
+// windows resolves the measurement window.
+func (o RunOptions) windows() (warmup, measure int64) {
+	warmup, measure = o.WarmupNs, o.MeasureNs
+	if warmup == 0 {
+		warmup = 10e6
+		if o.Quick {
+			warmup = 2e6
+		}
+	}
+	if measure == 0 {
+		measure = 40e6
+		if o.Quick {
+			measure = 8e6
+		}
+	}
+	return warmup, measure
+}
+
+// Scenario is one point of the evaluation grid: what to simulate
+// (Topology), how payloads park (Parking), what load arrives (Traffic),
+// what serves it (Server, Chain), and how to run it (Opts).
+type Scenario struct {
+	// Name labels the run in reports.
+	Name string
+	// Topology selects the deployment shape. Required.
+	Topology Topology
+	// Parking is the PayloadPark policy (zero value = baseline).
+	Parking Parking
+	// Traffic is the offered load.
+	Traffic Traffic
+	// Server calibrates the NF server(s); the zero value uses
+	// sim.DefaultServerModel.
+	Server sim.ServerModel
+	// Chain builds a fresh NF chain per run (Testbed only; default
+	// MAC swap). MultiServer and LeafSpine pin the paper's MAC-swap
+	// chain.
+	Chain func() *nf.Chain
+	// Opts are the execution knobs.
+	Opts RunOptions
+}
+
+// With returns a copy of the scenario with fn applied — the building
+// block Axis setters use.
+func (s Scenario) With(fn func(*Scenario)) Scenario {
+	fn(&s)
+	return s
+}
+
+// errf builds a package-prefixed error.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("scenario: "+format, args...)
+}

@@ -23,7 +23,26 @@ type Engine struct {
 	queue nodeHeap
 	fns   []eventSlot
 	free  []int32
+
+	canceled bool
+
+	// Cancel, when non-nil, is polled every cancelStride events during
+	// Run; once it returns true the run stops between events and Run
+	// returns early. The scenario layer binds it to a context so a
+	// canceled sweep abandons a simulation mid-run instead of draining
+	// the full event timeline. A nil Cancel (every preset default) costs
+	// one predictable branch per event and changes no event ordering.
+	Cancel func() bool
 }
+
+// cancelStride is how many events run between Cancel polls: rare enough
+// to stay off the profile, frequent enough that a canceled multi-second
+// run stops within microseconds of real time.
+const cancelStride = 4096
+
+// Canceled reports whether the last Run stopped early because Cancel
+// returned true.
+func (e *Engine) Canceled() bool { return e.canceled }
 
 // eventSlot holds one scheduled event's payload: either a plain closure
 // (fn) or a pre-bound parcel handler (pfn + p).
@@ -96,7 +115,15 @@ func (e *Engine) alloc(ev eventSlot) int32 {
 // Run executes events in timestamp order until the queue drains or the
 // clock passes until.
 func (e *Engine) Run(until int64) {
+	e.canceled = false
+	var polled uint
 	for len(e.queue) > 0 {
+		if e.Cancel != nil {
+			if polled++; polled%cancelStride == 0 && e.Cancel() {
+				e.canceled = true
+				return
+			}
+		}
 		ev := e.queue[0]
 		if ev.at > until {
 			break

@@ -75,14 +75,14 @@ func (f *Fabric) AddSink(name string, windowEnd int64, recycle func(*packet.Pack
 
 // LinkStats is one link's per-hop report.
 type LinkStats struct {
-	Name      string
-	TxPackets uint64
-	TxBits    uint64
-	Drops     uint64
-	Lost      uint64
+	Name      string `json:"name"`
+	TxPackets uint64 `json:"tx_packets"`
+	TxBits    uint64 `json:"tx_bits"`
+	Drops     uint64 `json:"drops"`
+	Lost      uint64 `json:"lost"`
 	// UtilPct is the fraction of the reported window the link spent
 	// transmitting, as a percentage of line rate.
-	UtilPct float64
+	UtilPct float64 `json:"util_pct"`
 }
 
 // LinkReports returns per-hop link statistics in wiring order, with
@@ -106,16 +106,22 @@ func (f *Fabric) LinkReports(elapsedNs int64) []LinkStats {
 // SwitchStats is one switch node's per-hop report: forwarding counters
 // plus the PayloadPark counters summed over its installed programs.
 type SwitchStats struct {
-	Name   string
-	Rx, Tx uint64
-	Drops  uint64
+	Name  string `json:"name"`
+	Rx    uint64 `json:"rx"`
+	Tx    uint64 `json:"tx"`
+	Drops uint64 `json:"drops"`
 	// Program counters (zero on pure L2 switches).
-	Splits, Merges, Evictions, Premature, OccupiedSkips, SmallSkips uint64
+	Splits        uint64 `json:"splits"`
+	Merges        uint64 `json:"merges"`
+	Evictions     uint64 `json:"evictions"`
+	Premature     uint64 `json:"premature"`
+	OccupiedSkips uint64 `json:"occupied_skips"`
+	SmallSkips    uint64 `json:"small_skips"`
 	// Occupancy is the number of parked payloads still held at report
 	// time (orphan detection in failure scenarios).
-	Occupancy int
+	Occupancy int `json:"occupancy"`
 	// SRAMAvgPct is the average per-stage SRAM utilization of pipe 0.
-	SRAMAvgPct float64
+	SRAMAvgPct float64 `json:"sram_avg_pct"`
 }
 
 // SwitchReports returns per-switch statistics in creation order.

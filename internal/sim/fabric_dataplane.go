@@ -72,18 +72,19 @@ func (c *FabricDataplaneConfig) fillDefaults() {
 type FabricDataplaneResult struct {
 	// Packets is the total number of injections across the chain
 	// (each round trip costs one split and one merge per switch).
-	Packets uint64
+	Packets uint64 `json:"packets"`
 	// Elapsed is the wall-clock drive time.
-	Elapsed     time.Duration
-	NsPerPacket float64
-	Mpps        float64
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	NsPerPacket float64       `json:"ns_per_packet"`
+	Mpps        float64       `json:"mpps"`
 	// Splits/Merges are summed over every switch's programs; PerSwitch
 	// holds the per-switch split counts (striping evidence).
-	Splits, Merges uint64
-	PerSwitch      []uint64
+	Splits    uint64   `json:"splits"`
+	Merges    uint64   `json:"merges"`
+	PerSwitch []uint64 `json:"per_switch"`
 	// Workers is the total pipe-worker count across drivers (1 when
 	// sequential).
-	Workers int
+	Workers int `json:"workers"`
 }
 
 // String renders a one-line summary.

@@ -91,6 +91,9 @@ type FabricConfig struct {
 	FailLink  bool
 	FailAtNs  int64
 	RerouteNs int64
+	// Cancel, when non-nil, is polled periodically by the event engine;
+	// once it returns true the run stops early and the result is partial.
+	Cancel func() bool
 }
 
 func (c *FabricConfig) fillDefaults() {
@@ -141,45 +144,45 @@ func (c *FabricConfig) fillDefaults() {
 // FlowResult reports one source->NF->sink flow across the fabric.
 type FlowResult struct {
 	// Name is "leaf<i>->nf<j>".
-	Name string
+	Name string `json:"name"`
 	// SendGbps is the offered load measured at the source.
-	SendGbps float64
+	SendGbps float64 `json:"send_gbps"`
 	// GoodputGbps is the paper's header-unit goodput measured at delivery
 	// over the egress-leaf->NF link (42 B per delivered packet).
-	GoodputGbps float64
+	GoodputGbps float64 `json:"goodput_gbps"`
 	// ToNFGbps / ToNFMpps describe that link's actual traffic.
-	ToNFGbps float64
-	ToNFMpps float64
+	ToNFGbps float64 `json:"to_nf_gbps"`
+	ToNFMpps float64 `json:"to_nf_mpps"`
 	// Latency of packets delivered to the sink, microseconds.
-	AvgLatencyUs float64
-	MaxLatencyUs float64
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	MaxLatencyUs float64 `json:"max_latency_us"`
 	// Delivered counts packets reaching the sink in-window.
-	Delivered uint64
+	Delivered uint64 `json:"delivered"`
 }
 
 // FabricResult is the outcome of one leaf-spine run: per-flow end-to-end
 // metrics plus the per-hop link and switch reports.
 type FabricResult struct {
-	Mode  string
-	Flows []FlowResult
+	Mode  string       `json:"mode"`
+	Flows []FlowResult `json:"flows"`
 	// Links and Switches are the per-hop reports, in wiring order.
-	Links    []LinkStats
-	Switches []SwitchStats
+	Links    []LinkStats   `json:"links"`
+	Switches []SwitchStats `json:"switches"`
 	// Aggregates over all flows.
-	SendGbps     float64
-	GoodputGbps  float64
-	AvgLatencyUs float64
+	SendGbps     float64 `json:"send_gbps"`
+	GoodputGbps  float64 `json:"goodput_gbps"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
 	// UnintendedDropRate is fabric-wide: every queue/ring/link/eviction
 	// drop of an in-window packet, anywhere on any path, over packets
 	// offered in-window.
-	SentWindow         uint64
-	UnintendedDrops    uint64
-	UnintendedDropRate float64
-	Healthy            bool
+	SentWindow         uint64  `json:"sent_window"`
+	UnintendedDrops    uint64  `json:"unintended_drops"`
+	UnintendedDropRate float64 `json:"unintended_drop_rate"`
+	Healthy            bool    `json:"healthy"`
 	// PhaseDelivered counts flow 0's NF deliveries before the failure,
 	// during the outage, and after the reroute (all zero when the
 	// failure scenario is off).
-	PhaseDelivered [3]uint64
+	PhaseDelivered [3]uint64 `json:"phase_delivered"`
 }
 
 // spineOf returns the spine affinity of flow i (used for both the
@@ -220,6 +223,7 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 
 	f := NewFabric()
 	eng := f.Engine()
+	eng.Cancel = cfg.Cancel
 	windowStart := cfg.WarmupNs
 	windowEnd := cfg.WarmupNs + cfg.MeasureNs
 

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The result types are part of the machine-readable surface: ppbench
+// -json emits them for every experiment family. These goldens pin the
+// serialized field names so a rename breaks loudly, not in a consumer's
+// dashboard.
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestResultJSONGolden(t *testing.T) {
+	r := Result{
+		Name: "golden", SendGbps: 4, GoodputGbps: 0.25, ToNFGbps: 3.5, ToNFMpps: 0.5,
+		AvgLatencyUs: 5.5, P99LatencyUs: 7, MaxLatencyUs: 8, JitterUs: 2.5,
+		LatencyCDF: []CDFPoint{{Q: 0.5, LatencyUs: 5}},
+		Delivered:  100, UnintendedDropRate: 0.001, NFDrops: 3,
+		PCIeGbps: 7, PCIeUtilPct: 10,
+		Splits: 90, Merges: 89, Evictions: 1, Premature: 0, OccupiedSkips: 2,
+		SmallSkips: 8, ExplicitDrops: 4, Healthy: true, SRAMPct: 17.5,
+		PerCore: []CoreStat{{Served: 50, RxDrops: 1, StageDrops: 0, PeakQueue: 9}},
+	}
+	want := `{"name":"golden","send_gbps":4,"goodput_gbps":0.25,"to_nf_gbps":3.5,` +
+		`"to_nf_mpps":0.5,"avg_latency_us":5.5,"p99_latency_us":7,"max_latency_us":8,` +
+		`"jitter_us":2.5,"latency_cdf":[{"q":0.5,"latency_us":5}],"delivered":100,` +
+		`"unintended_drop_rate":0.001,"nf_drops":3,"pcie_gbps":7,"pcie_util_pct":10,` +
+		`"splits":90,"merges":89,"evictions":1,"premature":0,"occupied_skips":2,` +
+		`"small_skips":8,"explicit_drops":4,"healthy":true,"sram_pct":17.5,` +
+		`"per_core":[{"served":50,"rx_drops":1,"stage_drops":0,"peak_queue":9}]}`
+	if got := marshal(t, r); got != want {
+		t.Errorf("Result JSON drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestMultiServerResultJSONGolden(t *testing.T) {
+	r := MultiServerResult{
+		PerServer:  []Result{{Name: "server-1", GoodputGbps: 6.6, Healthy: true}},
+		SRAMAvgPct: 25.6, SRAMPeakPct: 29.3,
+	}
+	got := marshal(t, r)
+	want := `{"per_server":[{"name":"server-1","send_gbps":0,"goodput_gbps":6.6,` +
+		`"to_nf_gbps":0,"to_nf_mpps":0,"avg_latency_us":0,"p99_latency_us":0,` +
+		`"max_latency_us":0,"jitter_us":0,"delivered":0,"unintended_drop_rate":0,` +
+		`"nf_drops":0,"pcie_gbps":0,"pcie_util_pct":0,"splits":0,"merges":0,` +
+		`"evictions":0,"premature":0,"occupied_skips":0,"small_skips":0,` +
+		`"explicit_drops":0,"healthy":true,"sram_pct":0}],` +
+		`"sram_avg_pct":25.6,"sram_peak_pct":29.3}`
+	if got != want {
+		t.Errorf("MultiServerResult JSON drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestFabricResultJSONGolden(t *testing.T) {
+	r := FabricResult{
+		Mode:  "edge",
+		Flows: []FlowResult{{Name: "leaf0->nf1", SendGbps: 11, GoodputGbps: 1.2, ToNFGbps: 9, ToNFMpps: 3.5, AvgLatencyUs: 6, MaxLatencyUs: 9, Delivered: 42}},
+		Links: []LinkStats{{Name: "leaf0->spine0", TxPackets: 10, TxBits: 80, Drops: 1, Lost: 0, UtilPct: 50}},
+		Switches: []SwitchStats{{Name: "leaf0", Rx: 10, Tx: 9, Drops: 1, Splits: 5,
+			Merges: 4, Evictions: 1, Premature: 0, OccupiedSkips: 0, SmallSkips: 2,
+			Occupancy: 1, SRAMAvgPct: 17.5}},
+		SendGbps: 44, GoodputGbps: 4.8, AvgLatencyUs: 6.5,
+		SentWindow: 1000, UnintendedDrops: 2, UnintendedDropRate: 0.002,
+		Healthy: false, PhaseDelivered: [3]uint64{1, 2, 3},
+	}
+	got := marshal(t, r)
+	// encoding/json escapes '>' in strings (>) by default.
+	want := `{"mode":"edge",` +
+		`"flows":[{"name":"leaf0-\u003enf1","send_gbps":11,"goodput_gbps":1.2,"to_nf_gbps":9,` +
+		`"to_nf_mpps":3.5,"avg_latency_us":6,"max_latency_us":9,"delivered":42}],` +
+		`"links":[{"name":"leaf0-\u003espine0","tx_packets":10,"tx_bits":80,"drops":1,"lost":0,"util_pct":50}],` +
+		`"switches":[{"name":"leaf0","rx":10,"tx":9,"drops":1,"splits":5,"merges":4,` +
+		`"evictions":1,"premature":0,"occupied_skips":0,"small_skips":2,"occupancy":1,"sram_avg_pct":17.5}],` +
+		`"send_gbps":44,"goodput_gbps":4.8,"avg_latency_us":6.5,` +
+		`"sent_window":1000,"unintended_drops":2,"unintended_drop_rate":0.002,` +
+		`"healthy":false,"phase_delivered":[1,2,3]}`
+	if got != want {
+		t.Errorf("FabricResult JSON drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestResultJSONRoundTrip guards against tag collisions: a marshaled
+// result must unmarshal back to the same value.
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := Result{Name: "rt", GoodputGbps: 1.5, Splits: 7, Healthy: true,
+		LatencyCDF: []CDFPoint{{Q: 0.99, LatencyUs: 12}},
+		PerCore:    []CoreStat{{Served: 3}}}
+	var back Result
+	if err := json.Unmarshal([]byte(marshal(t, r)), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != r.Name || back.GoodputGbps != r.GoodputGbps ||
+		back.Splits != r.Splits || !back.Healthy ||
+		len(back.LatencyCDF) != 1 || back.LatencyCDF[0].LatencyUs != 12 ||
+		len(back.PerCore) != 1 || back.PerCore[0].Served != 3 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

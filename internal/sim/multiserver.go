@@ -37,6 +37,9 @@ type MultiServerConfig struct {
 	Seed        int64
 	WarmupNs    int64
 	MeasureNs   int64
+	// Cancel, when non-nil, is polled periodically by the event engine;
+	// once it returns true the run stops early and the result is partial.
+	Cancel func() bool
 }
 
 // MultiServerFlows is each generator's 5-tuple pool size: large enough
@@ -51,11 +54,11 @@ const MultiServerFlows = 2048
 // holds the bits that actually crossed the to-NF link; derive the
 // paper's header-unit goodput as ToNFMpps × 42 B × 8.
 type MultiServerResult struct {
-	PerServer []Result
+	PerServer []Result `json:"per_server"`
 	// Switch resource utilization with all programs installed (Table 1's
 	// SRAM rows): average and peak per-stage SRAM over used pipes.
-	SRAMAvgPct  float64
-	SRAMPeakPct float64
+	SRAMAvgPct  float64 `json:"sram_avg_pct"`
+	SRAMPeakPct float64 `json:"sram_peak_pct"`
 }
 
 // RunMultiServer simulates all servers against one shared switch in a
@@ -79,6 +82,7 @@ func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
 		cfg.Server.Cores = cfg.Cores
 	}
 	f := NewFabric()
+	f.Engine().Cancel = cfg.Cancel
 	swn := f.AddSwitch("multiserver")
 	sw := swn.SW
 	windowStart := cfg.WarmupNs
@@ -145,6 +149,7 @@ func wireServer(f *Fabric, swn *SwitchNode, cfg MultiServerConfig, i int, window
 	res.Name = fmt.Sprintf("server-%d", i+1)
 	goodput := stats.NewRateMeter(windowStart)
 	toNF := stats.NewRateMeter(windowStart)
+	sentBits := stats.NewRateMeter(windowStart)
 	var sent, drops uint64
 	onDrop := func(p Parcel, _ string) {
 		if p.InWindow {
@@ -183,14 +188,20 @@ func wireServer(f *Fabric, swn *SwitchNode, cfg MultiServerConfig, i int, window
 	src := f.AddSource(name("gen"), gen, genLink, cfg.SendBps)
 	src.WindowStart, src.WindowEnd = windowStart, windowEnd
 	src.StopAt = windowEnd + cfg.WarmupNs/2
-	src.OnSend = func(Parcel) { sent++ }
+	src.OnSend = func(p Parcel) {
+		sent++
+		sentBits.Record(eng.Now(), float64(p.Pkt.Len()*8))
+	}
 	src.Start(int64(i) * 97) // desynchronize servers slightly
 
 	// Finalize this server's result when the run ends.
 	eng.ScheduleAt(windowEnd+cfg.WarmupNs-1, func() {
 		goodput.CloseAt(windowEnd)
 		toNF.CloseAt(windowEnd)
+		sentBits.CloseAt(windowEnd)
 		res.PerCore = srvSim.CoreStats()
+		res.SendGbps = sentBits.Gbps()
+		res.Delivered = sink.Delivered
 		res.GoodputGbps = goodput.Gbps()
 		res.ToNFGbps = toNF.Gbps()
 		res.ToNFMpps = toNF.Mpps()

@@ -132,27 +132,30 @@ func TestMultiServerFabricParity(t *testing.T) {
 	if math.Abs(r.SRAMAvgPct-25.634969) > 1e-5 || math.Abs(r.SRAMPeakPct-29.296875) > 1e-5 {
 		t.Errorf("SRAM = %.6f/%.6f, want 25.634969/29.296875", r.SRAMAvgPct, r.SRAMPeakPct)
 	}
-	// Server 1 and 2 of the pre-refactor run, field for field.
+	// Server 1 and 2 of the pre-refactor run, field for field. SendGbps
+	// and Delivered were not recorded pre-refactor (always zero); their
+	// values here were captured when the measurement was added — every
+	// timeline-derived field is still the original golden.
 	assertGolden(t, "ms-pp-1", r.PerServer[0], Result{
-		Name: "server-1", GoodputGbps: 6.6230472, ToNFGbps: 7.311156, ToNFMpps: 3.5839,
-		AvgLatencyUs: 3.673, MaxLatencyUs: 3.673, Healthy: true,
+		Name: "server-1", SendGbps: 11.0106624, GoodputGbps: 6.6230472, ToNFGbps: 7.311156, ToNFMpps: 3.5839,
+		AvgLatencyUs: 3.673, MaxLatencyUs: 3.673, Delivered: 71671, Healthy: true,
 	})
 	assertGolden(t, "ms-pp-2", r.PerServer[1], Result{
-		Name: "server-2", GoodputGbps: 6.6231396, ToNFGbps: 7.311258, ToNFMpps: 3.58395,
-		AvgLatencyUs: 3.673, MaxLatencyUs: 3.673, Healthy: true,
+		Name: "server-2", SendGbps: 11.010816, GoodputGbps: 6.6231396, ToNFGbps: 7.311258, ToNFMpps: 3.58395,
+		AvgLatencyUs: 3.673, MaxLatencyUs: 3.673, Delivered: 71672, Healthy: true,
 	})
 
 	cfg.PayloadPark = false
 	cfg.Servers = 3
 	r = RunMultiServer(cfg)
 	assertGolden(t, "ms-base-1", r.PerServer[0], Result{
-		Name: "server-1", GoodputGbps: 9.02784, ToNFGbps: 9.59208, ToNFMpps: 2.93875,
-		AvgLatencyUs: 841.3129976858164, MaxLatencyUs: 841.452,
+		Name: "server-1", SendGbps: 11.0106624, GoodputGbps: 9.02784, ToNFGbps: 9.59208, ToNFMpps: 2.93875,
+		AvgLatencyUs: 841.3129976858164, MaxLatencyUs: 841.452, Delivered: 58768,
 		JitterUs: 0.13900231418358544, UnintendedDropRate: 0.1441744322303443,
 	})
 	assertGolden(t, "ms-base-3", r.PerServer[2], Result{
-		Name: "server-3", GoodputGbps: 9.02784, ToNFGbps: 9.59208, ToNFMpps: 2.93875,
-		AvgLatencyUs: 841.3129984005208, MaxLatencyUs: 841.452,
+		Name: "server-3", SendGbps: 11.010816, GoodputGbps: 9.02784, ToNFGbps: 9.59208, ToNFMpps: 2.93875,
+		AvgLatencyUs: 841.3129984005208, MaxLatencyUs: 841.452, Delivered: 58769,
 		JitterUs: 0.1390015994792293, UnintendedDropRate: 0.1441724210085792,
 	})
 }

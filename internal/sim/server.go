@@ -160,14 +160,14 @@ type ServerSim struct {
 // CoreStat is one RX core's drop and occupancy record.
 type CoreStat struct {
 	// Served counts packets whose RX completed on this core.
-	Served uint64
+	Served uint64 `json:"served"`
 	// RxDrops counts ring-overflow drops charged to this core (the core
 	// the RSS hash had picked for the dropped packet); StageDrops counts
 	// this core's inter-NF ring overflows.
-	RxDrops    uint64
-	StageDrops uint64
+	RxDrops    uint64 `json:"rx_drops"`
+	StageDrops uint64 `json:"stage_drops"`
 	// PeakQueue is the deepest RX backlog the core accumulated.
-	PeakQueue int
+	PeakQueue int `json:"peak_queue"`
 }
 
 // NewServerSim builds a server simulation around a behavioural server.

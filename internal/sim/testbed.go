@@ -68,6 +68,10 @@ type TestbedConfig struct {
 	// switch<->NF link (§7 failure scenarios). Lost split packets orphan
 	// their parked payloads; the payload evictor must reclaim them.
 	NFLinkLossRate float64
+	// Cancel, when non-nil, is polled periodically by the event engine;
+	// once it returns true the run stops early and the result is partial.
+	// The scenario layer binds it to a context's Done channel.
+	Cancel func() bool
 }
 
 func (c *TestbedConfig) fillDefaults() {
@@ -91,44 +95,63 @@ func (c *TestbedConfig) fillDefaults() {
 	}
 }
 
+// CDFPoint is one quantile of a delivered-latency distribution: Q is the
+// cumulative fraction, LatencyUs the latency at that quantile.
+type CDFPoint struct {
+	Q         float64 `json:"q"`
+	LatencyUs float64 `json:"latency_us"`
+}
+
+// latencyCDFQuantiles are the quantiles reported in Result.LatencyCDF.
+var latencyCDFQuantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+
 // Result is the outcome of one testbed run, in the units the paper plots.
 type Result struct {
-	Name string
+	Name string `json:"name"`
 	// SendGbps is the measured offered load.
-	SendGbps float64
+	SendGbps float64 `json:"send_gbps"`
 	// GoodputGbps is the paper's goodput: useful-header bits (42 B per
 	// packet) delivered to the NF server per second, measured at the
 	// switch (§6.1). Multi-server runs instead record the bits that
 	// actually crossed the to-NF link (full packet for baseline, header
 	// remainder for PayloadPark) and derive the header-unit metric from
 	// the delivered packet rate in ToNFMpps.
-	GoodputGbps float64
+	GoodputGbps float64 `json:"goodput_gbps"`
 	// ToNFGbps / ToNFMpps describe the switch->NF link traffic.
-	ToNFGbps float64
-	ToNFMpps float64
+	ToNFGbps float64 `json:"to_nf_gbps"`
+	ToNFMpps float64 `json:"to_nf_mpps"`
 	// Latency of packets delivered to the sink, microseconds.
-	AvgLatencyUs float64
-	P99LatencyUs float64
-	MaxLatencyUs float64
-	JitterUs     float64 // peak minus average (paper Fig. 7 caption)
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+	MaxLatencyUs float64 `json:"max_latency_us"`
+	JitterUs     float64 `json:"jitter_us"` // peak minus average (paper Fig. 7 caption)
+	// LatencyCDF samples the delivered-latency histogram at fixed
+	// quantiles (empty when nothing was delivered in-window).
+	LatencyCDF []CDFPoint `json:"latency_cdf,omitempty"`
 	// Delivered counts packets reaching the sink in-window.
-	Delivered uint64
+	Delivered uint64 `json:"delivered"`
 	// UnintendedDropRate is (queue+ring+eviction+stale) drops / sent.
-	UnintendedDropRate float64
+	UnintendedDropRate float64 `json:"unintended_drop_rate"`
 	// NFDrops counts intended drops (firewall verdicts) in-window.
-	NFDrops uint64
+	NFDrops uint64 `json:"nf_drops"`
 	// PCIe bus traffic at the NF server.
-	PCIeGbps    float64
-	PCIeUtilPct float64
+	PCIeGbps    float64 `json:"pcie_gbps"`
+	PCIeUtilPct float64 `json:"pcie_util_pct"`
 	// PayloadPark counters (deltas over the measurement window).
-	Splits, Merges, Evictions, Premature, OccupiedSkips, SmallSkips, ExplicitDrops uint64
+	Splits        uint64 `json:"splits"`
+	Merges        uint64 `json:"merges"`
+	Evictions     uint64 `json:"evictions"`
+	Premature     uint64 `json:"premature"`
+	OccupiedSkips uint64 `json:"occupied_skips"`
+	SmallSkips    uint64 `json:"small_skips"`
+	ExplicitDrops uint64 `json:"explicit_drops"`
 	// Healthy reports the paper's <0.1% unintended-drop criterion.
-	Healthy bool
+	Healthy bool `json:"healthy"`
 	// SRAMPct is the average per-stage SRAM utilization of the ingress pipe.
-	SRAMPct float64
+	SRAMPct float64 `json:"sram_pct"`
 	// PerCore is the NF server's per-core drop/occupancy record over the
 	// whole run (RSS spread, ring-overflow attribution, peak RX backlog).
-	PerCore []CoreStat
+	PerCore []CoreStat `json:"per_core,omitempty"`
 }
 
 // String renders a one-line summary.
@@ -146,6 +169,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 	cfg.fillDefaults()
 	f := NewFabric()
 	eng := f.Engine()
+	eng.Cancel = cfg.Cancel
 
 	// Behavioural components.
 	swn := f.AddSwitch(cfg.Name)
@@ -329,6 +353,12 @@ func RunTestbed(cfg TestbedConfig) Result {
 	res.MaxLatencyUs = sink.Latency.Max()
 	res.JitterUs = sink.Latency.Max() - sink.Latency.Mean()
 	res.P99LatencyUs = latencyHist.Quantile(0.99)
+	if latencyHist.Count() > 0 {
+		res.LatencyCDF = make([]CDFPoint, len(latencyCDFQuantiles))
+		for i, q := range latencyCDFQuantiles {
+			res.LatencyCDF[i] = CDFPoint{Q: q, LatencyUs: latencyHist.Quantile(q)}
+		}
+	}
 	if sentWindow > 0 {
 		res.UnintendedDropRate = float64(unintendedDrops) / float64(sentWindow)
 	}

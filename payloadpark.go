@@ -8,12 +8,21 @@
 //
 // This package is the public facade over the internal reproduction:
 //
+//   - Run is the simulation entrypoint: one Scenario descriptor — a
+//     Topology (testbed, multi-server, leaf-spine, or custom), a Parking
+//     policy, a Traffic spec, a ServerModel, and RunOptions — executed
+//     into one structured, JSON-serializable Report. RunSweep expands a
+//     Sweep (a base Scenario plus parameter Axes) into a grid and runs
+//     the points in parallel, honoring context cancellation
+//     mid-simulation.
 //   - Deployment builds the canonical testbed (traffic generator, RMT
 //     switch running the PayloadPark P4 program, NF server) and lets
 //     applications push packets through it in-process.
-//   - Simulate runs the calibrated discrete-event model and reports the
-//     paper's metrics (goodput, latency, PCIe bandwidth, drop health).
 //   - Experiments exposes the per-figure/table reproduction harness.
+//
+// The legacy Simulate, SimulateMultiServer and SimulateFabric
+// entrypoints survive as thin deprecated wrappers over the same
+// internals; parity tests pin their outputs byte-identical to Run's.
 //
 // The dataplane is byte-accurate: Split really removes the parked bytes
 // from the packet and stores them in register cells that obey the RMT
@@ -23,14 +32,17 @@
 package payloadpark
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/harness"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
@@ -73,6 +85,79 @@ type (
 	// Experiment is one paper table/figure reproduction.
 	Experiment = harness.Experiment
 )
+
+// The unified Scenario API: one descriptor, one entrypoint, every
+// topology. See Run and RunSweep.
+type (
+	// Scenario is one point of the evaluation grid: Topology + Parking +
+	// Traffic + ServerModel + RunOptions.
+	Scenario = scenario.Scenario
+	// Topology is the deployment-shape sum type; TestbedTopology,
+	// MultiServerTopology, LeafSpineTopology and CustomTopology are its
+	// members.
+	Topology = scenario.Topology
+	// TestbedTopology is the paper's canonical single-switch testbed
+	// (Fig. 5).
+	TestbedTopology = scenario.Testbed
+	// MultiServerTopology is the §6.2.3 shared-switch deployment
+	// (up to 8 NF servers).
+	MultiServerTopology = scenario.MultiServer
+	// LeafSpineTopology is the multi-switch fabric.
+	LeafSpineTopology = scenario.LeafSpine
+	// CustomTopology is the escape hatch: a user hook that runs the
+	// composed scenario on a bespoke deployment.
+	CustomTopology = scenario.Custom
+	// ParkingPolicy selects where and how payloads park (the zero value
+	// is the baseline).
+	ParkingPolicy = scenario.Parking
+	// Traffic is the offered-load spec.
+	Traffic = scenario.Traffic
+	// RunOptions are the execution knobs (seed, quick, window, progress).
+	RunOptions = scenario.RunOptions
+	// Report is the structured result of one Run, topology-independent
+	// headline metrics plus the embedded per-topology detail.
+	Report = scenario.Report
+	// Sweep is a parameter grid over a base Scenario.
+	Sweep = scenario.Sweep
+	// Axis is one sweep dimension; AxisPoint one value on it.
+	Axis      = scenario.Axis
+	AxisPoint = scenario.AxisPoint
+	// SweepPoint / SweepReport are RunSweep's structured results.
+	SweepPoint  = scenario.SweepPoint
+	SweepReport = scenario.SweepReport
+	// TrafficSource is an arbitrary packet stream (pcap replay) for
+	// Traffic.Source.
+	TrafficSource = trafficgen.Source
+	// CDFPoint is one latency-distribution quantile in Report.LatencyCDF.
+	CDFPoint = sim.CDFPoint
+)
+
+// Run executes one Scenario — any topology — and returns its structured
+// Report. Cancellation is honored mid-simulation: the context's Done
+// channel is polled by the event engine every few thousand events.
+func Run(ctx context.Context, s Scenario) (*Report, error) { return scenario.Run(ctx, s) }
+
+// RunSweep expands the sweep's parameter grid and runs its points in
+// parallel across a worker pool. On cancellation it returns the partial
+// report alongside ctx.Err(); completed points are retained.
+func RunSweep(ctx context.Context, sw Sweep) (*SweepReport, error) { return scenario.RunSweep(ctx, sw) }
+
+// Axis constructors for common sweep dimensions; AxisOf builds an axis
+// from arbitrary setters.
+var (
+	AxisOf         = scenario.AxisOf
+	SendGbpsAxis   = scenario.SendGbpsAxis
+	ParkingAxis    = scenario.ParkingAxis
+	CoresAxis      = scenario.CoresAxis
+	PacketSizeAxis = scenario.PacketSizeAxis
+	SlotsAxis      = scenario.SlotsAxis
+	SeedAxis       = scenario.SeedAxis
+)
+
+// CancelFunc adapts a context to the simulation configs' Cancel hook —
+// CustomTopology implementations pass it to their sim config so
+// mid-simulation cancellation works for them too.
+func CancelFunc(ctx context.Context) func() bool { return scenario.CancelFunc(ctx) }
 
 // Parked-payload geometry (fixed by the hardware model, §5 and §6.2.5).
 const (
@@ -290,6 +375,10 @@ func NewUDPPacket(flow FiveTuple, totalSize int, id uint16) *Packet {
 // Simulate runs the calibrated discrete-event testbed and reports the
 // paper's metrics. See SimConfig for the knobs; harness presets for the
 // paper's machine calibrations are available through Experiments.
+//
+// Deprecated: use Run with a TestbedTopology — it accepts the same knobs
+// through Scenario and adds cancellation and the structured Report.
+// Parity tests pin this wrapper byte-identical to Run.
 func Simulate(cfg SimConfig) SimResult { return sim.RunTestbed(cfg) }
 
 // MultiServerConfig parameterizes the §6.2.3 multi-NF-server deployment
@@ -302,6 +391,8 @@ type MultiServerResult = sim.MultiServerResult
 
 // SimulateMultiServer runs the multi-server deployment in one
 // discrete-event simulation.
+//
+// Deprecated: use Run with a MultiServerTopology.
 func SimulateMultiServer(cfg MultiServerConfig) MultiServerResult {
 	return sim.RunMultiServer(cfg)
 }
@@ -340,6 +431,8 @@ const (
 // traffic source, a sink, and an NF server; flows cross the spine in
 // both directions, parked according to cfg.Mode, with static route
 // tables and per-switch PayloadPark programs.
+//
+// Deprecated: use Run with a LeafSpineTopology.
 func SimulateFabric(cfg FabricConfig) FabricResult { return sim.RunLeafSpine(cfg) }
 
 // DefaultServerModel is the OpenNetVM-on-Xeon calibration: the paper's
@@ -356,12 +449,20 @@ func MultiServerModel() ServerModel { return harness.MultiServer10G() }
 // Experiments returns the per-figure/table reproduction harness.
 func Experiments() []Experiment { return harness.All() }
 
+// ExperimentIDs returns every experiment id, sorted.
+func ExperimentIDs() []string { return harness.IDs() }
+
 // RunExperiment executes one experiment by id (e.g. "fig7", "table1"),
-// writing its output to w. Quick trades precision for speed.
+// writing its output to w. Quick trades precision for speed. An unknown
+// id's error lists the valid ids.
+//
+// Deprecated: use Experiments and Experiment.Run (or Experiment.Collect
+// for the structured result); the harness itself runs on Run/RunSweep.
 func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
 	e, ok := harness.ByID(id)
 	if !ok {
-		return fmt.Errorf("payloadpark: unknown experiment %q", id)
+		return fmt.Errorf("payloadpark: unknown experiment %q (valid: %s)",
+			id, strings.Join(harness.IDs(), ", "))
 	}
 	return e.Run(harness.Options{Quick: quick, Seed: seed}, w)
 }
