@@ -13,6 +13,7 @@
 //	ppbench -parallel [-quick] [-seed N]
 //	ppbench -cores 1,2,4,8 [-quick] [-seed N] [-json out.json]
 //	ppbench -topology 4x2 [-json BENCH_fabric.json] [-quick] [-seed N]
+//	ppbench -scenario file.json [-json report.json] [-quick] [-seed N]
 //
 // -json writes the experiment's structured result (the same data the
 // text tables render) as a machine-readable artifact; it works for
@@ -30,6 +31,11 @@
 // -topology runs the leaf-spine fabric experiment family (parking-mode
 // comparison, link-failure reroute, per-switch parallel drivers) on the
 // given LxS geometry.
+//
+// -scenario loads a serialized Scenario (the JSON form payloadpark.Run
+// accepts, with the topology as a {"kind","config"} envelope), runs it,
+// and prints the structured Report — including the control-plane
+// decision timeline when the scenario attaches a controller.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"time"
 
 	"github.com/payloadpark/payloadpark/internal/harness"
+	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
 )
 
@@ -56,6 +63,7 @@ func main() {
 		parallel = flag.Bool("parallel", false, "drive the raw dataplane sequentially vs one worker per pipe")
 		cores    = flag.String("cores", "", "comma-separated NF-server core counts to sweep (e.g. 1,2,4,8)")
 		topology = flag.String("topology", "", "leaf-spine geometry LxS (e.g. 4x2): run the fabric experiment family")
+		scnFile  = flag.String("scenario", "", "run a serialized Scenario from this JSON file and print its Report")
 		jsonOut  = flag.String("json", "", "write the structured experiment result to this file")
 	)
 	flag.Parse()
@@ -78,6 +86,13 @@ func main() {
 		stop()
 	}()
 	opts := harness.Options{Quick: *quick, Seed: *seed, Ctx: ctx}
+
+	if *scnFile != "" {
+		if err := runScenarioFile(ctx, *scnFile, *jsonOut, *quick, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *topology != "" {
 		if err := runTopology(opts, *topology, *jsonOut); err != nil {
@@ -202,6 +217,53 @@ func parseCores(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// runScenarioFile loads a serialized Scenario, runs it through the
+// unified entrypoint, and prints the Report (headline summary plus the
+// full JSON; -json additionally writes the Report to a file). The -quick
+// and -seed flags act as fallbacks: they apply only when the file's own
+// opts leave them unset.
+func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s scenario.Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Opts.Seed == 0 {
+		s.Opts.Seed = seed
+	}
+	if quick && !s.Opts.Quick && s.Opts.WarmupNs == 0 && s.Opts.MeasureNs == 0 {
+		s.Opts.Quick = true
+	}
+	fmt.Printf("== scenario %s: %s on %s\n", path, s.Name, s.Topology.Kind())
+	start := time.Now()
+	rep, err := scenario.Run(ctx, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   send=%.3f Gbps goodput=%.3f Gbps lat(avg/max)=%.1f/%.1f us delivered=%d drop=%.4f%% healthy=%t premature=%d\n",
+		rep.SendGbps, rep.GoodputGbps, rep.AvgLatencyUs, rep.MaxLatencyUs,
+		rep.Delivered, 100*rep.UnintendedDropRate, rep.Healthy, rep.Premature)
+	if rep.Control != nil {
+		fmt.Printf("   control: %d ticks, %d reroutes, %d rebalances, %d expiry changes, %d demotions, %d restorations\n",
+			rep.Control.Ticks, rep.Control.Reroutes, rep.Control.Rebalances,
+			rep.Control.ExpiryChanges, rep.Control.Demotions, rep.Control.Restorations)
+		for _, d := range rep.Control.Decisions {
+			fmt.Printf("     %8.3f ms  %-9s %-10s %s\n", float64(d.AtNs)/1e6, d.Kind, d.Target, d.Detail)
+		}
+	}
+	full, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", full)
+	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
+	writeJSON(jsonPath, rep)
+	return nil
 }
 
 // runTopology runs the fabric experiment family and optionally exports

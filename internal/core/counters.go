@@ -32,6 +32,10 @@ type Counters struct {
 	// OccupiedSkips counts Split opportunities skipped because the probed
 	// slot was occupied and not yet expired.
 	OccupiedSkips stats.Counter
+	// DemotedSkips counts Split opportunities skipped because the control
+	// plane demoted the program (SetSplitEnabled(false)): the packet takes
+	// the disabled-header path instead of parking.
+	DemotedSkips stats.Counter
 
 	// BadTagDrops counts merge-port packets whose tag CRC failed
 	// validation; they are dropped before touching stateful memory (§3.2).
@@ -43,11 +47,12 @@ type Counters struct {
 
 // String summarizes the counters on one line.
 func (c *Counters) String() string {
-	return fmt.Sprintf("splits=%d merges=%d explicitDrops=%d evictions=%d premature=%d enb0FromNF=%d smallSkips=%d occupiedSkips=%d badTag=%d staleExplicit=%d",
+	return fmt.Sprintf("splits=%d merges=%d explicitDrops=%d evictions=%d premature=%d enb0FromNF=%d smallSkips=%d occupiedSkips=%d demotedSkips=%d badTag=%d staleExplicit=%d",
 		c.Splits.Value(), c.Merges.Value(), c.ExplicitDrops.Value(),
 		c.Evictions.Value(), c.PrematureEvictions.Value(),
 		c.SplitDisabledFromNF.Value(), c.SmallPayloadSkips.Value(),
-		c.OccupiedSkips.Value(), c.BadTagDrops.Value(), c.StaleExplicitDrops.Value())
+		c.OccupiedSkips.Value(), c.DemotedSkips.Value(),
+		c.BadTagDrops.Value(), c.StaleExplicitDrops.Value())
 }
 
 // Outstanding returns how many payloads are currently parked: successful

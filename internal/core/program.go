@@ -43,9 +43,16 @@ type Program struct {
 
 	// maxExpiry is the live Expiry threshold used for new claims. It
 	// starts at cfg.MaxExpiry and may be retuned at runtime by the
-	// control plane (see AdaptiveEvictor), exactly as a controller would
-	// rewrite a match-action parameter.
+	// control plane (the internal/ctrl adaptive policy), exactly as a
+	// controller would rewrite a match-action parameter.
 	maxExpiry uint32
+
+	// splitEnabled gates new Split claims. When the control plane demotes
+	// a program (a hot switch dropping out of park-at-every-hop), split-
+	// eligible packets take the disabled-header path instead — exactly the
+	// occupied/small-payload skip the NF framework already handles — while
+	// merges keep draining the payloads parked before the demotion.
+	splitEnabled bool
 
 	pipe       *rmt.Pipeline
 	recircPipe *rmt.Pipeline
@@ -84,7 +91,7 @@ func Install(pipe *rmt.Pipeline, recircPipe *rmt.Pipeline, cfg Config) (*Program
 			cfg.Slots, perStage, rmt.StageSRAMBytes)
 	}
 
-	p := &Program{cfg: cfg, maxExpiry: cfg.MaxExpiry, pipe: pipe, recircPipe: recircPipe}
+	p := &Program{cfg: cfg, maxExpiry: cfg.MaxExpiry, splitEnabled: true, pipe: pipe, recircPipe: recircPipe}
 	p.installTagger()
 	p.installMetadata()
 	p.installPayloadBase()
@@ -143,7 +150,7 @@ func (p *Program) installTagger() {
 		Rules: []rmt.Rule{{
 			Name: "advance",
 			Match: func(phv *rmt.PHV) bool {
-				return p.isSplit(phv) && phv.GetMeta(rmt.MetaPayloadOK) == 1
+				return p.isSplit(phv) && p.splitEnabled && phv.GetMeta(rmt.MetaPayloadOK) == 1
 			},
 			Action: func(c *rmt.Ctx) {
 				c.RMW(0, func(cell []byte) {
@@ -164,7 +171,7 @@ func (p *Program) installTagger() {
 		Rules: []rmt.Rule{{
 			Name: "advance",
 			Match: func(phv *rmt.PHV) bool {
-				return p.isSplit(phv) && phv.GetMeta(rmt.MetaPayloadOK) == 1
+				return p.isSplit(phv) && p.splitEnabled && phv.GetMeta(rmt.MetaPayloadOK) == 1
 			},
 			Action: func(c *rmt.Ctx) {
 				c.RMW(0, func(cell []byte) {
@@ -187,11 +194,17 @@ func (p *Program) installTagger() {
 		Rules: []rmt.Rule{{
 			Name: "add_disabled_header",
 			Match: func(phv *rmt.PHV) bool {
-				return p.isSplit(phv) && phv.GetMeta(rmt.MetaPayloadOK) == 0 && phv.Pkt.PP == nil
+				return p.isSplit(phv) &&
+					(phv.GetMeta(rmt.MetaPayloadOK) == 0 || !p.splitEnabled) &&
+					phv.Pkt.PP == nil
 			},
 			Action: func(c *rmt.Ctx) {
 				c.PHV.Pkt.SetPP(packet.PPHeader{}) // hdr.pp = 0; setValid()
-				p.C.SmallPayloadSkips.Inc()
+				if !p.splitEnabled && c.PHV.GetMeta(rmt.MetaPayloadOK) == 1 {
+					p.C.DemotedSkips.Inc()
+				} else {
+					p.C.SmallPayloadSkips.Inc()
+				}
 			},
 		}},
 	})
@@ -251,7 +264,7 @@ func (p *Program) installMetadata() {
 				// evicts the old payload and the new packet claims the slot.
 				Name: "split_probe",
 				Match: func(phv *rmt.PHV) bool {
-					return p.isSplit(phv) && phv.GetMeta(rmt.MetaPayloadOK) == 1
+					return p.isSplit(phv) && p.splitEnabled && phv.GetMeta(rmt.MetaPayloadOK) == 1
 				},
 				Action: func(c *rmt.Ctx) {
 					phv := c.PHV
@@ -461,6 +474,15 @@ func (p *Program) SetMaxExpiry(exp uint32) {
 	}
 	p.maxExpiry = exp
 }
+
+// SplitEnabled reports whether the program accepts new Split claims.
+func (p *Program) SplitEnabled() bool { return p.splitEnabled }
+
+// SetSplitEnabled gates new Split claims — the control-plane demotion
+// knob. Disabling split sends eligible packets down the disabled-header
+// path (counted in DemotedSkips) while merges keep reclaiming the
+// payloads parked before the demotion, so no state strands.
+func (p *Program) SetSplitEnabled(on bool) { p.splitEnabled = on }
 
 // Occupancy counts occupied metadata slots; used by tests and the memory
 // sweep to observe table pressure. It reads register snapshots and is not

@@ -81,6 +81,9 @@ type Switch struct {
 	// pass.
 	recircOf map[int]int
 	l2       map[packet.MAC]rmt.PortID
+	// ecmp maps destination MACs to hash-group next-hop tables; a group
+	// takes precedence over the L2 entry for the same MAC (see ecmp.go).
+	ecmp map[packet.MAC]*ecmpGroup
 
 	// ppOffset precomputes, per port, where arriving frames carry a
 	// PayloadPark header (-1: none). Rebuilt on AttachPayloadPark,
@@ -405,7 +408,10 @@ func (s *Switch) deparse(pipeIdx int, phv *rmt.PHV, passes int, em *Emission) st
 		k := int(phv.GetMeta(rmt.MetaParkOffset))
 		pkt.Payload = phv.FinishMerge(pkt.Payload, k, park)
 	}
-	out, ok := s.l2[pkt.Eth.Dst]
+	out, ok := s.ecmpLookup(pkt)
+	if !ok {
+		out, ok = s.l2[pkt.Eth.Dst]
+	}
 	if !ok {
 		s.drop(pipeIdx, DropUnknownMAC)
 		return DropUnknownMAC

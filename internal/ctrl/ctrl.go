@@ -1,0 +1,151 @@
+// Package ctrl is the fabric control plane: a Controller that runs
+// beside a simulation (or, in principle, a real deployment) on a
+// periodic tick, pulls per-switch and per-link telemetry through a Plant
+// interface, and pushes table updates back — ECMP hash-group membership
+// on link failure or congestion, and the fabric-wide generalization of
+// the §7 adaptive eviction policy: per-switch Expiry retuning plus the
+// demotion of park-at-every-hop to park-at-edge on hot switches.
+//
+// The package is deliberately free of simulator dependencies: the sim
+// layer implements Plant over its fabric, the Controller only sees
+// telemetry snapshots and pushes named updates, exactly the split a
+// switch-CPU controller has over PCIe/gRPC in a real P4 deployment
+// (Bosshart et al.'s match-action model driven from the control plane).
+package ctrl
+
+// Config tunes the controller. The zero value plus FillDefaults is the
+// stock policy: 250 µs ticks, failure-driven rebalancing only, and — when
+// Adaptive is set — the paper's aggressive/conservative expiry toggle
+// with occupancy-driven demotion.
+type Config struct {
+	// PeriodNs is the telemetry/decision tick period (default 250 µs).
+	PeriodNs int64 `json:"period_ns,omitempty"`
+
+	// Adaptive enables the fabric-wide adaptive parking policy (expiry
+	// retuning and demotion). Without it the controller only manages ECMP
+	// group membership.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Aggressive/Conservative are the two Expiry thresholds toggled per
+	// switch (paper §7 examples: 1-2 aggressive, 10 conservative).
+	// Aggressive defaults to the deployment's configured MaxExpiry (the
+	// plant's current setting); Conservative to 8.
+	Aggressive   uint32 `json:"aggressive,omitempty"`
+	Conservative uint32 `json:"conservative,omitempty"`
+	// PrematureThreshold is the premature evictions per tick (per switch)
+	// that trigger the conservative policy; the default 0 backs off on
+	// any premature eviction.
+	PrematureThreshold uint64 `json:"premature_threshold,omitempty"`
+	// CalmTicks is how many consecutive clean ticks are needed before a
+	// backed-off switch returns to the aggressive policy, and a demoted
+	// switch is restored (default 3).
+	CalmTicks int `json:"calm_ticks,omitempty"`
+	// DemotePct/RestorePct bound the occupancy hysteresis (percent of
+	// parking slots occupied) for demoting a switch's transit parking —
+	// park-at-every-hop falls back to park-at-edge on that switch — and
+	// restoring it (defaults 85 and 40).
+	DemotePct  float64 `json:"demote_pct,omitempty"`
+	RestorePct float64 `json:"restore_pct,omitempty"`
+
+	// HotLinkPct, when > 0, enables congestion rebalancing: a group
+	// member whose link utilization exceeds HotLinkPct is drained if the
+	// group keeps at least one member below ColdLinkPct (default for
+	// ColdLinkPct: half of HotLinkPct). Drained members return after
+	// CalmTicks of the link staying below ColdLinkPct.
+	HotLinkPct  float64 `json:"hot_link_pct,omitempty"`
+	ColdLinkPct float64 `json:"cold_link_pct,omitempty"`
+}
+
+// FillDefaults resolves the zero-value knobs to the stock policy.
+func (c *Config) FillDefaults() {
+	if c.PeriodNs == 0 {
+		c.PeriodNs = 250e3
+	}
+	if c.Aggressive == 0 {
+		c.Aggressive = 1
+	}
+	if c.Conservative == 0 {
+		c.Conservative = 8
+	}
+	if c.CalmTicks == 0 {
+		c.CalmTicks = 3
+	}
+	if c.DemotePct == 0 {
+		c.DemotePct = 85
+	}
+	if c.RestorePct == 0 {
+		c.RestorePct = 40
+	}
+	if c.HotLinkPct > 0 && c.ColdLinkPct == 0 {
+		c.ColdLinkPct = c.HotLinkPct / 2
+	}
+}
+
+// SwitchTelem is one switch's telemetry sample (cumulative counters; the
+// controller keeps deltas itself).
+type SwitchTelem struct {
+	Name string
+	// Premature is the cumulative premature-eviction count over every
+	// installed program.
+	Premature uint64
+	// Occupancy/Slots describe parking-table pressure: occupied payload
+	// slots over total capacity, summed over installed programs.
+	Occupancy int
+	Slots     int
+	// Demotable marks switches with transit parking programs the
+	// controller may demote (every-hop stripers; edge programs stay).
+	Demotable bool
+}
+
+// LinkTelem is one link's telemetry sample.
+type LinkTelem struct {
+	Name string
+	// Down marks a failed link (port-down/BFD signal).
+	Down bool
+	// UtilPct is the link's utilization over the last tick, in percent of
+	// line rate.
+	UtilPct float64
+	// QueueBytes is the egress queue depth at sample time.
+	QueueBytes int
+}
+
+// Telemetry is one tick's fabric-wide snapshot. The plant fills the
+// slices in a deterministic order; the controller reuses them across
+// ticks.
+type Telemetry struct {
+	Switches []SwitchTelem
+	Links    []LinkTelem
+}
+
+// Member is one next-hop of an ECMP group: a stable name (the Maglev
+// hashing identity, e.g. "spine2") and the telemetry links its path
+// traverses — the member is healthy only while every one is up.
+type Member struct {
+	Name  string
+	Links []string
+}
+
+// Group is one ECMP hash group under the controller's management: where
+// it lives, and its full (configured) membership. The controller pushes
+// the healthy subset through Plant.PushGroup.
+type Group struct {
+	Name    string
+	Switch  string
+	Members []Member
+}
+
+// Plant is the controller's view of the dataplane: telemetry out, table
+// updates in. The simulator's fabric implements it; a real deployment
+// would back it with P4Runtime.
+type Plant interface {
+	// ReadTelemetry fills t with the current sample, reusing its slices.
+	ReadTelemetry(t *Telemetry)
+	// PushExpiry rewrites the Expiry threshold of every parking program
+	// on a switch.
+	PushExpiry(sw string, expiry uint32)
+	// PushTransitSplit enables/disables new Split claims on a switch's
+	// transit (non-edge) parking programs — the demotion knob.
+	PushTransitSplit(sw string, enabled bool)
+	// PushGroup rewrites an ECMP group's membership to the named subset
+	// of its configured members.
+	PushGroup(group string, members []string)
+}

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/sim"
+)
+
+// TestControlMirrorsCtrlConfig guards the Control<->ctrl.Config DTO
+// boundary: Control deliberately re-declares the controller knobs (so
+// users can write flat Control{ECMP: true, Adaptive: true} literals),
+// and this test makes silent drift impossible — every ctrl.Config field
+// must exist on Control with the same name and type, and config() must
+// copy its value through.
+func TestControlMirrorsCtrlConfig(t *testing.T) {
+	ct := reflect.TypeOf(Control{})
+	cc := reflect.TypeOf(ctrl.Config{})
+	for i := 0; i < cc.NumField(); i++ {
+		f := cc.Field(i)
+		g, ok := ct.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("ctrl.Config.%s has no scenario.Control counterpart (add the field and wire config())", f.Name)
+			continue
+		}
+		if g.Type != f.Type {
+			t.Errorf("Control.%s is %v, ctrl.Config.%s is %v", f.Name, g.Type, f.Name, f.Type)
+		}
+	}
+	// config() copies every shared knob: fill Control with distinctive
+	// nonzero values by reflection and compare.
+	var in Control
+	iv := reflect.ValueOf(&in).Elem()
+	for i := 0; i < cc.NumField(); i++ {
+		f := iv.FieldByName(cc.Field(i).Name)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(7 + i))
+		case reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(7 + i))
+		case reflect.Float64:
+			f.SetFloat(float64(7 + i))
+		default:
+			t.Fatalf("unhandled kind %v for ctrl.Config.%s", f.Kind(), cc.Field(i).Name)
+		}
+	}
+	out := in.config()
+	if out == nil {
+		t.Fatal("config() returned nil for an enabled spec")
+	}
+	ov := reflect.ValueOf(*out)
+	for i := 0; i < cc.NumField(); i++ {
+		name := cc.Field(i).Name
+		want := iv.FieldByName(name).Interface()
+		got := ov.Field(i).Interface()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("config() dropped %s: got %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestRunLeafSpineWithControl(t *testing.T) {
+	rep, err := Run(context.Background(), Scenario{
+		Name:     "ctrl",
+		Topology: LeafSpine{Leaves: 6, Spines: 3},
+		Parking:  Parking{Mode: sim.ParkEdge},
+		Control:  Control{ECMP: true, Adaptive: true},
+		Traffic:  Traffic{SendBps: 3e9},
+		Opts:     RunOptions{Seed: 1, WarmupNs: 2e6, MeasureNs: 6e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Control == nil || rep.Control.Ticks == 0 {
+		t.Fatalf("no control section: %+v", rep.Control)
+	}
+	if rep.Fabric == nil || rep.Fabric.Control == nil {
+		t.Fatal("fabric detail missing its control report")
+	}
+	if !rep.Healthy {
+		t.Errorf("controlled fabric unhealthy below saturation: %+v", rep)
+	}
+}
+
+func TestControlValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want string
+	}{
+		{
+			"testbed-ecmp",
+			Scenario{Topology: Testbed{}, Parking: Parking{Mode: sim.ParkEdge}, Control: Control{ECMP: true}},
+			"multipath",
+		},
+		{
+			"testbed-adaptive-baseline",
+			Scenario{Topology: Testbed{}, Control: Control{Adaptive: true}},
+			"needs parking",
+		},
+		{
+			"multiserver-control",
+			Scenario{Topology: MultiServer{}, Parking: Parking{Mode: sim.ParkEdge}, Control: Control{Adaptive: true}},
+			"control plane unsupported",
+		},
+		{
+			"leafspine-ecmp-everyhop",
+			Scenario{Topology: LeafSpine{}, Parking: Parking{Mode: sim.ParkEveryHop}, Control: Control{ECMP: true}},
+			"cannot stripe",
+		},
+		{
+			"leafspine-adaptive-baseline",
+			Scenario{Topology: LeafSpine{}, Control: Control{Adaptive: true}},
+			"needs parking",
+		},
+	}
+	for _, c := range cases {
+		_, err := Run(context.Background(), c.s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestECMPSweepDeterministicAcrossWorkers is the reproducibility
+// contract for control-plane sweeps: the same grid run with 1 worker and
+// with 4 produces byte-identical reports — same flow->path assignment,
+// same decision timeline — regardless of scheduling (run under -race in
+// CI).
+func TestECMPSweepDeterministicAcrossWorkers(t *testing.T) {
+	mk := func(workers int) Sweep {
+		return Sweep{
+			Base: Scenario{
+				Name:     "ecmp-det",
+				Topology: LeafSpine{Leaves: 6, Spines: 3},
+				Control:  Control{ECMP: true, Adaptive: true},
+				Traffic:  Traffic{SendBps: 3e9},
+				Opts:     RunOptions{Seed: 1, WarmupNs: 1e6, MeasureNs: 4e6},
+			},
+			Axes: []Axis{
+				ParkingAxis(sim.ParkNone, sim.ParkEdge),
+				SeedAxis(1, 2),
+			},
+			Workers: workers,
+		}
+	}
+	one, err := RunSweep(context.Background(), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunSweep(context.Background(), mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(one.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(four.Points)
+	if string(a) != string(b) {
+		t.Error("ECMP sweep results differ across worker counts")
+	}
+	for _, pt := range one.Points {
+		if pt.Err != "" {
+			t.Fatalf("point %v failed: %s", pt.Labels, pt.Err)
+		}
+		if pt.Report.Fabric == nil {
+			t.Fatalf("point %v missing fabric detail", pt.Labels)
+		}
+	}
+}

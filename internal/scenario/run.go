@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
@@ -35,6 +36,11 @@ type Report struct {
 	// Premature counts premature evictions across every installed
 	// program (the Fig. 14 criterion).
 	Premature uint64 `json:"premature"`
+
+	// Control is the control-plane section — tick bookkeeping and the
+	// decision timeline — when the scenario ran a controller (testbed
+	// adaptive eviction, or the fabric ECMP/adaptive controller).
+	Control *ctrl.Report `json:"control,omitempty"`
 
 	// Per-topology details.
 	Testbed     *sim.Result            `json:"testbed,omitempty"`
@@ -112,12 +118,18 @@ func CancelFunc(ctx context.Context) func() bool {
 // --- Testbed ---
 
 func (t Testbed) validate(s *Scenario) error {
+	if s.Control.ECMP {
+		return errf("testbed: ECMP needs a multipath topology (use LeafSpine)")
+	}
+	if s.Control.Adaptive && !s.Parking.Enabled() {
+		return errf("testbed: adaptive control needs parking enabled")
+	}
 	return nil
 }
 
 func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 	warmup, measure := s.Opts.windows()
-	dist := s.Traffic.Dist
+	dist := s.Traffic.dist()
 	if dist == nil && s.Traffic.Source == nil {
 		dist = trafficgen.Datacenter{}
 	}
@@ -142,6 +154,7 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 		SwitchQueueBytes: t.SwitchQueueBytes,
 		PropNs:           t.PropNs,
 		NFLinkLossRate:   t.NFLinkLossRate,
+		Control:          s.Control.config(),
 		Cancel:           CancelFunc(ctx),
 	}
 	if cfg.PayloadPark {
@@ -163,6 +176,7 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 		UnintendedDropRate: res.UnintendedDropRate,
 		Healthy:            res.Healthy,
 		Premature:          res.Premature,
+		Control:            res.Control,
 		Testbed:            &res,
 	}, nil
 }
@@ -188,12 +202,15 @@ func (m MultiServer) validate(s *Scenario) error {
 	if s.Parking.Mode == sim.ParkEveryHop {
 		return errf("multiserver: ParkEveryHop needs a multi-switch topology")
 	}
+	if s.Control.Enabled() {
+		return errf("multiserver: control plane unsupported (use Testbed or LeafSpine)")
+	}
 	return nil
 }
 
 func (m MultiServer) run(ctx context.Context, s *Scenario) (*Report, error) {
 	warmup, measure := s.Opts.windows()
-	dist := s.Traffic.Dist
+	dist := s.Traffic.dist()
 	if dist == nil {
 		dist = trafficgen.Fixed(384)
 	}
@@ -261,6 +278,12 @@ func (l LeafSpine) validate(s *Scenario) error {
 	if s.Parking.Recirculate || s.Parking.BoundaryOffset != 0 || s.Parking.ExplicitDrop {
 		return errf("leafspine: Recirculate/BoundaryOffset/ExplicitDrop unsupported")
 	}
+	if s.Control.ECMP && s.Parking.Mode == sim.ParkEveryHop {
+		return errf("leafspine: ECMP cannot stripe (park-at-every-hop programs sit on each flow's static path)")
+	}
+	if s.Control.Adaptive && !s.Control.ECMP && !s.Parking.Enabled() {
+		return errf("leafspine: adaptive control needs parking enabled")
+	}
 	return nil
 }
 
@@ -271,7 +294,7 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 		Spines:     l.Spines,
 		LinkBps:    l.LinkBps,
 		SendBps:    s.Traffic.SendBps,
-		Dist:       s.Traffic.Dist,
+		Dist:       s.Traffic.dist(),
 		Flows:      s.Traffic.Flows,
 		Mode:       s.Parking.Mode,
 		Slots:      s.Parking.Slots,
@@ -285,6 +308,8 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 		FailLink:   l.FailLink,
 		FailAtNs:   l.FailAtNs,
 		RerouteNs:  l.RerouteNs,
+		ECMP:       s.Control.ECMP,
+		Control:    s.Control.config(),
 		Cancel:     CancelFunc(ctx),
 	}
 	res := sim.RunLeafSpine(cfg)
@@ -295,6 +320,7 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 		AvgLatencyUs:       res.AvgLatencyUs,
 		UnintendedDropRate: res.UnintendedDropRate,
 		Healthy:            res.Healthy,
+		Control:            res.Control,
 		Fabric:             &res,
 	}
 	for _, fr := range res.Flows {

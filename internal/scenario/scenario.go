@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
@@ -44,14 +45,14 @@ type Topology interface {
 // explicit-drop parking knobs.
 type Testbed struct {
 	// LinkBps is the switch<->NF-server line rate (default 10 GbE).
-	LinkBps float64
+	LinkBps float64 `json:"link_bps,omitempty"`
 	// SwitchQueueBytes is the egress buffer per switch port (default 1 MB).
-	SwitchQueueBytes int
+	SwitchQueueBytes int `json:"switch_queue_bytes,omitempty"`
 	// PropNs is the per-link propagation delay (default 500 ns).
-	PropNs int64
+	PropNs int64 `json:"prop_ns,omitempty"`
 	// NFLinkLossRate injects random loss on both directions of the
 	// switch<->NF link (§7 failure scenarios).
-	NFLinkLossRate float64
+	NFLinkLossRate float64 `json:"nf_link_loss_rate,omitempty"`
 }
 
 // Kind implements Topology.
@@ -62,11 +63,11 @@ func (Testbed) Kind() string { return "testbed" }
 // reserved switch memory statically sliced between them.
 type MultiServer struct {
 	// Servers is the NF server count (1..8, default 8).
-	Servers int
+	Servers int `json:"servers,omitempty"`
 	// LinkBps is each server's link rate (default 10 GbE).
-	LinkBps float64
+	LinkBps float64 `json:"link_bps,omitempty"`
 	// Cores, when non-zero, overrides Server.Cores on every server.
-	Cores int
+	Cores int `json:"cores,omitempty"`
 }
 
 // Kind implements Topology.
@@ -79,19 +80,21 @@ func (MultiServer) Kind() string { return "multiserver" }
 // (park-at-edge or §7 every-hop striping).
 type LeafSpine struct {
 	// Leaves and Spines size the fabric (defaults 4 and 2).
-	Leaves, Spines int
+	Leaves int `json:"leaves,omitempty"`
+	Spines int `json:"spines,omitempty"`
 	// LinkBps is the fabric and edge link rate (default 10 GbE).
-	LinkBps float64
+	LinkBps float64 `json:"link_bps,omitempty"`
 	// PropNs is the per-link propagation delay (default 500 ns).
-	PropNs int64
+	PropNs int64 `json:"prop_ns,omitempty"`
 	// QueueBytes is the egress buffer per fabric port (default 1 MB).
-	QueueBytes int
+	QueueBytes int `json:"queue_bytes,omitempty"`
 	// FailLink enables the link-failure scenario: flow 0's forward
 	// spine->leaf link goes down at FailAtNs and the forward path is
-	// rerouted RerouteNs later.
-	FailLink  bool
-	FailAtNs  int64
-	RerouteNs int64
+	// rerouted RerouteNs later (with Scenario.Control, at the
+	// controller's next tick instead).
+	FailLink  bool  `json:"fail_link,omitempty"`
+	FailAtNs  int64 `json:"fail_at_ns,omitempty"`
+	RerouteNs int64 `json:"reroute_ns,omitempty"`
 }
 
 // Kind implements Topology.
@@ -123,21 +126,82 @@ func (c Custom) Kind() string {
 type Parking struct {
 	// Mode selects where payloads park: sim.ParkNone (baseline),
 	// sim.ParkEdge, or sim.ParkEveryHop (leaf-spine striping; on a
-	// single-switch topology it is equivalent to ParkEdge).
-	Mode sim.ParkMode
+	// single-switch topology it is equivalent to ParkEdge). Serialized by
+	// name ("baseline", "edge", "everyhop").
+	Mode sim.ParkMode `json:"mode,omitempty"`
 	// Slots is each installed program's lookup-table capacity
 	// (default 8192; per server on MultiServer, per switch on LeafSpine).
-	Slots int
+	Slots int `json:"slots,omitempty"`
 	// MaxExpiry is the eviction threshold (default 1).
-	MaxExpiry uint32
+	MaxExpiry uint32 `json:"max_expiry,omitempty"`
 	// Recirculate enables 384-byte parking via a second pipe
 	// (Testbed only).
-	Recirculate bool
+	Recirculate bool `json:"recirculate,omitempty"`
 	// BoundaryOffset moves the §7 decoupling boundary (Testbed only).
-	BoundaryOffset int
+	BoundaryOffset int `json:"boundary_offset,omitempty"`
 	// ExplicitDrop enables the §6.2.4 framework modification
 	// (Testbed only).
-	ExplicitDrop bool
+	ExplicitDrop bool `json:"explicit_drop,omitempty"`
+}
+
+// Control is the control-plane spec of a Scenario: ECMP multipath
+// routing and/or the fabric-wide adaptive parking policy, both driven by
+// a periodic-tick controller (internal/ctrl) reading switch and link
+// telemetry. The zero value disables the control plane.
+type Control struct {
+	// ECMP (LeafSpine only) replaces each ingress leaf's static forward
+	// route with a hash-group next-hop table over the parking-safe
+	// spines; the controller rebalances membership on link failure and —
+	// with HotLinkPct — congestion. Incompatible with ParkEveryHop.
+	ECMP bool `json:"ecmp,omitempty"`
+	// Adaptive enables the fabric-wide adaptive parking policy:
+	// per-switch Expiry retuning between Aggressive and Conservative, and
+	// demotion of park-at-every-hop to park-at-edge on hot switches. On a
+	// Testbed it is the single-switch §7 adaptive evictor.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// PeriodNs is the controller tick (default 250 µs).
+	PeriodNs int64 `json:"period_ns,omitempty"`
+	// Aggressive/Conservative are the Expiry thresholds the adaptive
+	// policy toggles (defaults: the deployment's MaxExpiry, and 8).
+	Aggressive   uint32 `json:"aggressive,omitempty"`
+	Conservative uint32 `json:"conservative,omitempty"`
+	// PrematureThreshold is the per-tick premature-eviction count that
+	// triggers the conservative policy (default 0: any).
+	PrematureThreshold uint64 `json:"premature_threshold,omitempty"`
+	// CalmTicks is the hysteresis for resuming the aggressive policy and
+	// restoring demoted switches (default 3).
+	CalmTicks int `json:"calm_ticks,omitempty"`
+	// DemotePct/RestorePct bound the parking-occupancy hysteresis for
+	// demoting a switch's transit parking (defaults 85 and 40).
+	DemotePct  float64 `json:"demote_pct,omitempty"`
+	RestorePct float64 `json:"restore_pct,omitempty"`
+	// HotLinkPct/ColdLinkPct enable and bound congestion rebalancing of
+	// ECMP members (disabled when HotLinkPct is 0).
+	HotLinkPct  float64 `json:"hot_link_pct,omitempty"`
+	ColdLinkPct float64 `json:"cold_link_pct,omitempty"`
+}
+
+// Enabled reports whether any control-plane feature is on.
+func (c Control) Enabled() bool { return c.ECMP || c.Adaptive }
+
+// config converts the spec to the controller's knobs (nil when the
+// control plane is off).
+func (c Control) config() *ctrl.Config {
+	if !c.Enabled() {
+		return nil
+	}
+	return &ctrl.Config{
+		PeriodNs:           c.PeriodNs,
+		Adaptive:           c.Adaptive,
+		Aggressive:         c.Aggressive,
+		Conservative:       c.Conservative,
+		PrematureThreshold: c.PrematureThreshold,
+		CalmTicks:          c.CalmTicks,
+		DemotePct:          c.DemotePct,
+		RestorePct:         c.RestorePct,
+		HotLinkPct:         c.HotLinkPct,
+		ColdLinkPct:        c.ColdLinkPct,
+	}
 }
 
 // Enabled reports whether the policy parks at all.
@@ -156,37 +220,55 @@ func (p *Parking) fillDefaults() {
 type Traffic struct {
 	// SendBps is the offered load per traffic source, in frame
 	// bits/second.
-	SendBps float64
+	SendBps float64 `json:"send_bps,omitempty"`
 	// Dist draws packet sizes (default: the Fig. 6 datacenter mix on
 	// Testbed and LeafSpine, Fixed(384) on MultiServer, matching the
-	// paper's workloads).
-	Dist trafficgen.SizeDist
+	// paper's workloads). Serialized scenarios carry FixedSize instead.
+	Dist trafficgen.SizeDist `json:"-"`
+	// FixedSize, when non-zero, is the serializable form of a Fixed
+	// packet-size distribution: it resolves to trafficgen.Fixed(FixedSize)
+	// when Dist is nil. A zero FixedSize with a nil Dist keeps the
+	// topology default (the datacenter mix).
+	FixedSize int `json:"fixed_size,omitempty"`
 	// Flows is each source's 5-tuple pool size (default 1024 on Testbed
 	// and LeafSpine; MultiServer pins sim.MultiServerFlows).
-	Flows int
+	Flows int `json:"flows,omitempty"`
 	// Source, when non-nil, overrides the synthetic generator with an
 	// arbitrary packet stream, e.g. a pcap replay (Testbed only). The
-	// builder is called once per run so replays start fresh.
-	Source func() trafficgen.Source
+	// builder is called once per run so replays start fresh. Not
+	// serializable.
+	Source func() trafficgen.Source `json:"-"`
+}
+
+// dist resolves the effective size distribution (nil means "topology
+// default").
+func (t Traffic) dist() trafficgen.SizeDist {
+	if t.Dist != nil {
+		return t.Dist
+	}
+	if t.FixedSize > 0 {
+		return trafficgen.Fixed(t.FixedSize)
+	}
+	return nil
 }
 
 // RunOptions are the execution knobs shared by every topology.
 type RunOptions struct {
 	// Seed drives all randomness.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Quick shrinks the default measurement window for CI-speed runs
 	// (2 ms warmup + 8 ms measured instead of 10 + 40). It applies
 	// per field: whichever of WarmupNs/MeasureNs is set explicitly wins
 	// over Quick for that field alone.
-	Quick bool
+	Quick bool `json:"quick,omitempty"`
 	// WarmupNs/MeasureNs bound the measurement window explicitly.
-	WarmupNs  int64
-	MeasureNs int64
+	WarmupNs  int64 `json:"warmup_ns,omitempty"`
+	MeasureNs int64 `json:"measure_ns,omitempty"`
 	// Progress, when non-nil, is called with a short label when the run
 	// completes (and by RunSweep once per completed grid point). It may
 	// be called from multiple goroutines during a sweep; RunSweep
-	// serializes the calls.
-	Progress func(label string)
+	// serializes the calls. Not serializable.
+	Progress func(label string) `json:"-"`
 }
 
 // windows resolves the measurement window.
@@ -208,26 +290,37 @@ func (o RunOptions) windows() (warmup, measure int64) {
 }
 
 // Scenario is one point of the evaluation grid: what to simulate
-// (Topology), how payloads park (Parking), what load arrives (Traffic),
-// what serves it (Server, Chain), and how to run it (Opts).
+// (Topology), how payloads park (Parking), how the control plane drives
+// the tables (Control), what load arrives (Traffic), what serves it
+// (Server, Chain), and how to run it (Opts).
+//
+// A Scenario is JSON-serializable (the `ppbench -scenario file.json`
+// front end round-trips it): the Topology sum type is encoded as a
+// {"kind", "config"} envelope; hooks whose loss would change the run's
+// results — Chain, Traffic.Source, Custom topologies — are rejected by
+// MarshalJSON rather than silently dropped (the display-only
+// Opts.Progress callback is simply omitted).
 type Scenario struct {
 	// Name labels the run in reports.
-	Name string
+	Name string `json:"name,omitempty"`
 	// Topology selects the deployment shape. Required.
-	Topology Topology
+	Topology Topology `json:"topology"`
 	// Parking is the PayloadPark policy (zero value = baseline).
-	Parking Parking
+	Parking Parking `json:"parking"`
+	// Control is the control-plane spec (zero value = static tables, no
+	// controller).
+	Control Control `json:"control"`
 	// Traffic is the offered load.
-	Traffic Traffic
+	Traffic Traffic `json:"traffic"`
 	// Server calibrates the NF server(s); the zero value uses
 	// sim.DefaultServerModel.
-	Server sim.ServerModel
+	Server sim.ServerModel `json:"server"`
 	// Chain builds a fresh NF chain per run (Testbed only; default
 	// MAC swap). MultiServer and LeafSpine pin the paper's MAC-swap
-	// chain.
-	Chain func() *nf.Chain
+	// chain. Not serializable.
+	Chain func() *nf.Chain `json:"-"`
 	// Opts are the execution knobs.
-	Opts RunOptions
+	Opts RunOptions `json:"opts"`
 }
 
 // With returns a copy of the scenario with fn applied — the building

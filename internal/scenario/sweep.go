@@ -59,6 +59,34 @@ func ParkingAxis(modes ...sim.ParkMode) Axis {
 	return a
 }
 
+// ControlAxis sweeps control-plane specs. Labels derive from the spec:
+// "static" (zero value), "ecmp", "adaptive", or "ecmp+adaptive".
+func ControlAxis(specs ...Control) Axis {
+	a := Axis{Name: "control"}
+	for _, c := range specs {
+		c := c
+		a.Points = append(a.Points, AxisPoint{
+			Label: c.Label(),
+			Set:   func(s *Scenario) { s.Control = c },
+		})
+	}
+	return a
+}
+
+// Label names a control spec, as used in sweep labels and reports.
+func (c Control) Label() string {
+	switch {
+	case c.ECMP && c.Adaptive:
+		return "ecmp+adaptive"
+	case c.ECMP:
+		return "ecmp"
+	case c.Adaptive:
+		return "adaptive"
+	default:
+		return "static"
+	}
+}
+
 // CoresAxis sweeps the NF server's core count.
 func CoresAxis(counts ...int) Axis {
 	a := Axis{Name: "cores"}

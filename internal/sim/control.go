@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// controlPlant adapts a Fabric to ctrl.Plant: telemetry reads walk the
+// fabric's switch and link inventories in wiring order (so controller
+// decisions are deterministic), and pushes land on the live switch
+// programs and ECMP group tables — the same writes a switch CPU would
+// issue over PCIe.
+type controlPlant struct {
+	f *Fabric
+	// transit classifies a program as transit parking (demotable); nil
+	// means no program is (single-switch deployments).
+	transit func(prog *core.Program) bool
+
+	nodes  map[string]*SwitchNode
+	groups map[string]*groupRoute
+
+	// Per-link TxBits at the previous tick, for per-tick utilization.
+	lastTxBits []uint64
+	lastNow    int64
+}
+
+// groupRoute binds a managed ECMP group to its switch table entry.
+type groupRoute struct {
+	node *SwitchNode
+	dst  packet.MAC
+	// ports is the full configured membership (name -> egress port);
+	// pushes install subsets of it.
+	ports map[string]rmt.PortID
+}
+
+func newControlPlant(f *Fabric, transit func(prog *core.Program) bool) *controlPlant {
+	p := &controlPlant{
+		f:       f,
+		transit: transit,
+		nodes:   make(map[string]*SwitchNode),
+		groups:  make(map[string]*groupRoute),
+	}
+	for _, n := range f.switches {
+		p.nodes[n.Name] = n
+	}
+	return p
+}
+
+// addGroup registers a managed ECMP group (already installed on the
+// switch) so PushGroup can rewrite it.
+func (p *controlPlant) addGroup(name string, node *SwitchNode, dst packet.MAC, ports map[string]rmt.PortID) {
+	p.groups[name] = &groupRoute{node: node, dst: dst, ports: ports}
+}
+
+// ReadTelemetry implements ctrl.Plant.
+func (p *controlPlant) ReadTelemetry(t *ctrl.Telemetry) {
+	now := p.f.eng.Now()
+	t.Switches = t.Switches[:0]
+	for _, n := range p.f.switches {
+		st := ctrl.SwitchTelem{Name: n.Name}
+		for _, prog := range n.SW.Programs() {
+			st.Premature += prog.C.PrematureEvictions.Value()
+			st.Slots += prog.Config().Slots
+			if out := prog.C.Outstanding(); out > 0 {
+				st.Occupancy += int(out)
+			}
+			if p.transit != nil && p.transit(prog) {
+				st.Demotable = true
+			}
+		}
+		t.Switches = append(t.Switches, st)
+	}
+
+	if len(p.lastTxBits) != len(p.f.links) {
+		p.lastTxBits = make([]uint64, len(p.f.links))
+	}
+	dt := now - p.lastNow
+	t.Links = t.Links[:0]
+	for i, l := range p.f.links {
+		tx := l.TxBits.Value()
+		lt := ctrl.LinkTelem{Name: l.Name, Down: l.Down, QueueBytes: l.QueuedBytes()}
+		if dt > 0 {
+			lt.UtilPct = 100 * float64(tx-p.lastTxBits[i]) / (l.Bps * float64(dt) / 1e9)
+		}
+		p.lastTxBits[i] = tx
+		t.Links = append(t.Links, lt)
+	}
+	p.lastNow = now
+}
+
+// PushExpiry implements ctrl.Plant: every program on the switch adopts
+// the new Expiry threshold for future claims.
+func (p *controlPlant) PushExpiry(sw string, expiry uint32) {
+	n, ok := p.nodes[sw]
+	if !ok {
+		return
+	}
+	for _, prog := range n.SW.Programs() {
+		prog.SetMaxExpiry(expiry)
+	}
+}
+
+// PushTransitSplit implements ctrl.Plant: the switch's transit parking
+// programs stop (or resume) claiming new slots; merges keep draining.
+func (p *controlPlant) PushTransitSplit(sw string, enabled bool) {
+	n, ok := p.nodes[sw]
+	if !ok || p.transit == nil {
+		return
+	}
+	for _, prog := range n.SW.Programs() {
+		if p.transit(prog) {
+			prog.SetSplitEnabled(enabled)
+		}
+	}
+}
+
+// PushGroup implements ctrl.Plant: rewrite the group to the named member
+// subset.
+func (p *controlPlant) PushGroup(group string, members []string) {
+	g, ok := p.groups[group]
+	if !ok {
+		return
+	}
+	subset := make(map[string]rmt.PortID, len(members))
+	for _, name := range members {
+		port, ok := g.ports[name]
+		if !ok {
+			continue
+		}
+		subset[name] = port
+	}
+	if len(subset) == 0 {
+		return // the controller never pushes an empty set; belt and braces
+	}
+	if err := g.node.SW.SetECMPRoute(g.dst, subset); err != nil {
+		panic(fmt.Sprintf("sim: push group %s: %v", group, err))
+	}
+}
+
+// attachController starts a controller ticking on the fabric's engine
+// every cfg.PeriodNs until the horizon. Call before Fabric.Run; collect
+// the decision timeline from the returned controller after it.
+func attachController(f *Fabric, cfg ctrl.Config, plant *controlPlant, groups []ctrl.Group, until int64) *ctrl.Controller {
+	c := ctrl.New(cfg, plant, groups)
+	eng := f.Engine()
+	period := c.Config().PeriodNs
+	var tick func()
+	tick = func() {
+		c.Tick(eng.Now())
+		if eng.Now()+period <= until {
+			eng.Schedule(period, tick)
+		}
+	}
+	eng.Schedule(period, tick)
+	return c
+}

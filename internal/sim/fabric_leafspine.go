@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
@@ -39,6 +40,27 @@ func (m ParkMode) String() string {
 	default:
 		return "baseline"
 	}
+}
+
+// MarshalJSON encodes the mode by name, so serialized scenarios read
+// "edge" rather than a bare enum ordinal.
+func (m ParkMode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the mode names String produces.
+func (m *ParkMode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"baseline"`, `""`:
+		*m = ParkNone
+	case `"edge"`:
+		*m = ParkEdge
+	case `"everyhop"`:
+		*m = ParkEveryHop
+	default:
+		return fmt.Errorf("sim: unknown park mode %s (want \"baseline\", \"edge\", or \"everyhop\")", b)
+	}
+	return nil
 }
 
 // Leaf-spine port layout. Leaves use pipe-0 ports: 0 = traffic source,
@@ -91,6 +113,23 @@ type FabricConfig struct {
 	FailLink  bool
 	FailAtNs  int64
 	RerouteNs int64
+	// ECMP replaces each ingress leaf's static forward (NF-bound) route
+	// with a hash-group next-hop table over the parking-safe spines:
+	// flows spread across group members by 5-tuple Maglev hashing, and
+	// member loss remaps only the flows that rode the lost member. Return
+	// routes stay pinned to each flow's merge spine, so parked payloads
+	// always find their way home. Incompatible with ParkEveryHop, whose
+	// per-hop programs are installed on a flow's static path.
+	ECMP bool
+	// Control, when non-nil, attaches the fabric-wide controller: every
+	// Control.PeriodNs it reads per-switch and per-link telemetry and
+	// pushes ECMP membership (link failure/congestion rebalancing) and —
+	// with Control.Adaptive — per-switch Expiry retuning plus hot-switch
+	// parking demotion. The decision timeline lands in
+	// FabricResult.Control. With ECMP and no controller, the failure
+	// scenario falls back to a one-shot group rewrite RerouteNs after the
+	// failure (mirroring the static route-detection delay).
+	Control *ctrl.Config
 	// Cancel, when non-nil, is polled periodically by the event engine;
 	// once it returns true the run stops early and the result is partial.
 	Cancel func() bool
@@ -183,6 +222,9 @@ type FabricResult struct {
 	// during the outage, and after the reroute (all zero when the
 	// failure scenario is off).
 	PhaseDelivered [3]uint64 `json:"phase_delivered"`
+	// Control is the control-plane report — tick counts and the decision
+	// timeline — when a controller ran (nil otherwise).
+	Control *ctrl.Report `json:"control,omitempty"`
 }
 
 // spineOf returns the spine affinity of flow i (used for both the
@@ -219,6 +261,9 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		if cfg.FailLink && S < 3 {
 			panic(fmt.Sprintf("sim: parking-safe reroute needs a third spine (got %d): with two, the alternate path arrives on the egress leaf's merge port", S))
 		}
+	}
+	if cfg.ECMP && cfg.Mode == ParkEveryHop {
+		panic("sim: ECMP cannot stripe: park-at-every-hop programs are installed on each flow's static path")
 	}
 
 	f := NewFabric()
@@ -295,6 +340,48 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 			// Last-hop program at the egress leaf: split what arrives from
 			// the flow's spine, merge what the local NF returns.
 			attach(leaves[j], leafPortSpine+rmt.PortID(cfg.spineOf(i)), leafPortNF)
+		}
+	}
+
+	// Control plane. ECMP overlays each ingress leaf's forward route with
+	// a hash group over the parking-safe spines (a group takes precedence
+	// over the static L2 entry); the controller — when configured — owns
+	// membership from there.
+	var plant *controlPlant
+	var groups []ctrl.Group
+	if cfg.ECMP || cfg.Control != nil {
+		// Transit programs (demotable by the adaptive policy) are the
+		// every-hop stripers: everything whose split port is not the
+		// ingress-leaf traffic source.
+		plant = newControlPlant(f, func(prog *core.Program) bool {
+			return prog.Config().SplitPort != leafPortGen
+		})
+	}
+	if cfg.ECMP {
+		for i := 0; i < L; i++ {
+			j := (i + 1) % L
+			_, nfDst := leafSpineMACs(j)
+			ports := make(map[string]rmt.PortID, S)
+			var members []ctrl.Member
+			for s := 0; s < S; s++ {
+				if cfg.Mode != ParkNone && s == cfg.spineOf(j) {
+					// A slim flow arriving at the egress leaf on this
+					// spine's port would hit that leaf's merge port.
+					continue
+				}
+				name := fmt.Sprintf("spine%d", s)
+				ports[name] = leafPortSpine + rmt.PortID(s)
+				members = append(members, ctrl.Member{Name: name, Links: []string{
+					fmt.Sprintf("leaf%d->spine%d", i, s),
+					fmt.Sprintf("spine%d->leaf%d", s, j),
+				}})
+			}
+			gname := fmt.Sprintf("leaf%d->nf%d", i, j)
+			if err := leaves[i].SW.SetECMPRoute(nfDst, ports); err != nil {
+				panic(fmt.Sprintf("sim: leaf-spine ECMP group %s: %v", gname, err))
+			}
+			plant.addGroup(gname, leaves[i], nfDst, ports)
+			groups = append(groups, ctrl.Group{Name: gname, Switch: leaves[i].Name, Members: members})
 		}
 	}
 
@@ -429,18 +516,46 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 	// parked state at leaf 0 survives because the merge port pins the
 	// untouched return path.
 	if cfg.FailLink {
-		_, nfDst := leafSpineMACs(1 % L)
-		alt := (cfg.spineOf(0) + 1) % S
-		if cfg.Mode != ParkNone {
-			for alt == cfg.spineOf(0) || alt == cfg.spineOf(1%L) {
-				alt = (alt + 1) % S
-			}
-		}
-		altPort := leafPortSpine + rmt.PortID(alt)
 		eng.ScheduleAt(cfg.FailAtNs, func() { failLink.Down = true })
-		eng.ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
-			leaves[0].SW.AddL2Route(nfDst, altPort)
-		})
+		switch {
+		case !cfg.ECMP:
+			_, nfDst := leafSpineMACs(1 % L)
+			alt := (cfg.spineOf(0) + 1) % S
+			if cfg.Mode != ParkNone {
+				for alt == cfg.spineOf(0) || alt == cfg.spineOf(1%L) {
+					alt = (alt + 1) % S
+				}
+			}
+			altPort := leafPortSpine + rmt.PortID(alt)
+			eng.ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
+				leaves[0].SW.AddL2Route(nfDst, altPort)
+			})
+		case cfg.Control == nil:
+			// ECMP without a controller: one-shot group rewrite after the
+			// static detection delay — the failed spine leaves flow 0's
+			// forward group, and Maglev remaps only the flows it carried.
+			dead := fmt.Sprintf("spine%d", cfg.spineOf(0))
+			var survivors []string
+			for _, m := range groups[0].Members {
+				if m.Name != dead {
+					survivors = append(survivors, m.Name)
+				}
+			}
+			eng.ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
+				plant.PushGroup(groups[0].Name, survivors)
+			})
+			// With a controller, its next telemetry tick sees the down link
+			// and reroutes — detection latency is the tick period.
+		}
+	}
+
+	var controller *ctrl.Controller
+	if cfg.Control != nil {
+		cc := *cfg.Control
+		if cc.Aggressive == 0 {
+			cc.Aggressive = cfg.MaxExpiry
+		}
+		controller = attachController(f, cc, plant, groups, windowEnd+cfg.WarmupNs)
 	}
 
 	f.Run(windowEnd + cfg.WarmupNs)
@@ -453,6 +568,9 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		SentWindow:      sentWindow,
 		UnintendedDrops: unintendedDrops,
 		PhaseDelivered:  phaseDelivered,
+	}
+	if controller != nil {
+		res.Control = controller.Snapshot()
 	}
 	for i, fs := range flows {
 		fs.sentBits.CloseAt(windowEnd)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
 
@@ -65,9 +66,34 @@ func TestLossyLinkBaselineComparable(t *testing.T) {
 	}
 }
 
-// TestAdaptiveEvictorInSim drives the §7 adaptive-eviction controller
-// from the simulator's control plane: under an induced NF stall, the
-// controller backs off to the conservative policy.
+// switchPlant adapts one raw switch program to ctrl.Plant, the way a
+// switch CPU exposes a single device to the controller.
+type switchPlant struct {
+	name string
+	prog *core.Program
+}
+
+func (p *switchPlant) ReadTelemetry(t *ctrl.Telemetry) {
+	occ := 0
+	if out := p.prog.C.Outstanding(); out > 0 {
+		occ = int(out)
+	}
+	t.Switches = append(t.Switches[:0], ctrl.SwitchTelem{
+		Name:      p.name,
+		Premature: p.prog.C.PrematureEvictions.Value(),
+		Occupancy: occ,
+		Slots:     p.prog.Config().Slots,
+	})
+	t.Links = t.Links[:0]
+}
+func (p *switchPlant) PushExpiry(_ string, expiry uint32) { p.prog.SetMaxExpiry(expiry) }
+func (p *switchPlant) PushTransitSplit(string, bool)      {}
+func (p *switchPlant) PushGroup(string, []string)         {}
+
+// TestAdaptiveEvictorInSim drives the §7 adaptive-eviction policy
+// (internal/ctrl, which replaced the single-switch core.AdaptiveEvictor)
+// against a real program: under an induced NF stall, the controller
+// backs off to the conservative policy and recovers after calm ticks.
 func TestAdaptiveEvictorInSim(t *testing.T) {
 	// Build a deployment directly (behavioural, no DES) where the table
 	// is tiny and the "NF" holds packets, causing premature evictions.
@@ -78,7 +104,12 @@ func TestAdaptiveEvictorInSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctl := core.NewAdaptiveEvictor(prog, 1, 8, 1)
+	ctl := ctrl.New(ctrl.Config{Adaptive: true, Aggressive: 1, Conservative: 8, PrematureThreshold: 1},
+		&switchPlant{name: "adaptive", prog: prog}, nil)
+	ctl.Tick(0) // installs the aggressive policy, seeds the baseline
+	if prog.MaxExpiry() != 1 {
+		t.Fatalf("initial expiry = %d, want aggressive 1", prog.MaxExpiry())
+	}
 
 	gen := trafficgen.New(trafficgen.Config{
 		Sizes: trafficgen.Fixed(512), Flows: 16,
@@ -99,16 +130,21 @@ func TestAdaptiveEvictorInSim(t *testing.T) {
 		em.Pkt.Eth.Src, em.Pkt.Eth.Dst = MACNF, MACSink
 		sw.Inject(em.Pkt, 1) // most are premature by now
 	}
-	ctl.Observe()
-	if !ctl.ConservativeMode() {
-		t.Fatalf("controller stayed aggressive after %d premature evictions",
-			prog.C.PrematureEvictions.Value())
+	ctl.Tick(1000)
+	if prog.MaxExpiry() != 8 {
+		t.Fatalf("controller stayed aggressive (expiry %d) after %d premature evictions",
+			prog.MaxExpiry(), prog.C.PrematureEvictions.Value())
 	}
-	// Quiet period: controller recovers.
-	ctl.Observe()
-	ctl.Observe()
-	ctl.Observe()
-	if ctl.ConservativeMode() {
+	// Quiet period: controller recovers after CalmTicks (default 3).
+	ctl.Tick(2000)
+	ctl.Tick(3000)
+	ctl.Tick(4000)
+	if prog.MaxExpiry() != 1 {
 		t.Error("controller failed to recover after calm intervals")
+	}
+	rep := ctl.Snapshot()
+	if rep.ExpiryChanges != 2 || len(rep.Decisions) != 2 ||
+		rep.Decisions[0].Kind != "backoff" || rep.Decisions[1].Kind != "resume" {
+		t.Fatalf("decision timeline wrong: %+v", rep.Decisions)
 	}
 }

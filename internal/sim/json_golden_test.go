@@ -2,7 +2,10 @@ package sim
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 )
 
 // The result types are part of the machine-readable surface: ppbench
@@ -85,6 +88,44 @@ func TestFabricResultJSONGolden(t *testing.T) {
 		`"healthy":false,"phase_delivered":[1,2,3]}`
 	if got != want {
 		t.Errorf("FabricResult JSON drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestControlReportJSONGolden pins the control-plane section — the
+// adaptive mode-switch timeline of a testbed run and the decision
+// timeline of a fabric run share ctrl.Report — as it appears embedded in
+// Result ("control" key, omitted when no controller ran).
+func TestControlReportJSONGolden(t *testing.T) {
+	r := Result{
+		Name: "golden-ctrl", Healthy: true,
+		Control: &ctrl.Report{
+			Ticks: 40, PeriodNs: 250000,
+			ExpiryChanges: 2,
+			Decisions: []ctrl.Decision{
+				{AtNs: 4250000, Kind: "backoff", Target: "adaptive", Detail: "12 premature evictions/tick; expiry 1 -> 12"},
+				{AtNs: 5000000, Kind: "resume", Target: "adaptive", Detail: "calm for 3 ticks; expiry 12 -> 1"},
+			},
+		},
+	}
+	got := marshal(t, r)
+	want := `{"name":"golden-ctrl","send_gbps":0,"goodput_gbps":0,"to_nf_gbps":0,` +
+		`"to_nf_mpps":0,"avg_latency_us":0,"p99_latency_us":0,"max_latency_us":0,` +
+		`"jitter_us":0,"delivered":0,"unintended_drop_rate":0,"nf_drops":0,` +
+		`"pcie_gbps":0,"pcie_util_pct":0,"splits":0,"merges":0,"evictions":0,` +
+		`"premature":0,"occupied_skips":0,"small_skips":0,"explicit_drops":0,` +
+		`"healthy":true,"sram_pct":0,` +
+		`"control":{"ticks":40,"period_ns":250000,"reroutes":0,"recoveries":0,` +
+		`"rebalances":0,"expiry_changes":2,"demotions":0,"restorations":0,` +
+		`"decisions":[` +
+		`{"at_ns":4250000,"kind":"backoff","target":"adaptive","detail":"12 premature evictions/tick; expiry 1 -\u003e 12"},` +
+		`{"at_ns":5000000,"kind":"resume","target":"adaptive","detail":"calm for 3 ticks; expiry 12 -\u003e 1"}]}}`
+	if got != want {
+		t.Errorf("Result control JSON drifted:\n got %s\nwant %s", got, want)
+	}
+	// Absent controller: the key is omitted entirely.
+	plain := marshal(t, Result{Name: "golden-ctrl", Healthy: true})
+	if strings.Contains(plain, `"control"`) {
+		t.Errorf("control key present without a controller: %s", plain)
 	}
 }
 

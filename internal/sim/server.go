@@ -16,49 +16,49 @@ import (
 type ServerModel struct {
 	// FreqHz converts NF cycle costs to time (paper NF server: 2.3 GHz
 	// Xeon E7-4870 v2).
-	FreqHz float64
+	FreqHz float64 `json:"freq_hz,omitempty"`
 	// Cores is the number of RX queues the NIC's RSS hash spreads flows
 	// over; each queue feeds its own core running a full replica of the NF
 	// chain pipeline (the paper's NF servers are 8-core Xeons). RxFixedNs,
 	// RxPerByteNs and the chain's cycle costs are all per-core costs, so
 	// aggregate capacity scales with Cores while the NIC descriptor ring
 	// and the PCIe bus stay shared. Zero means 1 (a single RX thread).
-	Cores int
+	Cores int `json:"cores,omitempty"`
 	// RxFixedNs is the framework's fixed per-packet receive cost on one
 	// core (descriptor handling, mbuf bookkeeping, dispatch).
-	RxFixedNs float64
+	RxFixedNs float64 `json:"rx_fixed_ns,omitempty"`
 	// RxPerByteNs is the per-wire-byte receive cost on one core (copies,
 	// cache traffic). PayloadPark's benefit on the compute side comes from
 	// shrinking this term.
-	RxPerByteNs float64
+	RxPerByteNs float64 `json:"rx_per_byte_ns,omitempty"`
 	// NICRing is the RX descriptor ring size in packets, shared by all RX
 	// queues; overflow is where "packet drops at the NF server NIC"
 	// (§6.3.3) happen.
-	NICRing int
+	NICRing int `json:"nic_ring,omitempty"`
 	// StageQueue is the capacity of each ring between pipelined NFs
 	// (per core: every core runs its own chain pipeline).
-	StageQueue int
+	StageQueue int `json:"stage_queue,omitempty"`
 	// PCIeBps is the usable PCIe bandwidth shared by RX and TX DMA
 	// (x8 Gen3 after framing, ~66 Gbps). Shared across all cores.
-	PCIeBps float64
+	PCIeBps float64 `json:"pcie_bps,omitempty"`
 	// PCIeOverheadBytes is the per-packet DMA overhead (descriptors,
 	// TLP headers) charged to the bus.
-	PCIeOverheadBytes int
+	PCIeOverheadBytes int `json:"pcie_overhead_bytes,omitempty"`
 	// ServiceJitterPct adds uniform ±pct jitter to RX and NF service
 	// times (container scheduling, interrupts). Zero disables it. With
 	// jitter, queueing delay grows gradually as load approaches
 	// saturation — the effect behind Fig. 14's eviction onset. The jitter
 	// stream derives from the seed passed to NewServerSim, so jittered
 	// runs vary with the experiment seed.
-	ServiceJitterPct float64
+	ServiceJitterPct float64 `json:"service_jitter_pct,omitempty"`
 	// StallPeriodNs/StallNs model periodic receive-path stalls (container
 	// scheduling, interrupt storms): every StallPeriodNs every RX core
 	// pauses for StallNs. During the stall and its drain, in-flight
 	// residence grows with offered load; whether parked payloads survive
 	// the excursion depends on the lookup-table size — the effect the
 	// Fig. 14 memory sweep measures. Zero disables stalls.
-	StallPeriodNs int64
-	StallNs       int64
+	StallPeriodNs int64 `json:"stall_period_ns,omitempty"`
+	StallNs       int64 `json:"stall_ns,omitempty"`
 }
 
 // DefaultServerModel is the generic NF-server model used unless an

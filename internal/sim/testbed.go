@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
@@ -68,6 +69,13 @@ type TestbedConfig struct {
 	// switch<->NF link (§7 failure scenarios). Lost split packets orphan
 	// their parked payloads; the payload evictor must reclaim them.
 	NFLinkLossRate float64
+	// Control, when non-nil (and PayloadPark is on), attaches the §7
+	// adaptive-eviction control plane: a controller samples the program's
+	// premature-eviction counter every Control.PeriodNs and toggles the
+	// Expiry threshold between the aggressive and conservative policies.
+	// The mode-switch timeline lands in Result.Control. Adaptive is
+	// implied — a single-switch deployment has no ECMP groups to manage.
+	Control *ctrl.Config
 	// Cancel, when non-nil, is polled periodically by the event engine;
 	// once it returns true the run stops early and the result is partial.
 	// The scenario layer binds it to a context's Done channel.
@@ -152,6 +160,10 @@ type Result struct {
 	// PerCore is the NF server's per-core drop/occupancy record over the
 	// whole run (RSS spread, ring-overflow attribution, peak RX backlog).
 	PerCore []CoreStat `json:"per_core,omitempty"`
+	// Control is the adaptive-eviction control plane's report — the
+	// mode-switch decision timeline — when TestbedConfig.Control ran a
+	// controller (nil otherwise).
+	Control *ctrl.Report `json:"control,omitempty"`
 }
 
 // String renders a one-line summary.
@@ -328,6 +340,18 @@ func RunTestbed(cfg TestbedConfig) Result {
 		}
 	})
 
+	// Adaptive-eviction control plane (single-switch: no groups, the
+	// controller only retunes the program's Expiry threshold).
+	var controller *ctrl.Controller
+	if cfg.Control != nil && prog != nil {
+		cc := *cfg.Control
+		cc.Adaptive = true
+		if cc.Aggressive == 0 {
+			cc.Aggressive = prog.MaxExpiry()
+		}
+		controller = attachController(f, cc, newControlPlant(f, nil), nil, windowEnd+cfg.WarmupNs)
+	}
+
 	src.Start(0)
 	// Drain period after the window so in-flight packets can land.
 	f.Run(windowEnd + cfg.WarmupNs)
@@ -372,6 +396,9 @@ func RunTestbed(cfg TestbedConfig) Result {
 		res.SmallSkips = prog.C.SmallPayloadSkips.Value() - snap.SmallPayloadSkips.Value()
 		res.ExplicitDrops = prog.C.ExplicitDrops.Value() - snap.ExplicitDrops.Value()
 		res.SRAMPct = sw.Pipe(0).Resources().SRAMAvgPct
+	}
+	if controller != nil {
+		res.Control = controller.Snapshot()
 	}
 	return res
 }

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/harness"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
@@ -110,6 +111,18 @@ type (
 	// ParkingPolicy selects where and how payloads park (the zero value
 	// is the baseline).
 	ParkingPolicy = scenario.Parking
+	// Control is the control-plane spec of a Scenario: ECMP multipath
+	// routing (LeafSpine) and/or the fabric-wide adaptive parking policy,
+	// both driven by a telemetry-tick controller. The zero value keeps
+	// tables static.
+	Control = scenario.Control
+	// ControlReport is the controller's structured outcome in
+	// Report.Control: tick bookkeeping, per-kind totals, and the decision
+	// timeline.
+	ControlReport = ctrl.Report
+	// ControlDecision is one timestamped control-plane action in the
+	// decision timeline.
+	ControlDecision = ctrl.Decision
 	// Traffic is the offered-load spec.
 	Traffic = scenario.Traffic
 	// RunOptions are the execution knobs (seed, quick, window, progress).
@@ -148,6 +161,7 @@ var (
 	AxisOf         = scenario.AxisOf
 	SendGbpsAxis   = scenario.SendGbpsAxis
 	ParkingAxis    = scenario.ParkingAxis
+	ControlAxis    = scenario.ControlAxis
 	CoresAxis      = scenario.CoresAxis
 	PacketSizeAxis = scenario.PacketSizeAxis
 	SlotsAxis      = scenario.SlotsAxis
