@@ -10,6 +10,7 @@
 //	ppbench -list
 //	ppbench -exp fig7 [-quick] [-seed N] [-json out.json]
 //	ppbench -exp all  [-quick] [-json out.json]
+//	ppbench -exp scale -partitions 1,2,4,8 [-quick] [-json BENCH_scale.json]
 //	ppbench -parallel [-quick] [-seed N]
 //	ppbench -cores 1,2,4,8 [-quick] [-seed N] [-json out.json]
 //	ppbench -topology 4x2 [-json BENCH_fabric.json] [-quick] [-seed N]
@@ -18,6 +19,14 @@
 // -json writes the experiment's structured result (the same data the
 // text tables render) as a machine-readable artifact; it works for
 // every experiment, not just the fabric family.
+//
+// -partitions sets the partition-count series the scale experiment
+// sweeps; a single value also applies to a -scenario run whose file
+// leaves opts.partitions unset (results are byte-identical either way —
+// partitioning only changes wall-clock time).
+//
+// -cpuprofile and -memprofile write pprof CPU and heap profiles of the
+// run (flushed on exit, including failure exits).
 //
 // -parallel skips the discrete-event harness and drives the raw dataplane
 // across all four pipes, sequentially and then with one worker per pipe,
@@ -45,6 +54,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -65,8 +76,22 @@ func main() {
 		topology = flag.String("topology", "", "leaf-spine geometry LxS (e.g. 4x2): run the fabric experiment family")
 		scnFile  = flag.String("scenario", "", "run a serialized Scenario from this JSON file and print its Report")
 		jsonOut  = flag.String("json", "", "write the structured experiment result to this file")
+		parts    = flag.String("partitions", "", "comma-separated partition counts for the scale experiment (e.g. 1,2,4,8); a single value applies to -scenario runs")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fail(err)
+	}
+	defer flushProfiles()
+
+	partitions, err := parseCounts(*parts, "partition count")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *parallel {
 		// Wall-clock dataplane drive: no simulation context to cancel, so
@@ -85,10 +110,10 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	opts := harness.Options{Quick: *quick, Seed: *seed, Ctx: ctx}
+	opts := harness.Options{Quick: *quick, Seed: *seed, Ctx: ctx, Partitions: partitions}
 
 	if *scnFile != "" {
-		if err := runScenarioFile(ctx, *scnFile, *jsonOut, *quick, *seed); err != nil {
+		if err := runScenarioFile(ctx, *scnFile, *jsonOut, *quick, *seed, partitions); err != nil {
 			fail(err)
 		}
 		return
@@ -102,7 +127,7 @@ func main() {
 	}
 
 	if *cores != "" {
-		counts, err := parseCores(*cores)
+		counts, err := parseCounts(*cores, "core count")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
 			os.Exit(2)
@@ -188,6 +213,7 @@ func renderAny(e harness.Experiment, res any) error {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+	flushProfiles()
 	os.Exit(1)
 }
 
@@ -206,25 +232,80 @@ func writeJSON(path string, v any) {
 	fmt.Printf("   wrote %s\n", path)
 }
 
-// parseCores parses the -cores list.
-func parseCores(s string) ([]int, error) {
+// parseCounts parses a comma-separated list of small positive integers
+// (the -cores and -partitions flags). An empty string is no list.
+func parseCounts(s, what string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 || n > 64 {
-			return nil, fmt.Errorf("bad core count %q (want 1..64)", f)
+			return nil, fmt.Errorf("bad %s %q (want 1..64)", what, f)
 		}
 		out = append(out, n)
 	}
 	return out, nil
 }
 
+// Profiling plumbing. fail() exits with os.Exit, which skips deferred
+// calls, so the flush lives in a package-level hook that both the
+// deferred path and fail() invoke (idempotently).
+var (
+	cpuProfFile *os.File
+	memProfPath string
+	profFlushed bool
+)
+
+// startProfiles starts the CPU profile and records the heap-profile
+// destination; flushProfiles finalizes both.
+func startProfiles(cpuPath, memPath string) error {
+	memProfPath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	cpuProfFile = f
+	return nil
+}
+
+func flushProfiles() {
+	if profFlushed {
+		return
+	}
+	profFlushed = true
+	if cpuProfFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfFile.Close()
+	}
+	if memProfPath != "" {
+		f, err := os.Create(memProfPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			return
+		}
+		runtime.GC() // publish up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: heap profile: %v\n", err)
+		}
+		f.Close()
+	}
+}
+
 // runScenarioFile loads a serialized Scenario, runs it through the
 // unified entrypoint, and prints the Report (headline summary plus the
-// full JSON; -json additionally writes the Report to a file). The -quick
-// and -seed flags act as fallbacks: they apply only when the file's own
-// opts leave them unset.
-func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, seed int64) error {
+// full JSON; -json additionally writes the Report to a file). The
+// -quick, -seed, and single-valued -partitions flags act as fallbacks:
+// they apply only when the file's own opts leave them unset.
+func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, seed int64, partitions []int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -238,6 +319,9 @@ func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, see
 	}
 	if quick && !s.Opts.Quick && s.Opts.WarmupNs == 0 && s.Opts.MeasureNs == 0 {
 		s.Opts.Quick = true
+	}
+	if len(partitions) == 1 && s.Opts.Partitions == 0 {
+		s.Opts.Partitions = partitions[0]
 	}
 	fmt.Printf("== scenario %s: %s on %s\n", path, s.Name, s.Topology.Kind())
 	start := time.Now()

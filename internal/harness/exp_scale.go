@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/scenario"
+	"github.com/payloadpark/payloadpark/internal/sim"
+)
+
+func init() {
+	register(experiment(Experiment{
+		ID:    "scale",
+		Title: "Parallel engine scaling: 16x8 fabric at 100G-class load across partition counts",
+		Paper: "not a paper figure: engine infrastructure for §7-scale fabrics — wall-clock speedup vs partitions with byte-identical results",
+	}, CollectScaleSuite, RenderScaleSuite))
+}
+
+// ScaleSuite is the scale experiment's machine-readable result (ppbench
+// -json writes it to the BENCH_scale artifact): one wall-clock point per
+// partition count over the same 16x8 100G fabric scenario, plus the
+// determinism verdict — every partitioned run's Report must be
+// byte-identical to the serial (partitions=1) reference.
+type ScaleSuite struct {
+	Topology string  `json:"topology"`
+	LinkGbps float64 `json:"link_gbps"`
+	SendGbps float64 `json:"send_gbps"`
+	// GoodputGbps and Delivered summarize the (shared) simulated outcome.
+	GoodputGbps float64 `json:"goodput_gbps"`
+	Delivered   uint64  `json:"delivered"`
+	// Identical is the determinism verdict across all points.
+	Identical bool         `json:"identical"`
+	Points    []ScalePoint `json:"points"`
+}
+
+// ScalePoint is one partition count's run.
+type ScalePoint struct {
+	Partitions int     `json:"partitions"`
+	WallMs     float64 `json:"wall_ms"`
+	// Speedup is serial wall-clock over this point's wall-clock.
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether this point's Report matched the serial
+	// reference byte for byte (trivially true for partitions=1).
+	Identical bool `json:"identical"`
+}
+
+// scaleScenario is the fixed workload every point runs: a 16x8
+// leaf-spine at 100 GbE with 60 Gbps offered per source, edge parking —
+// the largest supported geometry under a load that keeps every
+// partition's event stream dense. Quick mode shrinks the window below
+// the usual quick defaults: at this load even 10 simulated ms is tens
+// of millions of events, too slow for the -race CI smoke.
+func scaleScenario(o Options) scenario.Scenario {
+	opts := o.scnOpts()
+	if o.Quick {
+		opts.WarmupNs = 5e5
+		opts.MeasureNs = 2e6
+	}
+	return scenario.Scenario{
+		Name:     "scale",
+		Topology: scenario.LeafSpine{Leaves: 16, Spines: 8, LinkBps: 100e9},
+		Parking:  scenario.Parking{Mode: sim.ParkEdge},
+		Traffic:  scenario.Traffic{SendBps: 60e9},
+		Opts:     opts,
+	}
+}
+
+// CollectScaleSuite runs the scenario once per partition count
+// (sequentially — each point wants the whole machine) and times the
+// runs. Counts come from Options.Partitions (default 1, 2, 4, 8); the
+// serial reference is prepended when missing because every point is
+// checked against it.
+func CollectScaleSuite(o Options) (*ScaleSuite, error) {
+	counts := o.Partitions
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	if counts[0] != 1 {
+		counts = append([]int{1}, counts...)
+	}
+	base := scaleScenario(o)
+	out := &ScaleSuite{
+		Topology:  "16x8",
+		LinkGbps:  100,
+		SendGbps:  60,
+		Identical: true,
+	}
+	var ref *scenario.Report
+	var serialMs float64
+	for _, p := range counts {
+		s := base
+		s.Opts.Partitions = p
+		start := time.Now()
+		rep, err := run(o, s)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scale partitions=%d: %w", p, err)
+		}
+		wall := float64(time.Since(start).Microseconds()) / 1e3
+		pt := ScalePoint{Partitions: p, WallMs: wall}
+		if ref == nil {
+			ref, serialMs = rep, wall
+			out.GoodputGbps = rep.GoodputGbps
+			out.Delivered = rep.Delivered
+		}
+		pt.Identical = reflect.DeepEqual(rep, ref)
+		if !pt.Identical {
+			out.Identical = false
+		}
+		if wall > 0 {
+			pt.Speedup = serialMs / wall
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// RenderScaleSuite writes the speedup-vs-partitions table.
+func RenderScaleSuite(suite *ScaleSuite, w io.Writer) error {
+	fmt.Fprintf(w, "parallel engine scaling, %s leaf-spine, %.0f GbE, %.0f Gbps offered per source, edge parking:\n",
+		suite.Topology, suite.LinkGbps, suite.SendGbps)
+	fmt.Fprintf(w, "  simulated outcome (identical across every partition count): goodput=%.3f Gbps delivered=%d\n",
+		suite.GoodputGbps, suite.Delivered)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "partitions\twall(ms)\tspeedup\tidentical")
+	for _, pt := range suite.Points {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.2fx\t%t\n", pt.Partitions, pt.WallMs, pt.Speedup, pt.Identical)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if !suite.Identical {
+		fmt.Fprintln(w, "DETERMINISM VIOLATION: a partitioned run diverged from the serial reference")
+	}
+	return nil
+}

@@ -16,7 +16,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"cores", "ctrl", "equiv", "fabric", "fig10", "fig11", "fig12",
-		"fig13", "fig14", "fig15", "fig16", "fig6", "fig7", "fig8", "fig9", "s621", "table1"}
+		"fig13", "fig14", "fig15", "fig16", "fig6", "fig7", "fig8", "fig9", "s621", "scale", "table1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(all), len(want))
@@ -310,5 +310,39 @@ func TestS621Run(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "peak goodput") || !strings.Contains(out, "pcie") {
 		t.Errorf("s621 output incomplete:\n%s", out)
+	}
+}
+
+// TestRenderScaleSuite covers the scale experiment's table printer and
+// determinism verdict without paying for a 16x8 run.
+func TestRenderScaleSuite(t *testing.T) {
+	suite := &ScaleSuite{
+		Topology: "16x8", LinkGbps: 100, SendGbps: 60,
+		GoodputGbps: 46.2, Delivered: 407342, Identical: true,
+		Points: []ScalePoint{
+			{Partitions: 1, WallMs: 1000, Speedup: 1, Identical: true},
+			{Partitions: 4, WallMs: 250, Speedup: 4, Identical: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderScaleSuite(suite, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"16x8", "4.00x", "partitions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scale table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DETERMINISM VIOLATION") {
+		t.Errorf("healthy suite rendered a violation:\n%s", out)
+	}
+	suite.Identical = false
+	buf.Reset()
+	if err := RenderScaleSuite(suite, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DETERMINISM VIOLATION") {
+		t.Errorf("diverged suite rendered no violation:\n%s", buf.String())
 	}
 }

@@ -63,6 +63,9 @@ func Run(ctx context.Context, s Scenario) (*Report, error) {
 	if s.Topology == nil {
 		return nil, errf("nil Topology (set Testbed, MultiServer, LeafSpine, or Custom)")
 	}
+	if s.Opts.Partitions < 0 {
+		return nil, errf("Opts.Partitions = %d (want >= 0)", s.Opts.Partitions)
+	}
 	s.Parking.fillDefaults()
 	if err := s.Topology.validate(&s); err != nil {
 		return nil, err
@@ -310,6 +313,7 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 		RerouteNs:  l.RerouteNs,
 		ECMP:       s.Control.ECMP,
 		Control:    s.Control.config(),
+		Partitions: s.Opts.Partitions,
 		Cancel:     CancelFunc(ctx),
 	}
 	res := sim.RunLeafSpine(cfg)

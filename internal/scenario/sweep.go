@@ -132,6 +132,22 @@ func SlotsAxis(slots ...int) Axis {
 	return a
 }
 
+// PartitionsAxis sweeps the parallel-engine partition count for fabric
+// topologies. Every point of this axis reports byte-identical results —
+// partitioning changes wall-clock time, never the simulated timeline —
+// so it pairs with wall-clock measurement, not with metric comparison.
+func PartitionsAxis(counts ...int) Axis {
+	a := Axis{Name: "partitions"}
+	for _, c := range counts {
+		c := c
+		a.Points = append(a.Points, AxisPoint{
+			Label: fmt.Sprintf("%d", c),
+			Set:   func(s *Scenario) { s.Opts.Partitions = c },
+		})
+	}
+	return a
+}
+
 // SeedAxis sweeps the random seed (repetition axis).
 func SeedAxis(seeds ...int64) Axis {
 	a := Axis{Name: "seed"}

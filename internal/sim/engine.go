@@ -4,40 +4,45 @@
 // all wrapped around the byte-accurate dataplane of internal/core and the
 // behavioural NFs of internal/nf.
 //
-// Time is int64 nanoseconds. The simulator is single-threaded and
+// Time is int64 nanoseconds. Each engine is single-threaded and
 // deterministic: identical configurations and seeds produce identical
-// results.
+// results. Multi-switch fabrics may shard across several engines — one
+// per partition, conservatively synchronized on link propagation delay
+// (see partition.go) — without giving up determinism.
 package sim
 
 // Engine is a discrete-event executor.
 //
-// The event queue is a hand-rolled binary heap over pointer-free nodes:
-// queue push/pop runs once per simulated packet hop, and both the
-// container/heap interface boxing and the GC write barriers of sifting
-// pointer-carrying events were the simulator's largest single cost. Event
-// closures live in a free-listed slot table instead, written exactly once
-// per event.
+// The event queue is a timing wheel (wheel.go): O(1) amortized insert and
+// extract for the near-horizon events that dominate — link serialization,
+// switch traversal, server stations — with a hand-rolled 4-ary heap as
+// the overflow level for far-future timers. Events are pointer-free
+// (at, seq, slot) nodes; their closures live in a free-listed slot table
+// instead, written exactly once per event, so neither bucket appends nor
+// heap sifts trigger GC write barriers.
 type Engine struct {
 	now   int64
 	seq   uint64
-	queue nodeHeap
+	queue timeWheel
 	fns   []eventSlot
 	free  []int32
 
 	canceled bool
 
-	// Cancel, when non-nil, is polled every cancelStride events during
-	// Run; once it returns true the run stops between events and Run
-	// returns early. The scenario layer binds it to a context so a
+	// Cancel, when non-nil, is polled every cancelStride executed events
+	// during Run; once it returns true the run stops between events and
+	// Run returns early. The scenario layer binds it to a context so a
 	// canceled sweep abandons a simulation mid-run instead of draining
 	// the full event timeline. A nil Cancel (every preset default) costs
 	// one predictable branch per event and changes no event ordering.
 	Cancel func() bool
 }
 
-// cancelStride is how many events run between Cancel polls: rare enough
-// to stay off the profile, frequent enough that a canceled multi-second
-// run stops within microseconds of real time.
+// cancelStride is how many executed events run between Cancel polls
+// (events popped and dispatched, not loop iterations — an idle peek at
+// the Run boundary does not count): rare enough to stay off the profile,
+// frequent enough that a canceled multi-second run stops within
+// microseconds of real time.
 const cancelStride = 4096
 
 // Canceled reports whether the last Run stopped early because Cancel
@@ -54,7 +59,19 @@ type eventSlot struct {
 
 // NewEngine returns an engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.queue.init(true)
+	return e
+}
+
+// NewEngineHeap returns an engine whose entire queue is the reference
+// 4-ary heap, with the timing wheel disabled. Both schedulers honour the
+// same (at, seq) ordering contract; this one exists so differential
+// tests and BenchmarkEngineSchedulePop can pit them against each other.
+func NewEngineHeap() *Engine {
+	e := &Engine{}
+	e.queue.init(false)
+	return e
 }
 
 // Now returns the current simulation time in nanoseconds.
@@ -70,7 +87,7 @@ func (e *Engine) Schedule(delay int64, fn func()) {
 
 // ScheduleAt runs fn at absolute time t (clamped to now).
 func (e *Engine) ScheduleAt(t int64, fn func()) {
-	e.queue.push(node{at: e.clamp(t), seq: e.nextSeq(), slot: e.alloc(eventSlot{fn: fn})})
+	e.queue.push(node{at: e.clamp(t), seq: e.nextSeq(), slot: e.alloc(eventSlot{fn: fn})}, e.now)
 }
 
 // ScheduleParcel runs fn(p) after delay nanoseconds. Unlike Schedule with
@@ -86,7 +103,7 @@ func (e *Engine) ScheduleParcel(delay int64, fn func(Parcel), p Parcel) {
 
 // ScheduleParcelAt runs fn(p) at absolute time t (clamped to now).
 func (e *Engine) ScheduleParcelAt(t int64, fn func(Parcel), p Parcel) {
-	e.queue.push(node{at: e.clamp(t), seq: e.nextSeq(), slot: e.alloc(eventSlot{pfn: fn, p: p})})
+	e.queue.push(node{at: e.clamp(t), seq: e.nextSeq(), slot: e.alloc(eventSlot{pfn: fn, p: p})}, e.now)
 }
 
 func (e *Engine) clamp(t int64) int64 {
@@ -116,19 +133,12 @@ func (e *Engine) alloc(ev eventSlot) int32 {
 // clock passes until.
 func (e *Engine) Run(until int64) {
 	e.canceled = false
-	var polled uint
-	for len(e.queue) > 0 {
-		if e.Cancel != nil {
-			if polled++; polled%cancelStride == 0 && e.Cancel() {
-				e.canceled = true
-				return
-			}
-		}
-		ev := e.queue[0]
-		if ev.at > until {
+	var executed uint
+	for {
+		ev, ok := e.queue.popLE(until)
+		if !ok {
 			break
 		}
-		e.queue.pop()
 		slot := e.fns[ev.slot]
 		e.fns[ev.slot] = eventSlot{}
 		e.free = append(e.free, ev.slot)
@@ -138,6 +148,12 @@ func (e *Engine) Run(until int64) {
 		} else {
 			slot.fn()
 		}
+		if e.Cancel != nil {
+			if executed++; executed%cancelStride == 0 && e.Cancel() {
+				e.canceled = true
+				return
+			}
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -145,20 +161,28 @@ func (e *Engine) Run(until int64) {
 }
 
 // Pending returns the number of queued events (for tests).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// nextAt returns the firing time of the earliest queued event (the
+// partition runner's window placement).
+func (e *Engine) nextAt() (int64, bool) {
+	return e.queue.peekAt()
+}
 
 // node is one queued event: its firing time, a FIFO tie-break for
 // simultaneous events, and the slot of its closure in Engine.fns. Nodes
-// are pointer-free so heap sifts trigger no GC write barriers.
+// are pointer-free so neither wheel appends nor heap sifts trigger GC
+// write barriers.
 type node struct {
 	at   int64
 	seq  uint64
 	slot int32
 }
 
-// nodeHeap is a 4-ary min-heap ordered by (at, seq). The wider fan-out
-// halves the tree depth of the binary variant — fewer sift levels and
-// swaps per operation, and children share cache lines.
+// nodeHeap is a 4-ary min-heap ordered by (at, seq) — the timing wheel's
+// overflow level, and the whole queue of a NewEngineHeap engine. The
+// wider fan-out halves the tree depth of the binary variant — fewer sift
+// levels and swaps per operation, and children share cache lines.
 type nodeHeap []node
 
 const heapArity = 4

@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedulePop measures the schedule+pop+dispatch cycle of
+// both queue backends under the two workload shapes that matter:
+//
+//   - hot: a steady-state pool of in-flight events all firing within a
+//     few microseconds of now — the link-serialization / switch-traversal
+//     / server-station regime that dominates every preset's profile. The
+//     wheel turns each cycle into a bucket append plus a bitmap scan.
+//   - far: half the pool re-arms microseconds-to-milliseconds out, past
+//     the hot window — saturated-queue drain backlogs, stall timers,
+//     controller ticks. These land in the far level (and, for the tail
+//     past the span, the overflow heap) and cascade back as the clock
+//     reaches their window.
+//
+// Each benchmark op is one executed event that re-arms itself, keeping
+// the queue at a constant 4096 in-flight events.
+func BenchmarkEngineSchedulePop(b *testing.B) {
+	shapes := []struct {
+		name  string
+		delay func(rng *uint64) int64
+	}{
+		{"hot", func(rng *uint64) int64 {
+			return 100 + int64(xorshift(rng)%8000)
+		}},
+		{"far", func(rng *uint64) int64 {
+			if xorshift(rng)%2 == 0 {
+				return 100 + int64(xorshift(rng)%8000)
+			}
+			d := wheelSize + int64(xorshift(rng)%(64*wheelSize))
+			if xorshift(rng)%8 == 0 {
+				d += wheelSpan // past the span: heap divert + migration
+			}
+			return d
+		}},
+	}
+	engines := []struct {
+		name string
+		mk   func() *Engine
+	}{
+		{"wheel", NewEngine},
+		{"heap", NewEngineHeap},
+	}
+	const inflight = 4096
+	for _, shape := range shapes {
+		for _, eng := range engines {
+			b.Run(shape.name+"/"+eng.name, func(b *testing.B) {
+				e := eng.mk()
+				rng := uint64(0x9e3779b97f4a7c15)
+				left := b.N
+				var rearm func(Parcel)
+				rearm = func(p Parcel) {
+					if left--; left > 0 {
+						e.ScheduleParcel(shape.delay(&rng), rearm, p)
+					}
+				}
+				for i := 0; i < inflight; i++ {
+					e.ScheduleParcelAt(shape.delay(&rng), rearm, Parcel{})
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				e.Run(1 << 62)
+			})
+		}
+	}
+}
+
+func xorshift(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// bothEngines runs a subtest against the timing-wheel engine and the
+// reference heap engine: the (at, seq) ordering contract belongs to the
+// Engine API, not to whichever queue backs it.
+func bothEngines(t *testing.T, f func(t *testing.T, mk func() *Engine)) {
+	t.Run("wheel", func(t *testing.T) { f(t, NewEngine) })
+	t.Run("heap", func(t *testing.T) { f(t, NewEngineHeap) })
+}
+
+// TestEngineFIFOSameTimestamp: events scheduled for the same instant fire
+// in schedule order — the FIFO tie-break every golden relies on — across
+// the wheel horizon and into the overflow level.
+func TestEngineFIFOSameTimestamp(t *testing.T) {
+	bothEngines(t, func(t *testing.T, mk func() *Engine) {
+		// Timestamps inside the hot window, straddling it (far level),
+		// and past the span (heap overflow), so pushes hit every level.
+		for _, at := range []int64{0, 7, wheelSize - 1, wheelSize, wheelSize + 3, 10 * wheelSize, wheelSpan - 1, wheelSpan, wheelSpan + 5, 3 * wheelSpan} {
+			e := mk()
+			var got []int
+			for id := 0; id < 64; id++ {
+				id := id
+				e.ScheduleAt(at, func() { got = append(got, id) })
+			}
+			e.Run(at)
+			if len(got) != 64 {
+				t.Fatalf("at=%d: fired %d of 64 events", at, len(got))
+			}
+			for id, g := range got {
+				if g != id {
+					t.Fatalf("at=%d: simultaneous events fired out of schedule order: %v", at, got)
+				}
+			}
+		}
+	})
+}
+
+// TestEngineSchedulePastClamps: ScheduleAt into the past fires at now —
+// never before already-queued events of earlier timestamps, and after
+// same-instant events scheduled first.
+func TestEngineSchedulePastClamps(t *testing.T) {
+	bothEngines(t, func(t *testing.T, mk func() *Engine) {
+		e := mk()
+		var got []string
+		e.ScheduleAt(1000, func() {
+			got = append(got, "a")
+			e.ScheduleAt(200, func() {
+				if e.Now() != 1000 {
+					t.Errorf("past event fired at %d, want clamped to 1000", e.Now())
+				}
+				got = append(got, "past")
+			})
+			e.ScheduleAt(1000, func() { got = append(got, "b") })
+			e.Schedule(-50, func() { got = append(got, "negative") })
+		})
+		e.ScheduleAt(1001, func() { got = append(got, "later") })
+		e.Run(2000)
+		want := []string{"a", "past", "b", "negative", "later"}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("clamped events misordered: got %v want %v", got, want)
+		}
+	})
+}
+
+// TestEngineRunBoundary: Run(until) executes events at exactly until,
+// leaves later events queued and undisturbed, and parks the clock at
+// until; a later Run picks the leftovers up in order.
+func TestEngineRunBoundary(t *testing.T) {
+	bothEngines(t, func(t *testing.T, mk func() *Engine) {
+		e := mk()
+		var got []int64
+		for _, at := range []int64{5, 10, 11, 40000, 10, 90000} {
+			at := at
+			e.ScheduleAt(at, func() { got = append(got, at) })
+		}
+		e.Run(10)
+		if want := []int64{5, 10, 10}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("Run(10) executed %v, want %v", got, want)
+		}
+		if e.Now() != 10 {
+			t.Fatalf("clock at %d after Run(10)", e.Now())
+		}
+		if e.Pending() != 3 {
+			t.Fatalf("%d events pending, want 3", e.Pending())
+		}
+		e.Run(1 << 40)
+		want := []int64{5, 10, 10, 11, 40000, 90000}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("resumed run misordered: got %v want %v", got, want)
+		}
+	})
+}
+
+// TestEngineWheelHeapEquivalent is the differential property test: a
+// seeded cascade of self-rescheduling events — delays spanning the wheel
+// horizon, frequent collisions, bursts of simultaneous work — must
+// execute in the identical (time, id) sequence on both queues.
+func TestEngineWheelHeapEquivalent(t *testing.T) {
+	type fire struct {
+		at int64
+		id int
+	}
+	trace := func(mk func() *Engine, seed uint64) []fire {
+		e := mk()
+		var got []fire
+		rng := seed
+		next := func(n int64) int64 { // xorshift64*, deterministic
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return int64((rng * 0x2545f4914f6cdd1d) >> 33 % uint64(n))
+		}
+		id := 0
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			id++
+			me := id
+			return func() {
+				got = append(got, fire{at: e.Now(), id: me})
+				if depth == 0 {
+					return
+				}
+				for k := next(3); k >= 0; k-- {
+					// Mostly hot-horizon; every 7th into the far level,
+					// every 13th of those past the span (heap overflow,
+					// exercising divert and migration).
+					d := next(2000)
+					if next(7) == 0 {
+						d += wheelSize + next(3*wheelSize)
+						if next(13) == 0 {
+							d += wheelSpan
+						}
+					}
+					if next(11) == 0 {
+						d = 0 // simultaneous with now
+					}
+					e.Schedule(d, spawn(depth-1))
+				}
+			}
+		}
+		for i := 0; i < 32; i++ {
+			e.ScheduleAt(next(500), spawn(6))
+		}
+		e.Run(1 << 40)
+		return got
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		w := trace(NewEngine, seed)
+		h := trace(NewEngineHeap, seed)
+		if len(w) < 100 {
+			t.Fatalf("seed %d: degenerate cascade (%d events)", seed, len(w))
+		}
+		if !reflect.DeepEqual(w, h) {
+			n := len(w)
+			if len(h) < n {
+				n = len(h)
+			}
+			for i := 0; i < n; i++ {
+				if w[i] != h[i] {
+					t.Fatalf("seed %d: wheel and heap diverged at event %d: wheel=%+v heap=%+v", seed, i, w[i], h[i])
+				}
+			}
+			t.Fatalf("seed %d: traces differ in length: wheel=%d heap=%d", seed, len(w), len(h))
+		}
+	}
+}
+
+// TestEngineCancelCountsExecutedEvents: the Cancel poll strides over
+// executed events, so a run that executes fewer than cancelStride events
+// never polls, and one that executes exactly cancelStride polls once.
+func TestEngineCancelCountsExecutedEvents(t *testing.T) {
+	bothEngines(t, func(t *testing.T, mk func() *Engine) {
+		polls := 0
+		newRun := func(events int) *Engine {
+			e := mk()
+			e.Cancel = func() bool { polls++; return false }
+			for i := 0; i < events; i++ {
+				e.ScheduleAt(int64(i), func() {})
+			}
+			return e
+		}
+		polls = 0
+		newRun(cancelStride - 1).Run(1 << 40)
+		if polls != 0 {
+			t.Errorf("%d events polled Cancel %d times, want 0 (stride %d)", cancelStride-1, polls, cancelStride)
+		}
+		polls = 0
+		newRun(cancelStride).Run(1 << 40)
+		if polls != 1 {
+			t.Errorf("%d events polled Cancel %d times, want 1", cancelStride, polls)
+		}
+		// And cancellation actually stops the run between events.
+		e := mk()
+		fired := 0
+		e.Cancel = func() bool { return true }
+		for i := 0; i < 2*cancelStride; i++ {
+			e.ScheduleAt(int64(i), func() { fired++ })
+		}
+		e.Run(1 << 40)
+		if !e.Canceled() {
+			t.Error("run did not report cancellation")
+		}
+		if fired != cancelStride {
+			t.Errorf("canceled run executed %d events, want exactly %d", fired, cancelStride)
+		}
+	})
+}

@@ -15,15 +15,27 @@ import (
 // while the leaf-spine preset (RunLeafSpine) builds a multi-hop fabric
 // with per-switch PayloadPark programs and static route tables.
 //
-// A Fabric shares the single-threaded discrete-event Engine; all nodes
-// schedule onto the same clock, so runs stay deterministic regardless of
-// topology size.
+// By default a Fabric shares one single-threaded discrete-event Engine;
+// all nodes schedule onto the same clock, so runs stay deterministic
+// regardless of topology size. SetPartitions shards the fabric across
+// several engines — one goroutine each, conservatively synchronized on
+// link propagation delay (partition.go) — with byte-identical results.
 type Fabric struct {
 	eng      *Engine
 	switches []*SwitchNode
 	links    []*Link
 	sources  []*SourceNode
 	sinks    []*SinkNode
+
+	// Partitioned execution (empty on a serial fabric): per-partition
+	// engines, the directed mailbox matrix, the barrier merge scratch,
+	// the cut-crossing link counter, and the conservative lookahead (the
+	// minimum propagation delay over cut-crossing links).
+	parts        []*Engine
+	mail         [][]mailbox
+	flushBuf     []crossMsg
+	lanes        int32
+	minCrossProp int64
 }
 
 // NewFabric returns an empty fabric at time zero.
@@ -36,39 +48,78 @@ func NewFabric() *Fabric {
 func (f *Fabric) Engine() *Engine { return f.eng }
 
 // Run executes the fabric until the clock passes until.
-func (f *Fabric) Run(until int64) { f.eng.Run(until) }
+func (f *Fabric) Run(until int64) {
+	if len(f.parts) <= 1 {
+		f.eng.Run(until)
+		return
+	}
+	f.runParallel(until)
+}
 
-// AddSwitch adds a switch node with an empty dataplane. Attach programs
-// and routes through node.SW; cable its egress ports with SetOut.
+// AddSwitch adds a switch node with an empty dataplane on partition 0.
+// Attach programs and routes through node.SW; cable its egress ports with
+// SetOut.
 func (f *Fabric) AddSwitch(name string) *SwitchNode {
-	n := &SwitchNode{f: f, Name: name, SW: core.NewSwitch(name)}
+	return f.AddSwitchAt(name, 0)
+}
+
+// AddSwitchAt is AddSwitch placed on partition part: all of the node's
+// events — ingress handling, traversal latency, egress serialization on
+// its cables — run on that partition's engine.
+func (f *Fabric) AddSwitchAt(name string, part int) *SwitchNode {
+	n := &SwitchNode{f: f, eng: f.PartitionEngine(part), Name: name, SW: core.NewSwitch(name)}
 	n.buf = make([]byte, 0, maxWireFrame)
 	f.switches = append(f.switches, n)
 	return n
 }
 
-// NewLink builds a registered link delivering to the given handler.
-// Registration is what makes the link show up in per-hop reports; the
-// link itself behaves exactly like NewLink's.
+// NewLink builds a registered link delivering to the given handler, with
+// both endpoints on partition 0. Registration is what makes the link show
+// up in per-hop reports; the link itself behaves exactly like NewLink's.
 func (f *Fabric) NewLink(name string, bps float64, propNs int64, capBytes int, deliver func(Parcel), onDrop func(Parcel, string)) *Link {
-	l := NewLink(f.eng, bps, propNs, capBytes, deliver, onDrop)
+	return f.NewLinkAt(name, bps, propNs, capBytes, deliver, onDrop, 0, 0)
+}
+
+// NewLinkAt is NewLink with placed endpoints: queueing and serialization
+// run on partition src (the sender's side of the cable); delivery fires
+// on partition dst. When they differ the link crosses a cut — completed
+// transmissions post to the src->dst mailbox and arrive at the barrier,
+// which requires a positive propagation delay (the lookahead).
+func (f *Fabric) NewLinkAt(name string, bps float64, propNs int64, capBytes int, deliver func(Parcel), onDrop func(Parcel, string), src, dst int) *Link {
+	l := NewLink(f.PartitionEngine(src), bps, propNs, capBytes, deliver, onDrop)
 	l.Name = name
+	if src != dst {
+		f.bindCross(l, src, dst)
+	}
 	f.links = append(f.links, l)
 	return l
 }
 
-// AddSource registers a paced traffic source. Configure its fields, then
-// Start it.
+// AddSource registers a paced traffic source on partition 0. Configure
+// its fields, then Start it.
 func (f *Fabric) AddSource(name string, gen trafficgen.Source, out *Link, sendBps float64) *SourceNode {
-	s := &SourceNode{eng: f.eng, Name: name, Gen: gen, Out: out, SendBps: sendBps}
+	return f.AddSourceAt(name, gen, out, sendBps, 0)
+}
+
+// AddSourceAt is AddSource placed on partition part (a source must share
+// its outgoing link's transmit partition).
+func (f *Fabric) AddSourceAt(name string, gen trafficgen.Source, out *Link, sendBps float64, part int) *SourceNode {
+	s := &SourceNode{eng: f.PartitionEngine(part), Name: name, Gen: gen, Out: out, SendBps: sendBps}
 	s.sendFn = s.sendNext
 	f.sources = append(f.sources, s)
 	return s
 }
 
-// AddSink registers a terminal sink recording delivery latency.
+// AddSink registers a terminal sink recording delivery latency on
+// partition 0.
 func (f *Fabric) AddSink(name string, windowEnd int64, recycle func(*packet.Packet)) *SinkNode {
-	s := &SinkNode{eng: f.eng, Name: name, WindowEnd: windowEnd, Recycle: recycle}
+	return f.AddSinkAt(name, windowEnd, recycle, 0)
+}
+
+// AddSinkAt is AddSink placed on partition part (a sink must share the
+// delivery partition of the link feeding it).
+func (f *Fabric) AddSinkAt(name string, windowEnd int64, recycle func(*packet.Packet), part int) *SinkNode {
+	s := &SinkNode{eng: f.PartitionEngine(part), Name: name, WindowEnd: windowEnd, Recycle: recycle}
 	f.sinks = append(f.sinks, s)
 	return s
 }
@@ -169,6 +220,7 @@ type portHooks struct {
 // programmable switches.
 type SwitchNode struct {
 	f    *Fabric
+	eng  *Engine
 	Name string
 	// SW is the behavioural dataplane. Attach programs and routes
 	// directly (AttachPayloadPark, AddL2Route).
@@ -203,6 +255,11 @@ type SwitchNode struct {
 // SetOut cables egress port to a link. Emissions routed to an uncabled
 // port are dropped with reason "no route".
 func (n *SwitchNode) SetOut(port rmt.PortID, l *Link) { n.out[port] = l }
+
+// Engine returns the engine the node's events run on — its partition's
+// engine, or the fabric engine on a serial fabric. Preset closures that
+// observe a node's deliveries must read the clock and schedule here.
+func (n *SwitchNode) Engine() *Engine { return n.eng }
 
 // Ingress returns the delivery handler for packets arriving on port,
 // using the node-level drop hooks. The handler is built once per port;
@@ -262,7 +319,7 @@ func (n *SwitchNode) handle(p Parcel, in rmt.PortID) {
 	}
 	p.Pkt = n.em.Pkt
 	p.egress = n.em.Port
-	n.f.eng.ScheduleParcel(n.em.LatencyNs, n.routeFns[in], p)
+	n.eng.ScheduleParcel(n.em.LatencyNs, n.routeFns[in], p)
 }
 
 // route forwards an emission onto the cable of its egress port. in is the

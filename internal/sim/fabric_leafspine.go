@@ -130,6 +130,14 @@ type FabricConfig struct {
 	// scenario falls back to a one-shot group rewrite RerouteNs after the
 	// failure (mirroring the static route-detection delay).
 	Control *ctrl.Config
+	// Partitions shards the fabric across that many conservatively
+	// synchronized engines, one goroutine each (0 and 1 run serial — the
+	// reference timeline). Switches are placed by greedy min-cut over the
+	// leaf-spine graph; each leaf's source, sink, and NF server follow
+	// their leaf. Results are byte-identical across partition counts. A
+	// fabric-wide controller (Control non-nil) reads and writes global
+	// state mid-run and therefore forces a serial run regardless.
+	Partitions int
 	// Cancel, when non-nil, is polled periodically by the event engine;
 	// once it returns true the run stops early and the result is partial.
 	Cancel func() bool
@@ -266,20 +274,42 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		panic("sim: ECMP cannot stripe: park-at-every-hop programs are installed on each flow's static path")
 	}
 
+	// Partition placement: greedy min-cut over the switch graph (leaves
+	// 0..L-1 then spines L..L+S-1, matching report order); every leaf's
+	// source, sink, and NF server follow their leaf. The controller reads
+	// and writes fabric-wide state mid-run, so it forces a serial run.
+	P := cfg.Partitions
+	if P < 1 || cfg.Control != nil {
+		P = 1
+	}
+	if P > L+S {
+		P = L + S
+	}
+	adj := make([][]int, L+S)
+	for i := 0; i < L; i++ {
+		for s := 0; s < S; s++ {
+			adj[i] = append(adj[i], L+s)
+			adj[L+s] = append(adj[L+s], i)
+		}
+	}
+	part := greedyPartition(adj, P)
+
 	f := NewFabric()
-	eng := f.Engine()
-	eng.Cancel = cfg.Cancel
+	f.SetPartitions(P)
+	for p := 0; p < P; p++ {
+		f.PartitionEngine(p).Cancel = cfg.Cancel
+	}
 	windowStart := cfg.WarmupNs
 	windowEnd := cfg.WarmupNs + cfg.MeasureNs
 
 	// Nodes first: leaves, then spines, so reports read in that order.
 	leaves := make([]*SwitchNode, L)
 	for i := range leaves {
-		leaves[i] = f.AddSwitch(fmt.Sprintf("leaf%d", i))
+		leaves[i] = f.AddSwitchAt(fmt.Sprintf("leaf%d", i), part[i])
 	}
 	spines := make([]*SwitchNode, S)
 	for s := range spines {
-		spines[s] = f.AddSwitch(fmt.Sprintf("spine%d", s))
+		spines[s] = f.AddSwitchAt(fmt.Sprintf("spine%d", s), part[L+s])
 	}
 
 	// Static routes. Flow i: leaf i -> spine i%S -> leaf (i+1)%L -> NF,
@@ -385,29 +415,45 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		}
 	}
 
-	// Per-flow state.
+	// Per-flow state. Counters that used to be fabric-global (sent-window,
+	// unintended drops) are sharded per flow / per partition — each shard
+	// has exactly one writing partition — and summed at harvest, so
+	// partitioned runs stay race-free and byte-identical to serial ones.
 	type flowState struct {
 		gen      *trafficgen.Generator
 		sink     *SinkNode
 		goodput  *stats.RateMeter
 		toNF     *stats.RateMeter
 		sentBits *stats.RateMeter
+		sent     uint64
 	}
 	flows := make([]*flowState, L)
-	var sentWindow, unintendedDrops uint64
-	// dropFor builds a drop hook recycling into flow r's pool. Drops can
-	// strike mid-fabric where the owning flow is unknown; recycling into a
-	// neighbour pool is harmless (generators fully rewrite reused packets).
-	dropFor := func(r int) func(Parcel, string) {
+	partDrops := make([]uint64, P)
+	// dropFor builds a drop hook for flow r's packets charged to the
+	// partition hosting the dropping hop. Recycling into flow r's pool is
+	// only safe from the partition that owns r's generator (the source
+	// leaf's); elsewhere the packet is released to the GC — generators
+	// fully rewrite reused packets, so pool membership never shows up in
+	// results. Drops can strike mid-fabric where the owning flow is
+	// unknown; charging a neighbour pool is equally harmless.
+	dropFor := func(r, at int) func(Parcel, string) {
+		home := part[r]
 		return func(p Parcel, _ string) {
 			if p.InWindow {
-				unintendedDrops++
+				partDrops[at]++
 			}
-			flows[r].gen.Recycle(p.Pkt)
+			if at == home {
+				flows[r].gen.Recycle(p.Pkt)
+			}
 		}
 	}
-	consumeFor := func(r int) func(Parcel) {
-		return func(p Parcel) { flows[r].gen.Recycle(p.Pkt) }
+	consumeFor := func(r, at int) func(Parcel) {
+		home := part[r]
+		return func(p Parcel) {
+			if at == home {
+				flows[r].gen.Recycle(p.Pkt)
+			}
+		}
 	}
 
 	for i := 0; i < L; i++ {
@@ -424,12 +470,12 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 			toNF:     stats.NewRateMeter(windowStart),
 			sentBits: stats.NewRateMeter(windowStart),
 		}
-		leaves[i].OnDrop = dropFor(i)
-		leaves[i].OnConsumed = consumeFor(i)
+		leaves[i].OnDrop = dropFor(i, part[i])
+		leaves[i].OnConsumed = consumeFor(i, part[i])
 	}
 	for s := 0; s < S; s++ {
-		spines[s].OnDrop = dropFor(s % L)
-		spines[s].OnConsumed = consumeFor(s % L)
+		spines[s].OnDrop = dropFor(s%L, part[L+s])
+		spines[s].OnConsumed = consumeFor(s%L, part[L+s])
 	}
 
 	// Failure bookkeeping (flow 0).
@@ -444,18 +490,21 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		return 2
 	}
 
-	// Cables. Fabric links both ways between every leaf and every spine.
-	fabricLink := func(name string, deliver func(Parcel), onDrop func(Parcel, string)) *Link {
-		return f.NewLink(name, cfg.LinkBps, cfg.PropNs, cfg.QueueBytes, deliver, onDrop)
+	// Cables. Fabric links both ways between every leaf and every spine —
+	// the only links that can cross a partition cut (everything at the
+	// edge shares its leaf's partition). A link's transmit side lives with
+	// the sending switch; its drop hook charges that same partition.
+	fabricLink := func(name string, deliver func(Parcel), onDrop func(Parcel, string), src, dst int) *Link {
+		return f.NewLinkAt(name, cfg.LinkBps, cfg.PropNs, cfg.QueueBytes, deliver, onDrop, src, dst)
 	}
 	var failLink *Link
 	for i := 0; i < L; i++ {
 		for s := 0; s < S; s++ {
 			up := fabricLink(fmt.Sprintf("leaf%d->spine%d", i, s),
-				spines[s].Ingress(rmt.PortID(i)), dropFor(i))
+				spines[s].Ingress(rmt.PortID(i)), dropFor(i, part[i]), part[i], part[L+s])
 			leaves[i].SetOut(leafPortSpine+rmt.PortID(s), up)
 			down := fabricLink(fmt.Sprintf("spine%d->leaf%d", s, i),
-				leaves[i].Ingress(leafPortSpine+rmt.PortID(s)), dropFor(i))
+				leaves[i].Ingress(leafPortSpine+rmt.PortID(s)), dropFor(i, part[L+s]), part[L+s], part[i])
 			spines[s].SetOut(rmt.PortID(i), down)
 			if cfg.FailLink && s == cfg.spineOf(0) && i == 1%L {
 				failLink = down // flow 0's forward last fabric hop
@@ -463,31 +512,35 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		}
 	}
 
-	// Edge cables: source, sink, and NF server per leaf.
+	// Edge cables: source, sink, and NF server per leaf. Everything here
+	// rides its leaf's partition — the source, sink, and their links with
+	// the ingress leaf i; the NF server, its cables, and flow i's delivery
+	// tap with the egress leaf j — so no edge hop ever crosses a cut.
 	for i := 0; i < L; i++ {
 		i := i
 		fs := flows[i]
 		j := (i + 1) % L
+		ingEng, egrEng := leaves[i].Engine(), leaves[j].Engine()
 
-		genLink := f.NewLink(fmt.Sprintf("gen%d->leaf%d", i, i),
-			2*cfg.LinkBps, cfg.PropNs, 4<<20, leaves[i].Ingress(leafPortGen), dropFor(i))
+		genLink := f.NewLinkAt(fmt.Sprintf("gen%d->leaf%d", i, i),
+			2*cfg.LinkBps, cfg.PropNs, 4<<20, leaves[i].Ingress(leafPortGen), dropFor(i, part[i]), part[i], part[i])
 
-		fs.sink = f.AddSink(fmt.Sprintf("sink%d", i), windowEnd, fs.gen.Recycle)
-		sinkLink := f.NewLink(fmt.Sprintf("leaf%d->sink%d", i, i),
-			2*cfg.LinkBps, cfg.PropNs, 2*cfg.QueueBytes, fs.sink.Receive, dropFor(i))
+		fs.sink = f.AddSinkAt(fmt.Sprintf("sink%d", i), windowEnd, fs.gen.Recycle, part[i])
+		sinkLink := f.NewLinkAt(fmt.Sprintf("leaf%d->sink%d", i, i),
+			2*cfg.LinkBps, cfg.PropNs, 2*cfg.QueueBytes, fs.sink.Receive, dropFor(i, part[i]), part[i], part[i])
 		leaves[i].SetOut(leafPortSink, sinkLink)
 
 		// The NF at leaf j serves flow i: its delivery tap owns flow i's
 		// goodput meters.
 		srv := nf.NewServer(nf.ServerConfig{Chain: nf.NewChain(nf.MACSwap{})})
-		returnLink := f.NewLink(fmt.Sprintf("nf%d->leaf%d", j, j),
-			cfg.LinkBps, cfg.PropNs, cfg.QueueBytes, leaves[j].Ingress(leafPortNF), dropFor(i))
-		srvSim := NewServerSim(eng, cfg.Server, srv, cfg.Seed+(int64(i)+1)<<40,
-			returnLink.Send, dropFor(i), consumeFor(i))
-		toNFLink := f.NewLink(fmt.Sprintf("leaf%d->nf%d", j, j),
+		returnLink := f.NewLinkAt(fmt.Sprintf("nf%d->leaf%d", j, j),
+			cfg.LinkBps, cfg.PropNs, cfg.QueueBytes, leaves[j].Ingress(leafPortNF), dropFor(i, part[j]), part[j], part[j])
+		srvSim := NewServerSim(egrEng, cfg.Server, srv, cfg.Seed+(int64(i)+1)<<40,
+			returnLink.Send, dropFor(i, part[j]), consumeFor(i, part[j]))
+		toNFLink := f.NewLinkAt(fmt.Sprintf("leaf%d->nf%d", j, j),
 			cfg.LinkBps, cfg.PropNs, cfg.QueueBytes,
 			func(p Parcel) {
-				now := eng.Now()
+				now := egrEng.Now()
 				if p.InWindow && now >= windowStart && now <= windowEnd {
 					fs.goodput.Record(now, packet.HeaderUnitLen*8)
 					fs.toNF.Record(now, float64(WireBytes(p.Pkt)*8))
@@ -496,15 +549,15 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 					phaseDelivered[phase(now)]++
 				}
 				srvSim.Receive(p)
-			}, dropFor(i))
+			}, dropFor(i, part[j]), part[j], part[j])
 		leaves[j].SetOut(leafPortNF, toNFLink)
 
-		src := f.AddSource(fmt.Sprintf("gen%d", i), fs.gen, genLink, cfg.SendBps)
+		src := f.AddSourceAt(fmt.Sprintf("gen%d", i), fs.gen, genLink, cfg.SendBps, part[i])
 		src.WindowStart, src.WindowEnd = windowStart, windowEnd
 		src.StopAt = windowEnd + cfg.WarmupNs/2
 		src.OnSend = func(p Parcel) {
-			sentWindow++
-			fs.sentBits.Record(eng.Now(), float64(p.Pkt.Len()*8))
+			fs.sent++
+			fs.sentBits.Record(ingEng.Now(), float64(p.Pkt.Len()*8))
 		}
 		src.Start(int64(i) * 131) // desynchronize sources slightly
 	}
@@ -516,7 +569,11 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 	// parked state at leaf 0 survives because the merge port pins the
 	// untouched return path.
 	if cfg.FailLink {
-		eng.ScheduleAt(cfg.FailAtNs, func() { failLink.Down = true })
+		// The failure lands on the engine owning the affected state: the
+		// dead link's transmit side lives with its spine, the route (or
+		// group) rewrite with leaf 0 — so partitioned runs mutate each from
+		// its own timeline only.
+		spines[cfg.spineOf(0)].Engine().ScheduleAt(cfg.FailAtNs, func() { failLink.Down = true })
 		switch {
 		case !cfg.ECMP:
 			_, nfDst := leafSpineMACs(1 % L)
@@ -527,7 +584,7 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 				}
 			}
 			altPort := leafPortSpine + rmt.PortID(alt)
-			eng.ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
+			leaves[0].Engine().ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
 				leaves[0].SW.AddL2Route(nfDst, altPort)
 			})
 		case cfg.Control == nil:
@@ -541,7 +598,7 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 					survivors = append(survivors, m.Name)
 				}
 			}
-			eng.ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
+			leaves[0].Engine().ScheduleAt(cfg.FailAtNs+cfg.RerouteNs, func() {
 				plant.PushGroup(groups[0].Name, survivors)
 			})
 			// With a controller, its next telemetry tick sees the down link
@@ -560,7 +617,15 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 
 	f.Run(windowEnd + cfg.WarmupNs)
 
-	// Harvest.
+	// Harvest (single-threaded again; partition goroutines are done). The
+	// sharded counters sum back to the fabric-wide figures.
+	var sentWindow, unintendedDrops uint64
+	for _, fs := range flows {
+		sentWindow += fs.sent
+	}
+	for _, d := range partDrops {
+		unintendedDrops += d
+	}
 	res := FabricResult{
 		Mode:            cfg.Mode.String(),
 		Links:           f.LinkReports(windowEnd + cfg.WarmupNs),

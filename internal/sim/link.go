@@ -72,6 +72,11 @@ type Link struct {
 	// txDoneFn is the pre-bound transmit-complete handler, created once so
 	// Send schedules without allocating a closure per packet.
 	txDoneFn func(Parcel)
+	// xbox/lane are set when the link crosses a partition cut
+	// (Fabric.bindCross): completed transmissions post to the mailbox,
+	// stamped with the lane, instead of scheduling delivery on eng.
+	xbox *mailbox
+	lane int32
 
 	queuedBytes int
 	busyUntil   int64
@@ -138,6 +143,11 @@ func (l *Link) txDone(p Parcel) {
 		if l.onDrop != nil {
 			l.onDrop(p, "link loss")
 		}
+		return
+	}
+	if l.xbox != nil {
+		now := l.eng.Now()
+		l.xbox.post(now+l.PropNs, now, l.lane, l.deliver, p)
 		return
 	}
 	l.eng.ScheduleParcel(l.PropNs, l.deliver, p)

@@ -1,0 +1,346 @@
+package sim
+
+import "math/bits"
+
+// This file is the engine's event queue: a hierarchical timing wheel —
+// a hot level at 1 ns granularity covering the current 131 µs window, a
+// far level of whole-window buckets covering the next ~134 ms, and the
+// 4-ary heap of engine.go demoted to an overflow level beyond that.
+//
+// The hot wheel wins where the simulator lives: link serialization,
+// switch traversal, and server-station events all fire within a few
+// microseconds of now, so insert and extract become O(1) bucket appends
+// and bitmap scans instead of O(log n) heap sifts. The far level absorbs
+// what a loaded fabric schedules beyond the hot window — the drain
+// backlog of saturated queues and server stations runs milliseconds
+// ahead of the clock at 100G — and cascades each window's bucket into
+// the hot wheel as the clock reaches it. Only events past the far
+// span (measurement-window boundaries, stall timers) overflow into the
+// heap, which sees a handful of events per run and stops mattering to
+// the profile.
+//
+// Ordering is the engine's (at, seq) contract, preserved by construction
+// rather than by comparison:
+//
+//   - The hot wheel holds only events of the current wheelSize-aligned
+//     window, so two distinct timestamps can never share a hot bucket,
+//     and a bucket's append-order list IS (at, seq) FIFO order.
+//   - A far bucket holds exactly one window's events (anything a full
+//     span away was sent to the heap instead), appended in push order —
+//     so equal-timestamp events sit in seq order. Its bucket is cascaded
+//     exactly when its window becomes current: before any hot-level push
+//     can target that window. Cascaded nodes therefore always precede
+//     the current window's direct pushes in every hot bucket, and both
+//     are in seq order, so the relink preserves global FIFO.
+//   - An event enters a wheel level only if it fires strictly earlier
+//     than the overflow heap's minimum; otherwise it overflows.
+//     Inductively every heap event fires at or after every wheel event,
+//     and on an equal timestamp the heap event was necessarily scheduled
+//     later (greater seq) — so pop never compares levels: the wheels
+//     always drain first.
+//   - When both wheel levels are empty, the in-span prefix of the heap
+//     migrates back into the wheels (in (at, seq) pop order, so bucket
+//     lists stay FIFO). Without the migration a single near-future heap
+//     resident would divert every later push to the heap for as long as
+//     it stayed enqueued, degenerating the queue back into a heap under
+//     exactly the loads the wheel exists for.
+const (
+	wheelBits = 17
+	// wheelSize is the hot horizon in nanoseconds (~131 µs) — sized past
+	// every hot event the simulator schedules: link serialization (~1.2 µs
+	// for 1500 B at 10G), server stations, and — the binding constraint —
+	// the drain time of a full 1 MB egress queue at 100G (~84 µs), which
+	// is how far ahead a congested port's tx-done events land.
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+	// wheelWords / sumWords size the hot level's two-level occupancy
+	// bitmap: one bit per bucket, one summary bit per occupancy word.
+	wheelWords = wheelSize / 64
+	sumWords   = wheelWords / 64
+	// farCount far buckets, one per wheelSize window, cover wheelSpan
+	// (~134 ms) past the hot horizon; farWords is their occupancy bitmap.
+	farBits   = 10
+	farCount  = 1 << farBits
+	farMask   = farCount - 1
+	farWords  = farCount / 64
+	wheelSpan = wheelSize * farCount
+)
+
+// wnode is one wheel-resident event in the node arena; next chains a
+// bucket's FIFO list (0 is the nil sentinel — arena slot 0 is unused).
+type wnode struct {
+	at   int64
+	seq  uint64
+	slot int32
+	next int32
+}
+
+// wbucket is one hot-wheel slot's FIFO list. The zero value is the empty
+// list, so the bucket array needs no initialization pass.
+type wbucket struct {
+	head, tail int32
+}
+
+// farBucket is one window's FIFO list plus the earliest timestamp in it
+// (maintained on append; a bucket mixes timestamps, so the minimum can't
+// be read off the head the way a hot bucket's can).
+type farBucket struct {
+	head, tail int32
+	min        int64
+}
+
+// timeWheel is the three-level event queue. With enabled=false it
+// degrades to the bare overflow heap — the reference scheduler kept
+// selectable for differential tests and benchmarks (NewEngineHeap).
+type timeWheel struct {
+	enabled bool
+	// base is the lower edge of the hot window: the engine clock as of
+	// the last pop or push. Every hot-resident event fires in
+	// [base, base+wheelSize) within base's wheelSize-aligned window.
+	base  int64
+	count int // hot-level population
+	farN  int // far-level population
+
+	buckets []wbucket
+	occ     []uint64
+	sum     []uint64
+	far     []farBucket
+	farOcc  []uint64
+	nodes   []wnode
+	free    []int32
+
+	overflow nodeHeap
+}
+
+func (w *timeWheel) init(enabled bool) {
+	w.enabled = enabled
+	if enabled {
+		w.buckets = make([]wbucket, wheelSize)
+		w.occ = make([]uint64, wheelWords)
+		w.sum = make([]uint64, sumWords)
+		w.far = make([]farBucket, farCount)
+		w.farOcc = make([]uint64, farWords)
+		w.nodes = make([]wnode, 1, 1024) // slot 0 is the nil sentinel
+	}
+}
+
+func (w *timeWheel) len() int { return w.count + w.farN + len(w.overflow) }
+
+// push enqueues n; now is the engine clock (n.at >= now always, the
+// engine clamps).
+func (w *timeWheel) push(n node, now int64) {
+	if !w.enabled {
+		w.overflow.push(n)
+		return
+	}
+	if now > w.base {
+		// Advancing the horizon is free: no live wheel event fires
+		// before now, and bucket indexing is by absolute timestamp. If
+		// the clock crossed into a new window (a Run boundary parked it
+		// past the last event), that window's far bucket must cascade
+		// before this push can land in the hot level behind its events.
+		crossed := now>>wheelBits != w.base>>wheelBits
+		w.base = now
+		if crossed && w.farN > 0 {
+			if fi := int(now>>wheelBits) & farMask; w.far[fi].head != 0 {
+				w.cascade(fi)
+			}
+		}
+	}
+	if n.at-w.base >= wheelSpan || (len(w.overflow) > 0 && n.at >= w.overflow[0].at) {
+		w.overflow.push(n)
+		return
+	}
+	w.place(n)
+}
+
+// place inserts an in-span event into the hot or far level. Callers
+// guarantee n.at ∈ [base, base+wheelSpan) and, for FIFO, that n follows
+// every already-placed equal-timestamp event in seq order.
+func (w *timeWheel) place(n node) {
+	ni := w.allocNode(wnode{at: n.at, seq: n.seq, slot: n.slot})
+	if n.at>>wheelBits != w.base>>wheelBits {
+		fi := int(n.at>>wheelBits) & farMask
+		b := &w.far[fi]
+		if b.head == 0 {
+			b.head, b.tail, b.min = ni, ni, n.at
+			w.farOcc[fi>>6] |= 1 << uint(fi&63)
+		} else {
+			w.nodes[b.tail].next = ni
+			b.tail = ni
+			if n.at < b.min {
+				b.min = n.at
+			}
+		}
+		w.farN++
+		return
+	}
+	idx := int(n.at) & wheelMask
+	b := &w.buckets[idx]
+	if b.head == 0 {
+		b.head, b.tail = ni, ni
+		w.occ[idx>>6] |= 1 << uint(idx&63)
+		w.sum[idx>>12] |= 1 << uint((idx>>6)&63)
+	} else {
+		w.nodes[b.tail].next = ni
+		b.tail = ni
+	}
+	w.count++
+}
+
+// cascade relinks far bucket fi's list into the hot wheel. The caller
+// has advanced base into (or up to the minimum of) that bucket's window,
+// so every node lands in the current hot window.
+func (w *timeWheel) cascade(fi int) {
+	b := &w.far[fi]
+	ni := b.head
+	b.head, b.tail, b.min = 0, 0, 0
+	w.farOcc[fi>>6] &^= 1 << uint(fi&63)
+	for ni != 0 {
+		n := &w.nodes[ni]
+		next := n.next
+		n.next = 0
+		idx := int(n.at) & wheelMask
+		hb := &w.buckets[idx]
+		if hb.head == 0 {
+			hb.head, hb.tail = ni, ni
+			w.occ[idx>>6] |= 1 << uint(idx&63)
+			w.sum[idx>>12] |= 1 << uint((idx>>6)&63)
+		} else {
+			w.nodes[hb.tail].next = ni
+			hb.tail = ni
+		}
+		w.farN--
+		w.count++
+		ni = next
+	}
+}
+
+// peekAt returns the earliest queued event's timestamp without removing
+// it.
+func (w *timeWheel) peekAt() (int64, bool) {
+	if w.count > 0 {
+		idx := w.scanFrom(int(w.base) & wheelMask)
+		return w.nodes[w.buckets[idx].head].at, true
+	}
+	if w.farN > 0 {
+		return w.far[w.farScan()].min, true
+	}
+	if len(w.overflow) > 0 {
+		return w.overflow[0].at, true
+	}
+	return 0, false
+}
+
+// popLE removes and returns the earliest event if it fires at or before
+// limit. Events beyond limit are left queued (Run boundaries must not
+// disturb ordering).
+func (w *timeWheel) popLE(limit int64) (node, bool) {
+	for {
+		if w.count > 0 {
+			idx := w.scanFrom(int(w.base) & wheelMask)
+			b := &w.buckets[idx]
+			ni := b.head
+			n := &w.nodes[ni]
+			if n.at > limit {
+				return node{}, false
+			}
+			out := node{at: n.at, seq: n.seq, slot: n.slot}
+			if b.head = n.next; b.head == 0 {
+				b.tail = 0
+				if w.occ[idx>>6] &^= 1 << uint(idx&63); w.occ[idx>>6] == 0 {
+					w.sum[idx>>12] &^= 1 << uint((idx>>6)&63)
+				}
+			}
+			*n = wnode{}
+			w.free = append(w.free, ni)
+			w.count--
+			w.base = out.at
+			return out, true
+		}
+		if w.farN > 0 {
+			fi := w.farScan()
+			min := w.far[fi].min
+			if min > limit {
+				return node{}, false
+			}
+			// min is the next event to fire anywhere (the heap holds only
+			// later events), so the clock is about to reach it: advancing
+			// base into its window cannot skip anything.
+			w.base = min
+			w.cascade(fi)
+			continue
+		}
+		if len(w.overflow) == 0 || w.overflow[0].at > limit {
+			return node{}, false
+		}
+		if !w.enabled {
+			out := w.overflow[0]
+			w.overflow.pop()
+			return out, true
+		}
+		// Both wheel levels are drained: migrate the heap's in-span
+		// prefix back into them (in pop order, so bucket lists stay
+		// FIFO), de-poisoning future pushes, then pop from the wheel.
+		w.base = w.overflow[0].at
+		for len(w.overflow) > 0 && w.overflow[0].at-w.base < wheelSpan {
+			n := w.overflow[0]
+			w.overflow.pop()
+			w.place(n)
+		}
+	}
+}
+
+func (w *timeWheel) allocNode(n wnode) int32 {
+	if k := len(w.free); k > 0 {
+		ni := w.free[k-1]
+		w.free = w.free[:k-1]
+		w.nodes[ni] = n
+		return ni
+	}
+	w.nodes = append(w.nodes, n)
+	return int32(len(w.nodes) - 1)
+}
+
+// scanFrom returns the first occupied hot bucket at or circularly after
+// index s — the minimum-timestamp bucket, because all live hot events fit
+// one horizon starting at base. The caller guarantees count > 0.
+func (w *timeWheel) scanFrom(s int) int {
+	// Bits at or after s inside s's own occupancy word.
+	if m := w.occ[s>>6] >> uint(s&63); m != 0 {
+		return s + bits.TrailingZeros64(m)
+	}
+	// Whole words after s, wrapping once; the summary level keeps this to
+	// a handful of loads however sparse the wheel is. The final iteration
+	// revisits the starting summary word to cover the wrapped tail.
+	start := s>>6 + 1
+	for step := 0; step <= sumWords; step++ {
+		si := (start>>6 + step) & (sumWords - 1)
+		m := w.sum[si]
+		if step == 0 && start&63 != 0 {
+			m &= ^uint64(0) << uint(start&63)
+		}
+		if m != 0 {
+			wi := si<<6 + bits.TrailingZeros64(m)
+			return wi<<6 + bits.TrailingZeros64(w.occ[wi])
+		}
+	}
+	panic("sim: timing wheel scan found no event (count corrupted)")
+}
+
+// farScan returns the occupied far bucket whose window is nearest at or
+// circularly after base's — the earliest, since every occupied window
+// lies within one span of base. The caller guarantees farN > 0.
+func (w *timeWheel) farScan() int {
+	s := int(w.base>>wheelBits) & farMask
+	if m := w.farOcc[s>>6] >> uint(s&63); m != 0 {
+		return s + bits.TrailingZeros64(m)
+	}
+	for step := 1; step <= farWords; step++ {
+		si := (s>>6 + step) & (farWords - 1)
+		if m := w.farOcc[si]; m != 0 {
+			return si<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	panic("sim: far wheel scan found no event (count corrupted)")
+}

@@ -165,6 +165,7 @@ var (
 	CoresAxis      = scenario.CoresAxis
 	PacketSizeAxis = scenario.PacketSizeAxis
 	SlotsAxis      = scenario.SlotsAxis
+	PartitionsAxis = scenario.PartitionsAxis
 	SeedAxis       = scenario.SeedAxis
 )
 
