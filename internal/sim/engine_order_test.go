@@ -96,6 +96,52 @@ func TestEngineRunBoundary(t *testing.T) {
 	})
 }
 
+// TestEngineFarSpanBoundary: with the clock parked mid-window, an event
+// scheduled almost a full far span ahead lands in the window whose far
+// bucket index wraps onto the clock's own — it must still fire after
+// every nearer event, both when pushed directly and when it arrives via
+// the heap->wheel migration path.
+func TestEngineFarSpanBoundary(t *testing.T) {
+	bothEngines(t, func(t *testing.T, mk func() *Engine) {
+		near := int64(2*wheelSize + 50)  // window base+2
+		far := int64(wheelSpan + 50)     // window base+farCount, within base+span of the mid-window clock
+		later := int64(2*wheelSpan + 50) // heap overflow, beyond any wheel level
+		e := mk()
+		var got []int64
+		rec := func() { got = append(got, e.Now()) }
+		e.ScheduleAt(100, rec) // park the clock mid-window
+		e.Run(100)
+		for _, at := range []int64{later, far, near} {
+			e.ScheduleAt(at, rec)
+		}
+		e.Run(1 << 40)
+		want := []int64{100, near, far, later}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("span-boundary events misordered: got %v want %v", got, want)
+		}
+
+		// Same shape through the heap->wheel migration path: all three
+		// events park in the overflow heap, the wheels drain, and the
+		// migration re-places them with the new base mid-window — the
+		// farthest one's window again wraps onto the base's own index.
+		e = mk()
+		got = nil
+		rec = func() { got = append(got, e.Now()) }
+		head := int64(wheelSpan + 100)
+		mid := int64(wheelSpan + 2*wheelSize + 50)
+		wrap := int64(2*wheelSpan + 50) // head's window + farCount
+		e.ScheduleAt(100, rec)
+		for _, at := range []int64{head, mid, wrap} {
+			e.ScheduleAt(at, rec) // beyond the span of base 0: heap-bound
+		}
+		e.Run(1 << 40)
+		want = []int64{100, head, mid, wrap}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("migrated span-boundary events misordered: got %v want %v", got, want)
+		}
+	})
+}
+
 // TestEngineWheelHeapEquivalent is the differential property test: a
 // seeded cascade of self-rescheduling events — delays spanning the wheel
 // horizon, frequent collisions, bursts of simultaneous work — must
@@ -127,13 +173,17 @@ func TestEngineWheelHeapEquivalent(t *testing.T) {
 				}
 				for k := next(3); k >= 0; k-- {
 					// Mostly hot-horizon; every 7th into the far level,
-					// every 13th of those past the span (heap overflow,
-					// exercising divert and migration).
+					// some of those hugging the span boundary (the far
+					// index wrap) or past it (heap overflow, exercising
+					// divert and migration).
 					d := next(2000)
 					if next(7) == 0 {
 						d += wheelSize + next(3*wheelSize)
-						if next(13) == 0 {
+						switch next(13) {
+						case 0:
 							d += wheelSpan
+						case 1:
+							d = wheelSpan - next(2*wheelSize)
 						}
 					}
 					if next(11) == 0 {

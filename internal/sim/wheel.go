@@ -25,8 +25,12 @@ import "math/bits"
 //   - The hot wheel holds only events of the current wheelSize-aligned
 //     window, so two distinct timestamps can never share a hot bucket,
 //     and a bucket's append-order list IS (at, seq) FIFO order.
-//   - A far bucket holds exactly one window's events (anything a full
-//     span away was sent to the heap instead), appended in push order —
+//   - A far bucket holds exactly one window's events (admission is by
+//     window distance — anything farCount or more windows past base's
+//     was sent to the heap instead — so an occupied index can never
+//     alias base's own, and the circular far scan starting at base's
+//     index always meets the nearest window first), appended in push
+//     order —
 //     so equal-timestamp events sit in seq order. Its bucket is cascaded
 //     exactly when its window becomes current: before any hot-level push
 //     can target that window. Cascaded nodes therefore always precede
@@ -147,7 +151,7 @@ func (w *timeWheel) push(n node, now int64) {
 			}
 		}
 	}
-	if n.at-w.base >= wheelSpan || (len(w.overflow) > 0 && n.at >= w.overflow[0].at) {
+	if (n.at>>wheelBits)-(w.base>>wheelBits) >= farCount || (len(w.overflow) > 0 && n.at >= w.overflow[0].at) {
 		w.overflow.push(n)
 		return
 	}
@@ -155,8 +159,9 @@ func (w *timeWheel) push(n node, now int64) {
 }
 
 // place inserts an in-span event into the hot or far level. Callers
-// guarantee n.at ∈ [base, base+wheelSpan) and, for FIFO, that n follows
-// every already-placed equal-timestamp event in seq order.
+// guarantee n.at >= base, that n.at's window is within farCount-1
+// windows of base's, and, for FIFO, that n follows every already-placed
+// equal-timestamp event in seq order.
 func (w *timeWheel) place(n node) {
 	ni := w.allocNode(wnode{at: n.at, seq: n.seq, slot: n.slot})
 	if n.at>>wheelBits != w.base>>wheelBits {
@@ -283,7 +288,7 @@ func (w *timeWheel) popLE(limit int64) (node, bool) {
 		// prefix back into them (in pop order, so bucket lists stay
 		// FIFO), de-poisoning future pushes, then pop from the wheel.
 		w.base = w.overflow[0].at
-		for len(w.overflow) > 0 && w.overflow[0].at-w.base < wheelSpan {
+		for len(w.overflow) > 0 && (w.overflow[0].at>>wheelBits)-(w.base>>wheelBits) < farCount {
 			n := w.overflow[0]
 			w.overflow.pop()
 			w.place(n)
@@ -328,9 +333,10 @@ func (w *timeWheel) scanFrom(s int) int {
 	panic("sim: timing wheel scan found no event (count corrupted)")
 }
 
-// farScan returns the occupied far bucket whose window is nearest at or
+// farScan returns the occupied far bucket whose window is nearest
 // circularly after base's — the earliest, since every occupied window
-// lies within one span of base. The caller guarantees farN > 0.
+// lies in (base's window, base's window+farCount), so no occupied index
+// ever aliases base's own. The caller guarantees farN > 0.
 func (w *timeWheel) farScan() int {
 	s := int(w.base>>wheelBits) & farMask
 	if m := w.farOcc[s>>6] >> uint(s&63); m != 0 {
