@@ -15,6 +15,7 @@
 //	ppbench -cores 1,2,4,8 [-quick] [-seed N] [-json out.json]
 //	ppbench -topology 4x2 [-json BENCH_fabric.json] [-quick] [-seed N]
 //	ppbench -scenario file.json [-json report.json] [-quick] [-seed N]
+//	ppbench -program spec.json [-json report.json] [-quick] [-seed N]
 //
 // -json writes the experiment's structured result (the same data the
 // text tables render) as a machine-readable artifact; it works for
@@ -45,9 +46,15 @@
 // accepts, with the topology as a {"kind","config"} envelope), runs it,
 // and prints the structured Report — including the control-plane
 // decision timeline when the scenario attaches a controller.
+//
+// -program loads a bare serialized table-program spec (the declarative
+// internal/prog form, e.g. examples/policies/compress-spec.json), runs
+// it as a custom policy on the canonical testbed, and prints the Report
+// with the program's counters — new policies are JSON, not Go.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -56,11 +63,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/payloadpark/payloadpark/internal/harness"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
 )
@@ -75,6 +84,7 @@ func main() {
 		cores    = flag.String("cores", "", "comma-separated NF-server core counts to sweep (e.g. 1,2,4,8)")
 		topology = flag.String("topology", "", "leaf-spine geometry LxS (e.g. 4x2): run the fabric experiment family")
 		scnFile  = flag.String("scenario", "", "run a serialized Scenario from this JSON file and print its Report")
+		progFile = flag.String("program", "", "run a serialized table-program spec (prog.Spec JSON) on the canonical testbed and print its Report")
 		jsonOut  = flag.String("json", "", "write the structured experiment result to this file")
 		parts    = flag.String("partitions", "", "comma-separated partition counts for the scale experiment (e.g. 1,2,4,8); a single value applies to -scenario runs")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -114,6 +124,13 @@ func main() {
 
 	if *scnFile != "" {
 		if err := runScenarioFile(ctx, *scnFile, *jsonOut, *quick, *seed, partitions); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *progFile != "" {
+		if err := runProgramFile(ctx, *progFile, *jsonOut, *quick, *seed); err != nil {
 			fail(err)
 		}
 		return
@@ -348,6 +365,58 @@ func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, see
 	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
 	writeJSON(jsonPath, rep)
 	return nil
+}
+
+// runProgramFile loads a serialized table-program spec (the declarative
+// internal/prog JSON form), installs it as a custom policy on the
+// canonical testbed with a MAC-swap NF, and prints the Report including
+// the program's counters — a new policy runs from JSON with no Go code.
+func runProgramFile(ctx context.Context, path, jsonPath string, quick bool, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec prog.Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	s := scenario.Scenario{
+		Name:     spec.Name,
+		Topology: scenario.Testbed{},
+		Program:  scenario.Program{Kind: "custom", Spec: &spec},
+		Traffic:  scenario.Traffic{SendBps: 4e9, FixedSize: 512},
+		Opts:     scenario.RunOptions{Seed: seed, Quick: quick},
+	}
+	fmt.Printf("== program %s: %q on the canonical testbed\n", path, spec.Name)
+	start := time.Now()
+	rep, err := scenario.Run(ctx, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   send=%.3f Gbps goodput=%.3f Gbps lat(avg/max)=%.1f/%.1f us delivered=%d healthy=%t\n",
+		rep.SendGbps, rep.GoodputGbps, rep.AvgLatencyUs, rep.MaxLatencyUs, rep.Delivered, rep.Healthy)
+	for _, pc := range rep.Programs {
+		fmt.Printf("   program %s: occupancy=%d", pc.Program, pc.Occupancy)
+		for _, k := range counterKeys(pc.Counters) {
+			fmt.Printf(" %s=%d", k, pc.Counters[k])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
+	writeJSON(jsonPath, rep)
+	return nil
+}
+
+// counterKeys returns a program's counter names in stable order.
+func counterKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // runTopology runs the fabric experiment family and optionally exports

@@ -1,11 +1,11 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 
-	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/rmt"
+	"github.com/payloadpark/payloadpark/internal/stats"
 )
 
 // metaCellBytes is the width of a metadata table cell: the Tofino stateful
@@ -22,45 +22,26 @@ const (
 	DropBadTag            = "bad tag crc"
 )
 
-// metaGet unpacks a metadata cell into (EXP, CLK).
-func metaGet(cell []byte) (exp, clk uint32) {
-	return binary.BigEndian.Uint32(cell[0:4]), binary.BigEndian.Uint32(cell[4:8])
-}
-
-// metaSet packs (EXP, CLK) into a metadata cell.
-func metaSet(cell []byte, exp, clk uint32) {
-	binary.BigEndian.PutUint32(cell[0:4], exp)
-	binary.BigEndian.PutUint32(cell[4:8], clk)
-}
-
 // Program is one installed PayloadPark instance: the packet tagger, the
 // metadata table, and the payload table registers, wired into a pipe (and
 // optionally a recirculation pipe) per Algorithms 1 and 2.
+//
+// Since the declarative-program refactor the tables themselves are data: a
+// prog.PayloadParkSpec compiled onto the pipe by prog.Load. Program remains
+// the typed control-plane facade over that instance — its runtime knobs
+// (SetMaxExpiry, SetSplitEnabled) write the spec's named runtime parameters,
+// and its Counters alias the spec's named counters.
 type Program struct {
 	cfg Config
-	// C exposes the monitoring counters (§5).
+	// C exposes the monitoring counters (§5). The installed spec's named
+	// counters are bound directly to these fields, so they tick without any
+	// copying.
 	C Counters
-
-	// maxExpiry is the live Expiry threshold used for new claims. It
-	// starts at cfg.MaxExpiry and may be retuned at runtime by the
-	// control plane (the internal/ctrl adaptive policy), exactly as a
-	// controller would rewrite a match-action parameter.
-	maxExpiry uint32
-
-	// splitEnabled gates new Split claims. When the control plane demotes
-	// a program (a hot switch dropping out of park-at-every-hop), split-
-	// eligible packets take the disabled-header path instead — exactly the
-	// occupied/small-payload skip the NF framework already handles — while
-	// merges keep draining the payloads parked before the demotion.
-	splitEnabled bool
 
 	pipe       *rmt.Pipeline
 	recircPipe *rmt.Pipeline
 
-	tblIdx  *rmt.Register
-	clk     *rmt.Register
-	metaTbl *rmt.Register
-	payload []*rmt.Register // one register per payload block
+	inst *prog.Instance
 }
 
 // Install wires a PayloadPark program into pipe. When cfg.Recirculate is
@@ -80,9 +61,6 @@ func Install(pipe *rmt.Pipeline, recircPipe *rmt.Pipeline, cfg Config) (*Program
 	if !cfg.Recirculate && recircPipe != nil {
 		return nil, fmt.Errorf("core: recirculation pipe supplied but recirculation disabled")
 	}
-	if err := preparePipe(pipe, cfg); err != nil {
-		return nil, err
-	}
 	// Capacity precheck so callers get an error rather than the rmt
 	// placement panic: the heaviest stages hold two payload registers.
 	perStage := 2 * cfg.Slots * BlockBytes
@@ -91,33 +69,46 @@ func Install(pipe *rmt.Pipeline, recircPipe *rmt.Pipeline, cfg Config) (*Program
 			cfg.Slots, perStage, rmt.StageSRAMBytes)
 	}
 
-	p := &Program{cfg: cfg, maxExpiry: cfg.MaxExpiry, splitEnabled: true, pipe: pipe, recircPipe: recircPipe}
-	p.installTagger()
-	p.installMetadata()
-	p.installPayloadBase()
-	if cfg.Recirculate {
-		p.installRecirc()
+	p := &Program{cfg: cfg, pipe: pipe, recircPipe: recircPipe}
+	inst, err := prog.Load(prog.PayloadParkSpec(prog.ParkParams{
+		Slots:          cfg.Slots,
+		MaxExpiry:      cfg.MaxExpiry,
+		SplitPort:      int(cfg.SplitPort),
+		MergePort:      int(cfg.MergePort),
+		BoundaryOffset: cfg.BoundaryOffset,
+		Recirculate:    cfg.Recirculate,
+		Blocks:         cfg.Blocks(),
+		BaseBlocks:     BaseBlocks,
+		BlockBytes:     BlockBytes,
+		MaxClock:       MaxClock,
+	}), prog.LoadOptions{
+		Pipe:       pipe,
+		RecircPipe: recircPipe,
+		Counters:   p.counterBindings(),
+	})
+	if err != nil {
+		return nil, err
 	}
+	p.inst = inst
 	return p, nil
 }
 
-// preparePipe configures the shared parser and declares PHV usage once per
-// pipe. A second program installed on the same pipe must agree on geometry.
-func preparePipe(pipe *rmt.Pipeline, cfg Config) error {
-	parser := pipe.Parser()
-	if parser.Blocks() == 0 {
-		parser.ExtractPayloadBlocks(cfg.Blocks(), BlockBytes)
-		parser.SetParkOffset(cfg.BoundaryOffset)
-		// Headers: eth(112) + ipv4(160) + udp(64) + pp(56) = 392 bits;
-		// intrinsic metadata 64 bits; user metadata words.
-		pipe.DeclarePHVBits(392 + 64 + rmt.MetaWords*32)
-	} else if parser.Blocks() != cfg.Blocks() || parser.BlockBytes() != BlockBytes ||
-		parser.ParkOffset() != cfg.BoundaryOffset {
-		return fmt.Errorf("core: pipe parser already extracts %dx%dB blocks at offset %d, program needs %dx%dB at offset %d",
-			parser.Blocks(), parser.BlockBytes(), parser.ParkOffset(), cfg.Blocks(), BlockBytes, cfg.BoundaryOffset)
+// counterBindings maps the built-in spec's counter names onto the typed
+// Counters struct.
+func (p *Program) counterBindings() map[string]*stats.Counter {
+	return map[string]*stats.Counter{
+		prog.CtrSplits:              &p.C.Splits,
+		prog.CtrMerges:              &p.C.Merges,
+		prog.CtrExplicitDrops:       &p.C.ExplicitDrops,
+		prog.CtrEvictions:           &p.C.Evictions,
+		prog.CtrPrematureEvictions:  &p.C.PrematureEvictions,
+		prog.CtrSplitDisabledFromNF: &p.C.SplitDisabledFromNF,
+		prog.CtrSmallPayloadSkips:   &p.C.SmallPayloadSkips,
+		prog.CtrOccupiedSkips:       &p.C.OccupiedSkips,
+		prog.CtrDemotedSkips:        &p.C.DemotedSkips,
+		prog.CtrBadTagDrops:         &p.C.BadTagDrops,
+		prog.CtrStaleExplicitDrops:  &p.C.StaleExplicitDrops,
 	}
-	parser.ExpectPPHeader(cfg.MergePort)
-	return nil
 }
 
 // Config returns the program's configuration.
@@ -126,344 +117,15 @@ func (p *Program) Config() Config { return p.cfg }
 // Pipe returns the pipe the program is installed on.
 func (p *Program) Pipe() *rmt.Pipeline { return p.pipe }
 
-// isSplit reports whether the PHV entered on this program's split port.
-func (p *Program) isSplit(phv *rmt.PHV) bool { return phv.InPort == p.cfg.SplitPort }
-
-// isMerge reports whether the PHV entered on this program's merge port.
-func (p *Program) isMerge(phv *rmt.PHV) bool { return phv.InPort == p.cfg.MergePort }
-
-// installTagger places the stage-1 components of Alg. 1 (the packet
-// tagger) and the stage-1 components of Alg. 2 (ENB=0 header removal),
-// plus tag-CRC validation for merge traffic.
-func (p *Program) installTagger() {
-	cfg := p.cfg
-	p.tblIdx = p.pipe.NewRegister(0, fmt.Sprintf("tbl_idx[%d]", cfg.SplitPort), 8, 1)
-	p.clk = p.pipe.NewRegister(0, fmt.Sprintf("clk[%d]", cfg.SplitPort), 8, 1)
-
-	// Alg. 1 stage 1: advance the table index. Only split-eligible packets
-	// (payload large enough to park) consume an index so that allocation
-	// stays FIFO-sequential, the access pattern §5 relies on.
-	p.pipe.AddMAT(0, &rmt.MAT{
-		Name: "pp_tagger_ti",
-		Reg:  p.tblIdx,
-		Res:  rmt.Resources{VLIWSlots: 3, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 32},
-		Rules: []rmt.Rule{{
-			Name: "advance",
-			Match: func(phv *rmt.PHV) bool {
-				return p.isSplit(phv) && p.splitEnabled && phv.GetMeta(rmt.MetaPayloadOK) == 1
-			},
-			Action: func(c *rmt.Ctx) {
-				c.RMW(0, func(cell []byte) {
-					ti := (binary.BigEndian.Uint64(cell) + 1) % uint64(cfg.Slots)
-					binary.BigEndian.PutUint64(cell, ti)
-					c.PHV.SetMeta(rmt.MetaTableIndex, uint32(ti))
-				})
-			},
-		}},
-	})
-
-	// Alg. 1 stage 1: advance the generation clock. The clock skips zero
-	// so that a zeroed (free) metadata cell can never validate a merge.
-	p.pipe.AddMAT(0, &rmt.MAT{
-		Name: "pp_tagger_clk",
-		Reg:  p.clk,
-		Res:  rmt.Resources{VLIWSlots: 3, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 32},
-		Rules: []rmt.Rule{{
-			Name: "advance",
-			Match: func(phv *rmt.PHV) bool {
-				return p.isSplit(phv) && p.splitEnabled && phv.GetMeta(rmt.MetaPayloadOK) == 1
-			},
-			Action: func(c *rmt.Ctx) {
-				c.RMW(0, func(cell []byte) {
-					clk := (binary.BigEndian.Uint64(cell) + 1) % MaxClock
-					if clk == 0 {
-						clk = 1
-					}
-					binary.BigEndian.PutUint64(cell, clk)
-					c.PHV.SetMeta(rmt.MetaClock, uint32(clk))
-				})
-			},
-		}},
-	})
-
-	// Split path for payloads too small to park (§5): add the PayloadPark
-	// header with every field zero so Merge knows nothing was stored.
-	p.pipe.AddMAT(0, &rmt.MAT{
-		Name: "pp_split_small",
-		Res:  rmt.Resources{VLIWSlots: 4, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 32},
-		Rules: []rmt.Rule{{
-			Name: "add_disabled_header",
-			Match: func(phv *rmt.PHV) bool {
-				return p.isSplit(phv) &&
-					(phv.GetMeta(rmt.MetaPayloadOK) == 0 || !p.splitEnabled) &&
-					phv.Pkt.PP == nil
-			},
-			Action: func(c *rmt.Ctx) {
-				c.PHV.Pkt.SetPP(packet.PPHeader{}) // hdr.pp = 0; setValid()
-				if !p.splitEnabled && c.PHV.GetMeta(rmt.MetaPayloadOK) == 1 {
-					p.C.DemotedSkips.Inc()
-				} else {
-					p.C.SmallPayloadSkips.Inc()
-				}
-			},
-		}},
-	})
-
-	// Alg. 2 stage 1: packets back from the NF server with ENB=0 carry no
-	// parked payload; strip the header and let L2 forwarding take over.
-	p.pipe.AddMAT(0, &rmt.MAT{
-		Name: "pp_merge_disabled",
-		Res:  rmt.Resources{VLIWSlots: 2, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 32},
-		Rules: []rmt.Rule{{
-			Name: "strip_disabled_header",
-			Match: func(phv *rmt.PHV) bool {
-				return p.isMerge(phv) && phv.Pkt.PP != nil && !phv.Pkt.PP.Enabled
-			},
-			Action: func(c *rmt.Ctx) {
-				c.PHV.Pkt.PP = nil // hdr.pp.setInvalid()
-				c.PHV.Pkt.PPOffset = 0
-				p.C.SplitDisabledFromNF.Inc()
-			},
-		}},
-	})
-
-	// Tag CRC validation (§3.2): reject corrupted tags before any stateful
-	// access. In hardware this is a hash-engine compare feeding a gateway.
-	p.pipe.AddMAT(0, &rmt.MAT{
-		Name: "pp_tag_validate",
-		Res:  rmt.Resources{VLIWSlots: 2, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 64},
-		Rules: []rmt.Rule{{
-			Name: "drop_bad_crc",
-			Match: func(phv *rmt.PHV) bool {
-				return p.isMerge(phv) && phv.Pkt.PP != nil && phv.Pkt.PP.Enabled &&
-					!phv.Pkt.PP.Tag.Valid()
-			},
-			Action: func(c *rmt.Ctx) {
-				c.PHV.MarkDrop(DropBadTag)
-				p.C.BadTagDrops.Inc()
-			},
-		}},
-	})
-}
-
-// installMetadata places the stage-2 metadata table shared by Alg. 1
-// (probe/claim/evict) and Alg. 2 (validate/reclaim), one MAT with one
-// stateful access per packet.
-func (p *Program) installMetadata() {
-	cfg := p.cfg
-	p.metaTbl = p.pipe.NewRegister(1, fmt.Sprintf("meta_tbl[%d]", cfg.SplitPort), metaCellBytes, cfg.Slots)
-
-	p.pipe.AddMAT(1, &rmt.MAT{
-		Name: "pp_metadata",
-		Reg:  p.metaTbl,
-		Res:  rmt.Resources{VLIWSlots: 16, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 96},
-		Rules: []rmt.Rule{
-			{
-				// Alg. 1 stage 2: probe the slot at meta.tbl_idx. An
-				// occupied slot has its Expiry decremented; reaching zero
-				// evicts the old payload and the new packet claims the slot.
-				Name: "split_probe",
-				Match: func(phv *rmt.PHV) bool {
-					return p.isSplit(phv) && p.splitEnabled && phv.GetMeta(rmt.MetaPayloadOK) == 1
-				},
-				Action: func(c *rmt.Ctx) {
-					phv := c.PHV
-					ti := phv.GetMeta(rmt.MetaTableIndex)
-					clkNow := phv.GetMeta(rmt.MetaClock)
-					claimed := false
-					c.RMW(int(ti), func(cell []byte) {
-						exp, oldClk := metaGet(cell)
-						if exp >= 1 {
-							// Alg. 1 lines 11-13: decrement the Expiry
-							// threshold of an occupied slot.
-							exp--
-							if exp == 0 {
-								p.C.Evictions.Inc()
-							}
-						}
-						if exp == 0 {
-							// Alg. 1 lines 14-20: slot free (or freshly
-							// evicted): claim it.
-							metaSet(cell, p.maxExpiry, clkNow)
-							claimed = true
-						} else {
-							metaSet(cell, exp, oldClk)
-						}
-					})
-					if claimed {
-						tag := packet.Tag{TableIndex: uint16(ti), Clock: uint16(clkNow)}.Seal()
-						phv.Pkt.SetPP(packet.PPHeader{Enabled: true, Op: packet.PPOpMerge, Tag: tag})
-						phv.Pkt.PPOffset = cfg.BoundaryOffset
-						phv.SetMeta(rmt.MetaSplitClaimed, 1)
-						phv.SetMeta(rmt.MetaParkBytes, uint32(cfg.ParkBytes()))
-						phv.SetMeta(rmt.MetaParkOffset, uint32(cfg.BoundaryOffset))
-						p.C.Splits.Inc()
-					} else {
-						phv.Pkt.SetPP(packet.PPHeader{}) // hdr.pp = 0; setValid()
-						phv.Pkt.PPOffset = cfg.BoundaryOffset
-						p.C.OccupiedSkips.Inc()
-					}
-				},
-			},
-			{
-				// Alg. 2 stage 2: validate a merge against the stored
-				// generation, reclaim the slot on success, drop on
-				// premature eviction.
-				Name: "merge_validate",
-				Match: func(phv *rmt.PHV) bool {
-					return p.isMerge(phv) && !phv.Drop && phv.Pkt.PP != nil &&
-						phv.Pkt.PP.Enabled && phv.Pkt.PP.Op == packet.PPOpMerge
-				},
-				Action: func(c *rmt.Ctx) {
-					phv := c.PHV
-					tag := phv.Pkt.PP.Tag
-					matched := false
-					c.RMW(int(tag.TableIndex)%cfg.Slots, func(cell []byte) {
-						exp, clk := metaGet(cell)
-						if exp != 0 && clk == uint32(tag.Clock) {
-							matched = true
-							metaSet(cell, 0, 0)
-						}
-					})
-					if matched {
-						phv.SetMeta(rmt.MetaPPEnabled, 1)
-						phv.SetMeta(rmt.MetaTableIndex, uint32(tag.TableIndex))
-						phv.SetMeta(rmt.MetaParkBytes, uint32(cfg.ParkBytes()))
-						phv.SetMeta(rmt.MetaParkOffset, uint32(cfg.BoundaryOffset))
-						phv.Pkt.PP = nil // hdr.pp.setInvalid()
-						phv.Pkt.PPOffset = 0
-						phv.PrepareMergeBlocks(cfg.Blocks(), BlockBytes, cfg.BoundaryOffset)
-						p.C.Merges.Inc()
-					} else {
-						phv.MarkDrop(DropPrematureEviction)
-						p.C.PrematureEvictions.Inc()
-					}
-				},
-			},
-			{
-				// §6.2.4: Explicit Drop is "a special case of Merge that
-				// just reclaims memory after validating the tag".
-				Name: "explicit_drop",
-				Match: func(phv *rmt.PHV) bool {
-					return p.isMerge(phv) && !phv.Drop && phv.Pkt.PP != nil &&
-						phv.Pkt.PP.Enabled && phv.Pkt.PP.Op == packet.PPOpExplicitDrop
-				},
-				Action: func(c *rmt.Ctx) {
-					phv := c.PHV
-					tag := phv.Pkt.PP.Tag
-					matched := false
-					c.RMW(int(tag.TableIndex)%cfg.Slots, func(cell []byte) {
-						exp, clk := metaGet(cell)
-						if exp != 0 && clk == uint32(tag.Clock) {
-							matched = true
-							metaSet(cell, 0, 0)
-						}
-					})
-					if matched {
-						p.C.ExplicitDrops.Inc()
-						phv.MarkDrop(DropExplicitDrop)
-					} else {
-						p.C.StaleExplicitDrops.Inc()
-						phv.MarkDrop(DropStaleExplicitDrop)
-					}
-				},
-			},
-		},
-	})
-}
-
-// installPayloadBase places the stages-3..N payload table of the ingress
-// pipe: BaseBlocks registers, two per stage, each MAT storing its block on
-// Split and loading+clearing it on Merge (Alg. 1/2 stage 3..N).
-func (p *Program) installPayloadBase() {
-	for k := 0; k < BaseBlocks; k++ {
-		stage := 2 + k/2 // stages 2..11, two blocks per stage
-		p.addPayloadMAT(p.pipe, stage, k, 0)
-	}
-	if p.cfg.Recirculate {
-		// Request a second pass for packets that parked or will reassemble
-		// payload; the switch routes the pass to the recirculation pipe.
-		p.pipe.AddMAT(rmt.StageCount-1, &rmt.MAT{
-			Name: "pp_recirc_request",
-			Res:  rmt.Resources{VLIWSlots: 1, TernXbarBits: 9, TCAMBytes: 424, ExactXbarBits: 16},
-			Rules: []rmt.Rule{{
-				Name: "request",
-				Match: func(phv *rmt.PHV) bool {
-					if phv.Pass != 0 || phv.Drop {
-						return false
-					}
-					return phv.GetMeta(rmt.MetaSplitClaimed) == 1 || phv.GetMeta(rmt.MetaPPEnabled) == 1
-				},
-				Action: func(c *rmt.Ctx) { c.PHV.Recirc = true },
-			}},
-		})
-	}
-}
-
-// installRecirc places blocks BaseBlocks..Blocks()-1 on the recirculation
-// pipe, matched only on the second pass.
-func (p *Program) installRecirc() {
-	extra := p.cfg.Blocks() - BaseBlocks
-	for i := 0; i < extra; i++ {
-		k := BaseBlocks + i
-		// Distribute: stages 0..3 take three blocks, the rest take two
-		// (3*4 + 2*8 = 28).
-		var stage int
-		if i < 12 {
-			stage = i / 3
-		} else {
-			stage = 4 + (i-12)/2
-		}
-		p.addPayloadMAT(p.recircPipe, stage, k, 1)
-	}
-}
-
-// addPayloadMAT wires one payload block register and its store/load MAT.
-func (p *Program) addPayloadMAT(pipe *rmt.Pipeline, stage, block, pass int) {
-	reg := pipe.NewRegister(stage, fmt.Sprintf("pload_tbl_%d[%d]", block, p.cfg.SplitPort), BlockBytes, p.cfg.Slots)
-	p.payload = append(p.payload, reg)
-	pipe.AddMAT(stage, &rmt.MAT{
-		Name: fmt.Sprintf("pp_payload_%d", block),
-		Reg:  reg,
-		Res:  rmt.Resources{VLIWSlots: 1, ExactXbarBits: 80},
-		Rules: []rmt.Rule{
-			{
-				// Alg. 1 stage 3..N: store payload block.
-				Name: "store",
-				Match: func(phv *rmt.PHV) bool {
-					return phv.Pass == pass && p.isSplit(phv) &&
-						phv.GetMeta(rmt.MetaSplitClaimed) == 1
-				},
-				Action: func(c *rmt.Ctx) {
-					phv := c.PHV
-					c.RMW(int(phv.GetMeta(rmt.MetaTableIndex)), func(cell []byte) {
-						copy(cell, phv.Blocks[block])
-					})
-				},
-			},
-			{
-				// Alg. 2 stage 3..N: load payload block and clear the cell.
-				Name: "load",
-				Match: func(phv *rmt.PHV) bool {
-					return phv.Pass == pass && p.isMerge(phv) && !phv.Drop &&
-						phv.GetMeta(rmt.MetaPPEnabled) == 1
-				},
-				Action: func(c *rmt.Ctx) {
-					phv := c.PHV
-					c.RMW(int(phv.GetMeta(rmt.MetaTableIndex)), func(cell []byte) {
-						copy(phv.Blocks[block], cell)
-						for i := range cell {
-							cell[i] = 0
-						}
-					})
-				},
-			},
-		},
-	})
-}
+// Instance returns the underlying declarative-program instance, for callers
+// that want the spec, the raw counter map, or the named runtime parameters.
+func (p *Program) Instance() *prog.Instance { return p.inst }
 
 // MaxExpiry returns the live Expiry threshold used for new claims.
-func (p *Program) MaxExpiry() uint32 { return p.maxExpiry }
+func (p *Program) MaxExpiry() uint32 {
+	v, _ := p.inst.Runtime(prog.RTMaxExpiry)
+	return v
+}
 
 // SetMaxExpiry retunes the Expiry threshold for future claims (already-
 // claimed slots keep their countdown), the control-plane knob behind the
@@ -472,28 +134,28 @@ func (p *Program) SetMaxExpiry(exp uint32) {
 	if exp < 1 {
 		exp = 1
 	}
-	p.maxExpiry = exp
+	p.inst.SetRuntime(prog.RTMaxExpiry, exp)
 }
 
 // SplitEnabled reports whether the program accepts new Split claims.
-func (p *Program) SplitEnabled() bool { return p.splitEnabled }
+func (p *Program) SplitEnabled() bool {
+	v, _ := p.inst.Runtime(prog.RTSplitEnabled)
+	return v == 1
+}
 
 // SetSplitEnabled gates new Split claims — the control-plane demotion
 // knob. Disabling split sends eligible packets down the disabled-header
 // path (counted in DemotedSkips) while merges keep reclaiming the
 // payloads parked before the demotion, so no state strands.
-func (p *Program) SetSplitEnabled(on bool) { p.splitEnabled = on }
+func (p *Program) SetSplitEnabled(on bool) {
+	v := uint32(0)
+	if on {
+		v = 1
+	}
+	p.inst.SetRuntime(prog.RTSplitEnabled, v)
+}
 
 // Occupancy counts occupied metadata slots; used by tests and the memory
 // sweep to observe table pressure. It reads register snapshots and is not
 // part of the dataplane.
-func (p *Program) Occupancy() int {
-	n := 0
-	for i := 0; i < p.cfg.Slots; i++ {
-		exp, _ := metaGet(p.metaTbl.Snapshot(i))
-		if exp != 0 {
-			n++
-		}
-	}
-	return n
-}
+func (p *Program) Occupancy() int { return p.inst.Occupied(prog.RoleMeta) }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/prog"
+)
+
+func compressSpec() *prog.Spec {
+	return prog.HeaderCompressSpec(prog.CompressParams{
+		Slots: 64, CompressPort: int(portGen), RestorePort: int(portNF),
+	})
+}
+
+// TestAttachSpecCompression runs the header-compression policy — loaded as
+// a declarative spec, no Go program — through the canonical testbed round
+// trip: compress toward the NF, MAC-swap, restore toward the sink,
+// byte-identical output.
+func TestAttachSpecCompression(t *testing.T) {
+	sw := NewSwitch("cr")
+	sw.AddL2Route(nfMAC, portNF)
+	sw.AddL2Route(sinkMAC, portSink)
+	inst, err := sw.AttachSpec(compressSpec(), nil, nil)
+	if err != nil {
+		t.Fatalf("AttachSpec: %v", err)
+	}
+
+	orig := mkPkt(512, 1)
+	want := orig.Clone()
+
+	em := sw.Inject(orig, portGen)
+	if em == nil {
+		t.Fatal("compressed packet dropped")
+	}
+	if em.Port != portNF {
+		t.Errorf("egress port = %d, want %d", em.Port, portNF)
+	}
+	if em.Pkt.CR == nil {
+		t.Fatal("packet toward NF missing compression header")
+	}
+	if !em.Pkt.CR.Tag.Valid() {
+		t.Error("compression tag CRC invalid")
+	}
+	if got, wantLen := em.Pkt.Len(), want.Len()-packet.CRSavedBytes; got != wantLen {
+		t.Errorf("compressed wire length = %d, want %d (%d saved)", got, wantLen, packet.CRSavedBytes)
+	}
+	if inst.CounterValue("compressions") != 1 {
+		t.Errorf("compressions = %d, want 1", inst.CounterValue("compressions"))
+	}
+	if got := inst.Occupied(prog.RoleCompMeta); got != 1 {
+		t.Errorf("context occupancy = %d, want 1", got)
+	}
+
+	// The NF sees the compressed frame, swaps MACs, returns it.
+	frame := em.Pkt.AppendSerialize(nil)
+	nfSide, err := packet.ParseAt(frame, -1)
+	if err != nil {
+		t.Fatalf("NF-side parse of compressed frame: %v", err)
+	}
+	if nfSide.CR == nil || nfSide.UDP != nil {
+		t.Fatal("compressed frame did not parse as a CR frame")
+	}
+	toSink(nfSide)
+
+	back, err := packet.ParseAt(nfSide.AppendSerialize(nil), -1)
+	if err != nil {
+		t.Fatalf("switch-side reparse: %v", err)
+	}
+	em2 := sw.Inject(back, portNF)
+	if em2 == nil {
+		t.Fatal("restored packet dropped")
+	}
+	if em2.Port != portSink {
+		t.Errorf("restored egress port = %d, want %d", em2.Port, portSink)
+	}
+	if em2.Pkt.CR != nil {
+		t.Error("restored packet still carries the compression header")
+	}
+	got := em2.Pkt.AppendSerialize(nil)
+	wantBytes := toSink(want).AppendSerialize(nil)
+	if !bytes.Equal(got, wantBytes) {
+		t.Error("restored frame differs from the original")
+	}
+	if inst.CounterValue("restores") != 1 {
+		t.Errorf("restores = %d, want 1", inst.CounterValue("restores"))
+	}
+	if got := inst.Occupied(prog.RoleCompMeta); got != 0 {
+		t.Errorf("context occupancy after restore = %d, want 0", got)
+	}
+}
+
+// TestAttachSpecCompressionSkipsTCP pins the policy boundary: TCP headers
+// exceed the context registers, so TCP traffic passes uncompressed.
+func TestAttachSpecCompressionSkipsTCP(t *testing.T) {
+	sw := NewSwitch("cr-tcp")
+	sw.AddL2Route(nfMAC, portNF)
+	inst, err := sw.AttachSpec(compressSpec(), nil, nil)
+	if err != nil {
+		t.Fatalf("AttachSpec: %v", err)
+	}
+	tcpFlow := flow
+	tcpFlow.Protocol = packet.IPProtoTCP
+	pkt := packet.NewBuilder(genMAC, nfMAC).TCP(tcpFlow, 512, 1, 0)
+	em := sw.Inject(pkt, portGen)
+	if em == nil {
+		t.Fatal("TCP packet dropped")
+	}
+	if em.Pkt.CR != nil {
+		t.Error("TCP packet was compressed")
+	}
+	if inst.CounterValue("compressions") != 0 {
+		t.Errorf("compressions = %d, want 0", inst.CounterValue("compressions"))
+	}
+}
+
+// TestAttachSpecParkCompress runs the combined policy: payload parks and
+// headers compress on the way to the NF; both restore on the way back.
+func TestAttachSpecParkCompress(t *testing.T) {
+	sw := NewSwitch("both")
+	sw.AddL2Route(nfMAC, portNF)
+	sw.AddL2Route(sinkMAC, portSink)
+	spec := prog.ParkCompressSpec(prog.ParkParams{
+		Slots: 64, MaxExpiry: 1, SplitPort: int(portGen), MergePort: int(portNF),
+		Blocks: BaseBlocks, BaseBlocks: BaseBlocks, BlockBytes: BlockBytes, MaxClock: MaxClock,
+	}, 64)
+	inst, err := sw.AttachSpec(spec, nil, nil)
+	if err != nil {
+		t.Fatalf("AttachSpec: %v", err)
+	}
+
+	orig := mkPkt(512, 7)
+	want := orig.Clone()
+	em := sw.Inject(orig, portGen)
+	if em == nil {
+		t.Fatal("packet dropped on the way to the NF")
+	}
+	if em.Pkt.PP == nil || !em.Pkt.PP.Enabled {
+		t.Fatal("payload not parked")
+	}
+	if em.Pkt.CR == nil {
+		t.Fatal("headers not compressed")
+	}
+	// On the wire: full frame minus parked payload minus saved header bytes
+	// plus the PayloadPark header.
+	wantLen := want.Len() - BaseParkBytes - packet.CRSavedBytes + packet.PPHeaderLen
+	if got := em.Pkt.Len(); got != wantLen {
+		t.Errorf("NF-link wire length = %d, want %d", got, wantLen)
+	}
+
+	frame := em.Pkt.AppendSerialize(nil)
+	nfSide, err := packet.ParseAt(frame, sw.PPOffset(portNF))
+	if err != nil {
+		t.Fatalf("NF-side parse: %v", err)
+	}
+	toSink(nfSide)
+	back, err := packet.ParseAt(nfSide.AppendSerialize(nil), sw.PPOffset(portNF))
+	if err != nil {
+		t.Fatalf("switch-side reparse: %v", err)
+	}
+	em2 := sw.Inject(back, portNF)
+	if em2 == nil {
+		t.Fatal("packet dropped on the way to the sink")
+	}
+	got := em2.Pkt.AppendSerialize(nil)
+	wantBytes := toSink(want).AppendSerialize(nil)
+	if !bytes.Equal(got, wantBytes) {
+		t.Error("reassembled+restored frame differs from the original")
+	}
+	for name, wantN := range map[string]uint64{
+		prog.CtrSplits: 1, prog.CtrMerges: 1, "compressions": 1, "restores": 1,
+	} {
+		if got := inst.CounterValue(name); got != wantN {
+			t.Errorf("%s = %d, want %d", name, got, wantN)
+		}
+	}
+}
+
+func TestAttachSpecErrors(t *testing.T) {
+	sw := NewSwitch("err")
+	if _, err := sw.AttachSpec(nil, nil, nil); err == nil {
+		t.Error("nil spec accepted")
+	}
+	noSplit := compressSpec()
+	delete(noSplit.Params, "split_port")
+	if _, err := sw.AttachSpec(noSplit, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "split_port") {
+		t.Errorf("spec without split_port: err = %v", err)
+	}
+	crossPipe := compressSpec()
+	crossPipe.Params["merge_port"] = 17
+	if _, err := sw.AttachSpec(crossPipe, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "different pipes") {
+		t.Errorf("cross-pipe spec: err = %v", err)
+	}
+	if _, err := sw.AttachSpec(compressSpec(), map[string]int64{"split_port": -1}, nil); err == nil {
+		t.Error("negative split port accepted")
+	}
+	recircSpec := prog.PayloadParkSpec(prog.ParkParams{
+		Slots: 8, MaxExpiry: 1, SplitPort: 0, MergePort: 1, Recirculate: true,
+		Blocks: BaseBlocks + RecircBlocks, BaseBlocks: BaseBlocks, BlockBytes: BlockBytes, MaxClock: MaxClock,
+	})
+	if _, err := sw.AttachSpec(recircSpec, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "recirculation") {
+		t.Errorf("recirc spec: err = %v", err)
+	}
+	if got := len(sw.Instances()); got != 0 {
+		t.Errorf("failed attaches recorded %d instances", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/stats"
 )
@@ -77,6 +78,8 @@ type Switch struct {
 	name     string
 	pipes    [NumPipes]*rmt.Pipeline
 	programs []*Program
+	// instances are declarative programs attached through AttachSpec.
+	instances []*prog.Instance
 	// recircOf maps an ingress pipe index to the pipe handling its second
 	// pass.
 	recircOf map[int]int
@@ -206,6 +209,59 @@ func (s *Switch) AttachPayloadPark(cfg Config, recircPipe int) (*Program, error)
 	}
 	return prog, nil
 }
+
+// AttachSpec compiles a declarative program spec (built-in or loaded from
+// JSON) onto the pipe serving its split port. overrides repoint the spec's
+// named parameters (ports, slot counts) at this switch's geometry; counters
+// pre-bind spec counter names to externally owned counters. The spec must
+// declare a "split_port" parameter — that port picks the pipe — and, when it
+// declares a "merge_port", both must live on one pipe (pipes share no
+// stateful memory, §5). Specs using the recirculation pipe go through
+// AttachPayloadPark's Config path instead.
+func (s *Switch) AttachSpec(spec *prog.Spec, overrides map[string]int64, counters map[string]*stats.Counter) (*prog.Instance, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("core: nil program spec")
+	}
+	if spec.UsesRecircPipe() {
+		return nil, fmt.Errorf("core: spec %q uses the recirculation pipe; attach it through AttachPayloadPark", spec.Name)
+	}
+	split, ok := spec.ResolveParam("split_port", overrides)
+	if !ok {
+		return nil, fmt.Errorf("core: spec %q declares no split_port parameter", spec.Name)
+	}
+	if split < 0 || split >= NumPorts {
+		return nil, fmt.Errorf("core: spec %q split port %d outside [0,%d)", spec.Name, split, NumPorts)
+	}
+	pipeIdx := PipeOfPort(rmt.PortID(split))
+	if merge, ok := spec.ResolveParam("merge_port", overrides); ok && PipeOfPort(rmt.PortID(merge)) != pipeIdx {
+		return nil, fmt.Errorf("core: split port %d and merge port %d are on different pipes; pipes share no stateful memory",
+			split, merge)
+	}
+	inst, err := prog.Load(spec, prog.LoadOptions{
+		Pipe:     s.pipes[pipeIdx],
+		Params:   overrides,
+		Counters: counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.instances = append(s.instances, inst)
+	blocks, blockBytes, parkOffset := inst.ParkGeometry()
+	for _, port := range inst.PPPorts() {
+		if port >= 0 && port < NumPorts {
+			s.ppOffset[port] = parkOffset
+		}
+	}
+	if pb := blocks * blockBytes; pb > s.maxPark {
+		s.maxPark = pb
+	}
+	return inst, nil
+}
+
+// Instances returns the declarative-program instances attached through
+// AttachSpec (programs attached through AttachPayloadPark are reported by
+// Programs instead).
+func (s *Switch) Instances() []*prog.Instance { return s.instances }
 
 // Inject runs one packet through the switch, entering on port in. It
 // returns the emission, or nil if the packet was dropped or consumed

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/payloadpark/payloadpark/internal/scenario"
+	"github.com/payloadpark/payloadpark/internal/sim"
+	"github.com/payloadpark/payloadpark/internal/trafficgen"
+)
+
+func init() {
+	register(experiment(Experiment{
+		ID:    "policies",
+		Title: "Programmable policies: payload parking vs ROHC-style header compression vs both, 40GbE",
+		Paper: "declarative table programs (§5 generalized): parking slims the NF link by the parked payload, compression by 21 B/packet; combined they stack on one pipe",
+	}, collectPolicies, renderPolicies))
+}
+
+// policyVariants are the four policy assignments compared, in display
+// order. Each mutates the base scenario; the NF chain stays the default
+// MAC-swap (compression restores L3/L4 from switch state, so the chain
+// must not rewrite headers).
+var policyVariants = []struct {
+	name string
+	mut  func(*scenario.Scenario)
+}{
+	{"baseline", func(*scenario.Scenario) {}},
+	{"park", func(s *scenario.Scenario) { s.Parking.Mode = sim.ParkEdge }},
+	{"compress", func(s *scenario.Scenario) { s.Program = scenario.Program{Kind: "compress"} }},
+	{"park+compress", func(s *scenario.Scenario) {
+		s.Parking.Mode = sim.ParkEdge
+		s.Program = scenario.Program{Kind: "compress"}
+	}},
+}
+
+// PolicyRow is one (size, send, policy) testbed cell.
+type PolicyRow struct {
+	SizeBytes    int     `json:"size_bytes"`
+	SendGbps     float64 `json:"send_gbps"`
+	Policy       string  `json:"policy"`
+	GoodputGbps  float64 `json:"goodput_gbps"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	ToNFGbps     float64 `json:"to_nf_gbps"`
+	Healthy      bool    `json:"healthy"`
+	Splits       uint64  `json:"splits"`
+	Compressions uint64  `json:"compressions"`
+}
+
+// PolicyFabricRow is one leaf-spine policy cell: the same comparison on
+// the 4x2 fabric, with fabric-hop traffic in place of the NF link.
+type PolicyFabricRow struct {
+	Policy       string  `json:"policy"`
+	GoodputGbps  float64 `json:"goodput_gbps"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	SpineGbits   float64 `json:"spine_gbits"`
+	Healthy      bool    `json:"healthy"`
+	Splits       uint64  `json:"splits"`
+	Compressions uint64  `json:"compressions"`
+}
+
+// PoliciesResult is the structured policies output.
+type PoliciesResult struct {
+	Testbed []PolicyRow       `json:"testbed"`
+	Fabric  []PolicyFabricRow `json:"fabric"`
+}
+
+func policySizes(o Options) []int {
+	if o.Quick {
+		return []int{512}
+	}
+	return []int{256, 512, 1024}
+}
+
+func policySends(o Options) []float64 {
+	// 16 Gbps keeps every variant healthy so per-packet byte savings
+	// show; 34 Gbps overloads the small sizes so goodput separates.
+	return []float64{16, 34}
+}
+
+func sumCompressions(r *scenario.Report) uint64 {
+	var n uint64
+	for _, pc := range r.Programs {
+		n += pc.Counters["compressions"]
+	}
+	return n
+}
+
+func collectPolicies(o Options) (*PoliciesResult, error) {
+	sizes, sends := policySizes(o), policySends(o)
+	res := &PoliciesResult{
+		Testbed: make([]PolicyRow, len(sizes)*len(sends)*len(policyVariants)),
+		Fabric:  make([]PolicyFabricRow, len(policyVariants)),
+	}
+	runCell := func(i int) error {
+		v := policyVariants[i%len(policyVariants)]
+		size := sizes[i/(len(sends)*len(policyVariants))]
+		send := sends[i/len(policyVariants)%len(sends)]
+		sc := scenario.Scenario{
+			Name:     fmt.Sprintf("policies-%s-%dB-%gG", v.name, size, send),
+			Topology: scenario.Testbed{LinkBps: 40e9},
+			Parking:  scenario.Parking{Slots: MacroSlots, MaxExpiry: 1},
+			Traffic:  scenario.Traffic{Dist: trafficgen.Fixed(size), SendBps: send * 1e9},
+			Server:   OpenNetVM40G(),
+			Opts:     o.scnOpts(),
+		}
+		v.mut(&sc)
+		r, err := run(o, sc)
+		if err != nil {
+			return err
+		}
+		res.Testbed[i] = PolicyRow{
+			SizeBytes: size, SendGbps: send, Policy: v.name,
+			GoodputGbps: r.GoodputGbps, AvgLatencyUs: r.AvgLatencyUs,
+			ToNFGbps: r.Testbed.ToNFGbps, Healthy: r.Healthy,
+			Splits: r.Testbed.Splits, Compressions: sumCompressions(r),
+		}
+		return nil
+	}
+	if err := forEachCell(len(res.Testbed), runCell); err != nil {
+		return nil, err
+	}
+
+	// The same four policies fabric-wide: a 4x2 leaf-spine with the
+	// datacenter mix, policies installed at the ingress leaves.
+	fabricCell := func(i int) error {
+		v := policyVariants[i]
+		sc := scenario.Scenario{
+			Name:     "policies-fabric-" + v.name,
+			Topology: scenario.LeafSpine{Leaves: 4, Spines: 2},
+			Parking:  scenario.Parking{Slots: MacroSlots, MaxExpiry: 2},
+			Traffic:  scenario.Traffic{SendBps: 8e9},
+			Opts:     o.scnOpts(),
+		}
+		v.mut(&sc)
+		r, err := run(o, sc)
+		if err != nil {
+			return err
+		}
+		row := PolicyFabricRow{
+			Policy: v.name, GoodputGbps: r.GoodputGbps,
+			AvgLatencyUs: r.AvgLatencyUs, Healthy: r.Healthy,
+			Compressions: sumCompressions(r),
+		}
+		for _, l := range r.Fabric.Links {
+			if strings.Contains(l.Name, "->spine") {
+				row.SpineGbits += float64(l.TxBits) / 1e9
+			}
+		}
+		for _, sw := range r.Fabric.Switches {
+			row.Splits += sw.Splits
+		}
+		res.Fabric[i] = row
+		return nil
+	}
+	if err := forEachCell(len(policyVariants), fabricCell); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func renderPolicies(res *PoliciesResult, w io.Writer) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "size(B)\tsend(Gbps)\tpolicy\tgput(Gbps)\tlat(us)\tto-NF(Gbps)\thealthy\tsplits\tcompressions")
+	for _, r := range res.Testbed {
+		fmt.Fprintf(tw, "%d\t%.0f\t%s\t%.3f\t%.1f\t%.3f\t%t\t%d\t%d\n",
+			r.SizeBytes, r.SendGbps, r.Policy, r.GoodputGbps, r.AvgLatencyUs,
+			r.ToNFGbps, r.Healthy, r.Splits, r.Compressions)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nleaf-spine 4x2, datacenter mix, 8 Gbps/leaf:")
+	tw = newTable(w)
+	fmt.Fprintln(tw, "policy\tgput(Gbps)\tlat(us)\tspine traffic(Gbit)\thealthy\tsplits\tcompressions")
+	for _, r := range res.Fabric {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.3f\t%t\t%d\t%d\n",
+			r.Policy, r.GoodputGbps, r.AvgLatencyUs, r.SpineGbits, r.Healthy, r.Splits, r.Compressions)
+	}
+	return tw.Flush()
+}

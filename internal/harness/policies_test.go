@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPoliciesRun executes the policies experiment in quick mode and
+// checks the comparison is directionally right: parking and compression
+// each slim the NF link vs baseline, and combined they slim it beyond
+// either alone.
+func TestPoliciesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment run")
+	}
+	res, err := collectPolicies(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index the healthy 512 B / 16 Gbps cells by policy.
+	toNF := map[string]float64{}
+	for _, r := range res.Testbed {
+		if r.SizeBytes == 512 && r.SendGbps == 16 {
+			if !r.Healthy {
+				t.Errorf("%s unhealthy at 16 Gbps", r.Policy)
+			}
+			toNF[r.Policy] = r.ToNFGbps
+		}
+	}
+	if len(toNF) != 4 {
+		t.Fatalf("policies at 512B/16G = %v, want 4", toNF)
+	}
+	base := toNF["baseline"]
+	if toNF["park"] >= base || toNF["compress"] >= base {
+		t.Errorf("single policies did not slim the NF link: %v", toNF)
+	}
+	if both := toNF["park+compress"]; both >= toNF["park"] || both >= toNF["compress"] {
+		t.Errorf("combined policy did not slim beyond either alone: %v", toNF)
+	}
+	for _, r := range res.Testbed {
+		switch r.Policy {
+		case "park", "park+compress":
+			if r.Splits == 0 {
+				t.Errorf("%s %dB/%gG: no splits", r.Policy, r.SizeBytes, r.SendGbps)
+			}
+		}
+		switch r.Policy {
+		case "compress", "park+compress":
+			if r.Compressions == 0 {
+				t.Errorf("%s %dB/%gG: no compressions", r.Policy, r.SizeBytes, r.SendGbps)
+			}
+		case "baseline", "park":
+			if r.Compressions != 0 {
+				t.Errorf("%s reported compressions", r.Policy)
+			}
+		}
+	}
+
+	// Fabric points: four rows, compression slims the spine hops.
+	if len(res.Fabric) != 4 {
+		t.Fatalf("fabric rows = %d, want 4", len(res.Fabric))
+	}
+	spine := map[string]float64{}
+	for _, r := range res.Fabric {
+		spine[r.Policy] = r.SpineGbits
+	}
+	if spine["compress"] >= spine["baseline"] {
+		t.Errorf("fabric compression did not slim spine hops: %v", spine)
+	}
+	if spine["park+compress"] >= spine["park"] {
+		t.Errorf("fabric combined policy did not slim beyond parking: %v", spine)
+	}
+
+	var buf bytes.Buffer
+	if err := renderPolicies(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy", "park+compress", "leaf-spine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package packet
 
 import (
+	"encoding/binary"
 	"fmt"
 )
 
 // Packet is a parsed network packet. Exactly one of UDP or TCP is non-nil
-// after a successful parse. PP is non-nil when the packet carries a
-// PayloadPark header (inserted by the switch's Split stage).
+// after a successful parse of an IPv4 frame. PP is non-nil when the packet
+// carries a PayloadPark header (inserted by the switch's Split stage); CR is
+// non-nil when the IPv4+L4 headers are parked in a switch context table and
+// a compression header rides the wire in their place (EtherTypeCR frames).
 //
 // Header structs are authoritative: mutate them and call Serialize to get
 // wire bytes. Payload holds the payload bytes with the PayloadPark header
@@ -23,13 +26,16 @@ type Packet struct {
 	UDP      *UDP
 	TCP      *TCP
 	PP       *PPHeader
+	CR       *CRHeader
 	PPOffset int
 	Payload  []byte
 
 	// ppStore inlines the PayloadPark header storage so SetPP (and the
 	// parsers) can attach one without allocating. PP points here after
-	// SetPP; Clone preserves the aliasing.
+	// SetPP; Clone preserves the aliasing. crStore does the same for the
+	// compression header.
 	ppStore PPHeader
+	crStore CRHeader
 
 	// headroom is the scratch region stashed by StashHeadroom; see there.
 	headroom []byte
@@ -71,6 +77,16 @@ func (p *Packet) SetPP(h PPHeader) {
 	p.PP = &p.ppStore
 }
 
+// SetCR attaches a compression header to the packet without allocating,
+// storing it inline. While CR is non-nil the IPv4 and transport header
+// structs remain authoritative for NF processing, but the wire form elides
+// them: Len, HeaderLen and SerializeTo emit Ethernet + compression header
+// only. The compress-claim action uses this on the dataplane hot path.
+func (p *Packet) SetCR(h CRHeader) {
+	p.crStore = h
+	p.CR = &p.crStore
+}
+
 // Parse decodes an Ethernet/IPv4/{UDP,TCP} frame. withPP tells the parser
 // whether a PayloadPark header follows the L4 header; in the real system
 // this is known from the ingress port (packets arriving from the NF server
@@ -105,6 +121,9 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 	if err := p.Eth.Unmarshal(frame); err != nil {
 		return err
 	}
+	if p.Eth.EtherType == EtherTypeCR {
+		return p.parseCompressed(frame, ppOffset)
+	}
 	if p.Eth.EtherType != EtherTypeIPv4 {
 		return ErrNotIPv4
 	}
@@ -135,6 +154,7 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 	default:
 		return ErrUnknownL4
 	}
+	p.CR = nil
 	p.headroom = nil
 	payload := p.Payload[:0]
 	if ppOffset >= 0 {
@@ -159,6 +179,44 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 	return nil
 }
 
+// parseCompressed decodes an EtherTypeCR frame: Ethernet + compression
+// header + payload, the IPv4 and transport headers being parked in a switch
+// context table. The header structs cannot be recovered from the bytes, so
+// IP carries only the protocol the compression header records and UDP/TCP
+// are nil until the restore hop reinstates them from the context.
+func (p *Packet) parseCompressed(frame []byte, ppOffset int) error {
+	if p.CR == nil {
+		p.CR = &p.crStore
+	}
+	if err := p.CR.Unmarshal(frame[EthernetHeaderLen:]); err != nil {
+		return err
+	}
+	p.IP = IPv4{Protocol: p.CR.Proto}
+	p.UDP, p.TCP = nil, nil
+	p.headroom = nil
+	off := EthernetHeaderLen + CRHeaderLen
+	payload := p.Payload[:0]
+	if ppOffset >= 0 {
+		if len(frame) < off+ppOffset+PPHeaderLen {
+			return fmt.Errorf("payloadpark header at offset %d: %w", ppOffset, ErrTruncated)
+		}
+		if p.PP == nil {
+			p.PP = &p.ppStore
+		}
+		if err := p.PP.Unmarshal(frame[off+ppOffset:]); err != nil {
+			return err
+		}
+		p.PPOffset = ppOffset
+		payload = append(payload, frame[off:off+ppOffset]...)
+		p.Payload = append(payload, frame[off+ppOffset+PPHeaderLen:]...)
+		return nil
+	}
+	p.PP = nil
+	p.PPOffset = 0
+	p.Payload = append(payload, frame[off:]...)
+	return nil
+}
+
 // l4Len returns the length of the transport header.
 func (p *Packet) l4Len() int {
 	if p.UDP != nil {
@@ -171,9 +229,15 @@ func (p *Packet) l4Len() int {
 }
 
 // HeaderLen returns the total header bytes on the wire, including the
-// PayloadPark header when present.
+// PayloadPark header when present. A compressed packet carries the
+// compression header in place of the IPv4 and transport headers.
 func (p *Packet) HeaderLen() int {
-	n := EthernetHeaderLen + IPv4HeaderLen + p.l4Len()
+	var n int
+	if p.CR != nil {
+		n = EthernetHeaderLen + CRHeaderLen
+	} else {
+		n = EthernetHeaderLen + IPv4HeaderLen + p.l4Len()
+	}
 	if p.PP != nil {
 		n += PPHeaderLen
 	}
@@ -215,15 +279,25 @@ func (p *Packet) SerializeTo(buf []byte) int {
 	off := 0
 	p.Eth.Marshal(buf[off:])
 	off += EthernetHeaderLen
-	p.IP.Marshal(buf[off:])
-	off += IPv4HeaderLen
-	switch {
-	case p.UDP != nil:
-		p.UDP.Marshal(buf[off:])
-		off += UDPHeaderLen
-	case p.TCP != nil:
-		p.TCP.Marshal(buf[off:])
-		off += TCPHeaderLen
+	if p.CR != nil {
+		// Compressed wire form: the EtherType announces the compression
+		// header and the IPv4/L4 headers stay parked in the context table.
+		// The header structs are left untouched — they become authoritative
+		// again when the restore hop clears CR.
+		binary.BigEndian.PutUint16(buf[EthernetHeaderLen-2:], uint16(EtherTypeCR))
+		p.CR.Marshal(buf[off:])
+		off += CRHeaderLen
+	} else {
+		p.IP.Marshal(buf[off:])
+		off += IPv4HeaderLen
+		switch {
+		case p.UDP != nil:
+			p.UDP.Marshal(buf[off:])
+			off += UDPHeaderLen
+		case p.TCP != nil:
+			p.TCP.Marshal(buf[off:])
+			off += TCPHeaderLen
+		}
 	}
 	if p.PP != nil {
 		k := p.PPOffset
@@ -259,6 +333,14 @@ func (p *Packet) Clone() *Packet {
 			c.PP = &pp
 		}
 	}
+	if p.CR != nil {
+		if p.CR == &p.crStore {
+			c.CR = &c.crStore
+		} else {
+			cr := *p.CR
+			c.CR = &cr
+		}
+	}
 	c.Payload = append([]byte(nil), p.Payload...)
 	c.headroom = nil // the copy's payload lives in a fresh backing array
 	return &c
@@ -290,6 +372,12 @@ func (p *Packet) CloneInto(dst *Packet) *Packet {
 		dst.PP = &dst.ppStore
 	} else {
 		dst.PP = nil
+	}
+	if p.CR != nil {
+		dst.crStore = *p.CR
+		dst.CR = &dst.crStore
+	} else {
+		dst.CR = nil
 	}
 	dst.Payload = append(payload[:0], p.Payload...)
 	dst.headroom = nil
@@ -382,6 +470,9 @@ func (p *Packet) String() string {
 	pp := ""
 	if p.PP != nil {
 		pp = fmt.Sprintf(" pp{enb=%t op=%d ti=%d clk=%d}", p.PP.Enabled, p.PP.Op, p.PP.Tag.TableIndex, p.PP.Tag.Clock)
+	}
+	if p.CR != nil {
+		pp += fmt.Sprintf(" cr{proto=%d ti=%d clk=%d}", p.CR.Proto, p.CR.Tag.TableIndex, p.CR.Tag.Clock)
 	}
 	return fmt.Sprintf("%s len=%d%s", p.FiveTuple(), p.Len(), pp)
 }

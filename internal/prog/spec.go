@@ -1,0 +1,243 @@
+// Package prog turns switch programs into data. A Spec declares everything
+// core.Program used to hard-code in Go: the parser geometry, the stage-local
+// registers, and the match-action tables whose entries name their match
+// conditions and actions from internal/rmt's registered vocabulary. Load
+// validates a Spec against the same hardware budgets the rmt layer enforces
+// and installs it onto a pipe; the resulting Instance exposes the spec's
+// named runtime parameters and counters to the control plane.
+//
+// The payoff is the paper's own thesis applied to this codebase: PayloadPark
+// is *just a P4 program*, so policy variants — ROHC-style header
+// compression, parking plus compression — are new JSON, not new Go.
+// PayloadParkSpec, HeaderCompressSpec and ParkCompressSpec are the built-in
+// specs; serialized copies load back through the same path user-authored
+// files take (ppbench -program).
+package prog
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// ParamVal is an integer field of a Spec that is either a literal or a
+// "$name" reference into the spec's Params map. References keep one scenario
+// knob (port number, slot count) consistent across every table that uses it,
+// and let sim override ports without rewriting the spec.
+type ParamVal struct {
+	ref string
+	lit int64
+}
+
+// Lit returns a literal value.
+func Lit(v int64) ParamVal { return ParamVal{lit: v} }
+
+// Ref returns a reference to the named spec parameter.
+func Ref(name string) ParamVal { return ParamVal{ref: name} }
+
+// MarshalJSON encodes a literal as a number and a reference as "$name".
+func (v ParamVal) MarshalJSON() ([]byte, error) {
+	if v.ref != "" {
+		return json.Marshal("$" + v.ref)
+	}
+	return json.Marshal(v.lit)
+}
+
+// UnmarshalJSON decodes a number or a "$name" reference.
+func (v *ParamVal) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		if !strings.HasPrefix(s, "$") || len(s) < 2 {
+			return fmt.Errorf("prog: parameter reference %q must be \"$name\"", s)
+		}
+		*v = ParamVal{ref: s[1:]}
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*v = ParamVal{lit: n}
+	return nil
+}
+
+// resolve returns the concrete value under params.
+func (v ParamVal) resolve(params map[string]int64) (int64, error) {
+	if v.ref == "" {
+		return v.lit, nil
+	}
+	n, ok := params[v.ref]
+	if !ok {
+		return 0, fmt.Errorf("prog: reference %q names no declared parameter", "$"+v.ref)
+	}
+	return n, nil
+}
+
+// Spec is a declarative switch program: what core.Install used to build in
+// Go, as data. Params are compile-time integers (ports, slot counts,
+// geometry); Runtime are the named control-plane knobs actions read per
+// packet (SetMaxExpiry and SetSplitEnabled become writes to these).
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Parser declares the payload-block extraction geometry and the ports
+	// whose inbound frames carry a PayloadPark header. Blocks == 0 means the
+	// program parks no payload (header compression does not).
+	Parser ParserSpec `json:"parser"`
+
+	// PHVBits is the packet-header-vector budget the program's headers and
+	// metadata consume, validated against the pipe capacity at load.
+	PHVBits int `json:"phv_bits"`
+
+	Params  map[string]int64  `json:"params,omitempty"`
+	Runtime map[string]uint32 `json:"runtime,omitempty"`
+
+	Registers []RegisterSpec `json:"registers,omitempty"`
+	Tables    []TableSpec    `json:"tables,omitempty"`
+}
+
+// ResolveParam returns the value the named parameter takes under overrides:
+// the override when present, the spec's declared value otherwise. Callers
+// (core.Switch) use it to locate a spec's ports before loading it.
+func (s *Spec) ResolveParam(name string, overrides map[string]int64) (int64, bool) {
+	if v, ok := overrides[name]; ok {
+		_, declared := s.Params[name]
+		return v, declared
+	}
+	v, ok := s.Params[name]
+	return v, ok
+}
+
+// ParksPayload reports whether the program's parser extracts payload
+// blocks — i.e. whether loading it would park payload, like the built-in
+// PayloadPark program does. Callers use it to reject double-parking a
+// pipe that already runs the built-in program.
+func (s *Spec) ParksPayload() bool {
+	v, err := s.Parser.Blocks.resolve(s.Params)
+	return err == nil && v > 0
+}
+
+// UsesRecircPipe reports whether any register or table targets the
+// recirculation pipe.
+func (s *Spec) UsesRecircPipe() bool {
+	for i := range s.Registers {
+		if s.Registers[i].Pipe == "recirc" {
+			return true
+		}
+	}
+	for i := range s.Tables {
+		if s.Tables[i].Pipe == "recirc" {
+			return true
+		}
+	}
+	return false
+}
+
+// ParserSpec is the parser geometry of a program.
+type ParserSpec struct {
+	Blocks     ParamVal   `json:"blocks"`
+	BlockBytes ParamVal   `json:"block_bytes"`
+	ParkOffset ParamVal   `json:"park_offset"`
+	PPPorts    []ParamVal `json:"pp_ports,omitempty"`
+}
+
+// RegisterSpec declares one stage-local register array. Role is the handle
+// tables bind it by and Instance reports it under; Name may embed "$param"
+// references (register names carry the split port for diagnostics).
+type RegisterSpec struct {
+	Role  string   `json:"role,omitempty"`
+	Name  string   `json:"name"`
+	Pipe  string   `json:"pipe,omitempty"` // "ingress" (default) or "recirc"
+	Stage int      `json:"stage"`
+	Width ParamVal `json:"width"`
+	Cells ParamVal `json:"cells"`
+}
+
+// ResourcesSpec declares a table's per-stage hardware consumption,
+// mirroring rmt.Resources.
+type ResourcesSpec struct {
+	TCAMBytes      int `json:"tcam_bytes,omitempty"`
+	SRAMMatchBytes int `json:"sram_match_bytes,omitempty"`
+	VLIWSlots      int `json:"vliw_slots,omitempty"`
+	ExactXbarBits  int `json:"exact_xbar_bits,omitempty"`
+	TernXbarBits   int `json:"tern_xbar_bits,omitempty"`
+}
+
+func (r ResourcesSpec) toRMT() rmt.Resources {
+	return rmt.Resources{
+		TCAMBytes:      r.TCAMBytes,
+		SRAMMatchBytes: r.SRAMMatchBytes,
+		VLIWSlots:      r.VLIWSlots,
+		ExactXbarBits:  r.ExactXbarBits,
+		TernXbarBits:   r.TernXbarBits,
+	}
+}
+
+// TableSpec declares one match-action table: its stage, the register role it
+// binds (one stateful access per packet), and its entries in match order
+// (first match fires).
+type TableSpec struct {
+	Name      string        `json:"name"`
+	Pipe      string        `json:"pipe,omitempty"` // "ingress" (default) or "recirc"
+	Stage     int           `json:"stage"`
+	Register  string        `json:"register,omitempty"` // role of the bound register
+	Resources ResourcesSpec `json:"resources"`
+	Entries   []EntrySpec   `json:"entries"`
+}
+
+// EntrySpec is one match-action entry: conditions that AND together, an
+// action from the rmt vocabulary, and the action's parameter, counter and
+// drop-reason bindings.
+type EntrySpec struct {
+	Name     string              `json:"name"`
+	Match    []CondSpec          `json:"match,omitempty"`
+	Action   string              `json:"action"`
+	Params   map[string]ParamVal `json:"params,omitempty"`
+	Counters map[string]string   `json:"counters,omitempty"` // action role -> counter name
+	Reasons  map[string]string   `json:"reasons,omitempty"`  // action role -> drop reason
+}
+
+// CondSpec is one match condition; see rmt.Cond for the field and op
+// vocabulary.
+type CondSpec struct {
+	Field string   `json:"field"`
+	Op    string   `json:"op,omitempty"`
+	Value ParamVal `json:"value"`
+}
+
+// substName expands "$param" references inside a register or table name.
+func substName(s string, params map[string]int64) (string, error) {
+	if !strings.ContainsRune(s, '$') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '$' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(s) && (s[j] == '_' || s[j] >= 'a' && s[j] <= 'z' || s[j] >= '0' && s[j] <= '9') {
+			j++
+		}
+		name := s[i+1 : j]
+		if name == "" {
+			return "", fmt.Errorf("prog: name %q has a bare '$'", s)
+		}
+		v, ok := params[name]
+		if !ok {
+			return "", fmt.Errorf("prog: name %q references undeclared parameter %q", s, name)
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+		i = j
+	}
+	return b.String(), nil
+}

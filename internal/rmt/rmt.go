@@ -35,7 +35,7 @@ type PortID uint16
 // MetaWords is the number of 32-bit user metadata words carried in the PHV
 // between stages ("user-defined struct for intermediate results" in the
 // paper's algorithms).
-const MetaWords = 8
+const MetaWords = 12
 
 // Well-known metadata word indexes used by programs built on this package.
 // They are ordinary PHV metadata; the names exist so programs and tests
@@ -48,6 +48,14 @@ const (
 	MetaSplitClaimed = 4 // split path claimed a slot this pass
 	MetaParkBytes    = 5 // park size for the deparser (truncate/reassemble)
 	MetaParkOffset   = 6 // decoupling-boundary offset within the payload
+
+	// Words 7..10 belong to the ROHC-style header-compression program
+	// (internal/prog), the sibling policy to payload parking: its context
+	// table index, generation clock, and the claimed/restored flags.
+	MetaCompTableIndex = 7  // context-table index of this packet
+	MetaCompClock      = 8  // generation clock for the context claim
+	MetaCompClaimed    = 9  // compress path claimed a context this pass
+	MetaCompEnabled    = 10 // restore path validated a context this pass
 )
 
 // PHV is the packet header vector: everything the match-action pipeline is
@@ -73,6 +81,13 @@ type PHV struct {
 
 	Meta   [MetaWords]uint32
 	Blocks [][]byte
+
+	// HdrScratch is PHV scratch for header bytes staged between a register
+	// load and the deparser — the header-compression restore path loads the
+	// stored IPv4+L4 context here before reapplying it to the packet. Sized
+	// for IPv4 (20 B) plus UDP (8 B), the only profile that fits the
+	// register budget.
+	HdrScratch [HdrScratchBytes]byte
 
 	// Headroom is scratch space that sits immediately in front of
 	// Pkt.Payload in the same backing array, provided by frame-level

@@ -6,6 +6,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
@@ -41,6 +42,10 @@ type Report struct {
 	// decision timeline — when the scenario ran a controller (testbed
 	// adaptive eviction, or the fabric ECMP/adaptive controller).
 	Control *ctrl.Report `json:"control,omitempty"`
+
+	// Programs reports each declaratively loaded table program's
+	// in-window counter deltas (empty unless Scenario.Program ran).
+	Programs []sim.ProgramCounters `json:"programs,omitempty"`
 
 	// Per-topology details.
 	Testbed     *sim.Result            `json:"testbed,omitempty"`
@@ -127,6 +132,28 @@ func (t Testbed) validate(s *Scenario) error {
 	if s.Control.Adaptive && !s.Parking.Enabled() {
 		return errf("testbed: adaptive control needs parking enabled")
 	}
+	switch s.Program.Kind {
+	case "":
+		if s.Program.Spec != nil {
+			return errf("testbed: Program.Spec set without Program.Kind \"custom\"")
+		}
+	case "compress":
+		if s.Program.Spec != nil {
+			return errf("testbed: Program.Kind \"compress\" is built-in (drop Spec, or use Kind \"custom\")")
+		}
+	case "custom":
+		if s.Program.Spec == nil {
+			return errf("testbed: Program.Kind \"custom\" needs a Spec")
+		}
+		if s.Program.Spec.UsesRecircPipe() {
+			return errf("testbed: custom specs cannot target the recirculation pipe (the built-in program owns it; use Parking.Recirculate)")
+		}
+		if s.Parking.Enabled() && s.Program.Spec.ParksPayload() {
+			return errf("testbed: custom spec %q parks payload while Parking is enabled; both programs would claim the same packets (disable one)", s.Program.Spec.Name)
+		}
+	default:
+		return errf("testbed: unknown Program.Kind %q (want \"compress\" or \"custom\")", s.Program.Kind)
+	}
 	return nil
 }
 
@@ -168,6 +195,14 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 			BoundaryOffset: s.Parking.BoundaryOffset,
 		}
 	}
+	switch s.Program.Kind {
+	case "compress":
+		cfg.Programs = []sim.ProgramAttachment{{Spec: prog.HeaderCompressSpec(prog.CompressParams{
+			Slots: s.Program.Slots, MaxExpiry: s.Program.MaxExpiry,
+		})}}
+	case "custom":
+		cfg.Programs = []sim.ProgramAttachment{{Spec: s.Program.Spec, Params: s.Program.Params}}
+	}
 	res := sim.RunTestbed(cfg)
 	return &Report{
 		SendGbps:           res.SendGbps,
@@ -180,6 +215,7 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 		Healthy:            res.Healthy,
 		Premature:          res.Premature,
 		Control:            res.Control,
+		Programs:           res.Programs,
 		Testbed:            &res,
 	}, nil
 }
@@ -207,6 +243,9 @@ func (m MultiServer) validate(s *Scenario) error {
 	}
 	if s.Control.Enabled() {
 		return errf("multiserver: control plane unsupported (use Testbed or LeafSpine)")
+	}
+	if s.Program.Enabled() || s.Program.Spec != nil {
+		return errf("multiserver: table programs unsupported (use Testbed or LeafSpine)")
 	}
 	return nil
 }
@@ -261,7 +300,24 @@ func (l LeafSpine) validate(s *Scenario) error {
 	if L < 2 || L > 16 || S < 1 || S > 13 {
 		return errf("leafspine: %dx%d outside supported geometry", L, S)
 	}
-	if s.Parking.Enabled() {
+	switch s.Program.Kind {
+	case "":
+		if s.Program.Spec != nil {
+			return errf("leafspine: Program.Spec set without Program.Kind")
+		}
+	case "compress":
+		if s.Program.Spec != nil {
+			return errf("leafspine: Program.Kind \"compress\" is built-in (drop Spec)")
+		}
+		if s.Parking.Mode == sim.ParkEveryHop {
+			return errf("leafspine: compression cannot ride every-hop striping (wire-parse hops would re-parse compressed transit frames)")
+		}
+	case "custom":
+		return errf("leafspine: custom Program specs are Testbed-only (use Kind \"compress\")")
+	default:
+		return errf("leafspine: unknown Program.Kind %q (want \"compress\")", s.Program.Kind)
+	}
+	if s.Parking.Enabled() || s.Program.Kind == "compress" {
 		for i := 0; i < L; i++ {
 			if i%S == ((i+1)%L)%S {
 				return errf("leafspine: %dx%d cannot park: flow %d's forward path enters leaf %d on its merge port (try 4x2 or 6x3)",
@@ -293,28 +349,31 @@ func (l LeafSpine) validate(s *Scenario) error {
 func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 	warmup, measure := s.Opts.windows()
 	cfg := sim.FabricConfig{
-		Leaves:     l.Leaves,
-		Spines:     l.Spines,
-		LinkBps:    l.LinkBps,
-		SendBps:    s.Traffic.SendBps,
-		Dist:       s.Traffic.dist(),
-		Flows:      s.Traffic.Flows,
-		Mode:       s.Parking.Mode,
-		Slots:      s.Parking.Slots,
-		MaxExpiry:  s.Parking.MaxExpiry,
-		Server:     s.Server,
-		Seed:       s.Opts.Seed,
-		WarmupNs:   warmup,
-		MeasureNs:  measure,
-		PropNs:     l.PropNs,
-		QueueBytes: l.QueueBytes,
-		FailLink:   l.FailLink,
-		FailAtNs:   l.FailAtNs,
-		RerouteNs:  l.RerouteNs,
-		ECMP:       s.Control.ECMP,
-		Control:    s.Control.config(),
-		Partitions: s.Opts.Partitions,
-		Cancel:     CancelFunc(ctx),
+		Leaves:            l.Leaves,
+		Spines:            l.Spines,
+		LinkBps:           l.LinkBps,
+		SendBps:           s.Traffic.SendBps,
+		Dist:              s.Traffic.dist(),
+		Flows:             s.Traffic.Flows,
+		Mode:              s.Parking.Mode,
+		Slots:             s.Parking.Slots,
+		MaxExpiry:         s.Parking.MaxExpiry,
+		Compress:          s.Program.Kind == "compress",
+		CompressSlots:     s.Program.Slots,
+		CompressMaxExpiry: s.Program.MaxExpiry,
+		Server:            s.Server,
+		Seed:              s.Opts.Seed,
+		WarmupNs:          warmup,
+		MeasureNs:         measure,
+		PropNs:            l.PropNs,
+		QueueBytes:        l.QueueBytes,
+		FailLink:          l.FailLink,
+		FailAtNs:          l.FailAtNs,
+		RerouteNs:         l.RerouteNs,
+		ECMP:              s.Control.ECMP,
+		Control:           s.Control.config(),
+		Partitions:        s.Opts.Partitions,
+		Cancel:            CancelFunc(ctx),
 	}
 	res := sim.RunLeafSpine(cfg)
 	rep := &Report{
@@ -325,6 +384,7 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 		UnintendedDropRate: res.UnintendedDropRate,
 		Healthy:            res.Healthy,
 		Control:            res.Control,
+		Programs:           res.Programs,
 		Fabric:             &res,
 	}
 	for _, fr := range res.Flows {

@@ -19,6 +19,7 @@ import (
 
 	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
@@ -142,6 +143,45 @@ type Parking struct {
 	// ExplicitDrop enables the §6.2.4 framework modification
 	// (Testbed only).
 	ExplicitDrop bool `json:"explicit_drop,omitempty"`
+}
+
+// Program is the declarative table-program policy of a Scenario: switch
+// programs loaded from internal/prog specs beyond — or instead of — the
+// built-in parking program. The zero value installs nothing extra.
+//
+// Kind "compress" loads the built-in ROHC-style header-compression spec
+// (prog.HeaderCompressSpec): IPv4/UDP headers compress to a 7-byte tagged
+// header where the flow enters the programmable domain and restore on the
+// way back, saving 21 wire bytes per packet. It composes with Parking on
+// both Testbed and LeafSpine.
+//
+// Kind "custom" loads an arbitrary serialized Spec (Testbed only) — the
+// `ppbench -program file.json` path. The topology pins the spec's
+// split_port/merge_port parameters to its canonical ports unless Params
+// pins them first.
+//
+// Restoring headers rewrites the packet's L3/L4 fields from the stored
+// context, so compression must not be combined with NF chains that
+// rewrite those fields (NAT); verdict-only and MAC-swap chains are safe.
+type Program struct {
+	// Kind selects the policy: "" (none), "compress", or "custom".
+	Kind string `json:"kind,omitempty"`
+	// Slots sizes the compression context table (default 8192).
+	Slots int `json:"slots,omitempty"`
+	// MaxExpiry is the context eviction threshold (default 1).
+	MaxExpiry uint32 `json:"max_expiry,omitempty"`
+	// Spec is the custom table program (Kind "custom" only).
+	Spec *prog.Spec `json:"spec,omitempty"`
+	// Params override the spec's declared parameters (Kind "custom").
+	Params map[string]int64 `json:"params,omitempty"`
+}
+
+// Enabled reports whether the scenario loads any table program.
+func (p Program) Enabled() bool { return p.Kind != "" }
+
+// isZero reports whether the section can vanish from the wire form.
+func (p Program) isZero() bool {
+	return p.Kind == "" && p.Slots == 0 && p.MaxExpiry == 0 && p.Spec == nil && len(p.Params) == 0
 }
 
 // Control is the control-plane spec of a Scenario: ECMP multipath
@@ -316,6 +356,10 @@ type Scenario struct {
 	Topology Topology `json:"topology"`
 	// Parking is the PayloadPark policy (zero value = baseline).
 	Parking Parking `json:"parking"`
+	// Program loads declarative table programs — header compression, or
+	// a custom serialized spec — alongside or instead of parking (zero
+	// value = none).
+	Program Program `json:"program"`
 	// Control is the control-plane spec (zero value = static tables, no
 	// controller).
 	Control Control `json:"control"`

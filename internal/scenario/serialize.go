@@ -33,6 +33,7 @@ type scenarioWire struct {
 	Name     string           `json:"name,omitempty"`
 	Topology topologyWire     `json:"topology"`
 	Parking  *Parking         `json:"parking,omitempty"`
+	Program  *Program         `json:"program,omitempty"`
 	Control  *Control         `json:"control,omitempty"`
 	Traffic  *Traffic         `json:"traffic,omitempty"`
 	Server   *sim.ServerModel `json:"server,omitempty"`
@@ -92,6 +93,9 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 	}
 	if s.Parking != (Parking{}) {
 		w.Parking = &s.Parking
+	}
+	if !s.Program.isZero() {
+		w.Program = &s.Program
 	}
 	if s.Control != (Control{}) {
 		w.Control = &s.Control
@@ -157,6 +161,9 @@ func (s *Scenario) UnmarshalJSON(b []byte) error {
 	}
 	if w.Parking != nil {
 		out.Parking = *w.Parking
+	}
+	if w.Program != nil {
+		out.Program = *w.Program
 	}
 	if w.Control != nil {
 		out.Control = *w.Control

@@ -7,6 +7,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/stats"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
@@ -93,6 +94,21 @@ type FabricConfig struct {
 	// eviction threshold.
 	Slots     int
 	MaxExpiry uint32
+	// Compress additionally loads the declarative header-compression
+	// program (prog.HeaderCompressSpec) at every ingress leaf: headers
+	// compress where the flow enters the fabric and restore when they
+	// return from the flow's spine, mirroring ParkEdge's port layout. It
+	// composes with ParkNone (compression alone) and ParkEdge (both
+	// policies on the same pipe), and shares ParkEdge's spine-affinity
+	// geometry requirement since the restore port is pinned the same way.
+	// Incompatible with ParkEveryHop, whose byte-accurate wire-parse hops
+	// would re-parse compressed transit frames.
+	Compress bool
+	// CompressSlots sizes each compression context table (default Slots);
+	// CompressMaxExpiry is the context eviction threshold (default
+	// MaxExpiry).
+	CompressSlots     int
+	CompressMaxExpiry uint32
 	// Server calibrates the NF servers (one per leaf).
 	Server ServerModel
 	// Seed drives all randomness.
@@ -215,6 +231,10 @@ type FabricResult struct {
 	// Links and Switches are the per-hop reports, in wiring order.
 	Links    []LinkStats   `json:"links"`
 	Switches []SwitchStats `json:"switches"`
+	// Programs reports each declaratively attached table program's
+	// in-window counter deltas (compression; empty unless
+	// FabricConfig.Compress ran).
+	Programs []ProgramCounters `json:"programs,omitempty"`
 	// Aggregates over all flows.
 	SendGbps     float64 `json:"send_gbps"`
 	GoodputGbps  float64 `json:"goodput_gbps"`
@@ -255,12 +275,14 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 	if L < 2 || L > 16 || S < 1 || S > 13 {
 		panic(fmt.Sprintf("sim: leaf-spine %dx%d outside supported geometry", L, S))
 	}
-	if cfg.Mode != ParkNone {
+	if cfg.Mode != ParkNone || cfg.Compress {
 		// A slim transit packet entering the egress leaf on that leaf's
 		// merge port would be treated as a merge with a foreign tag and
 		// dropped as a premature eviction, so every flow's spine affinity
 		// must differ from its egress leaf's (4x2 and 6x3 qualify; 4x3
 		// does not — flow 3's affinity collides with leaf 0's).
+		// Compression pins its restore port identically, so the same
+		// geometry requirement applies.
 		for i := 0; i < L; i++ {
 			if cfg.spineOf(i) == cfg.spineOf((i+1)%L) {
 				panic(fmt.Sprintf("sim: leaf-spine %dx%d cannot park: flow %d's forward path enters leaf %d on its merge port", L, S, i, (i+1)%L))
@@ -272,6 +294,9 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 	}
 	if cfg.ECMP && cfg.Mode == ParkEveryHop {
 		panic("sim: ECMP cannot stripe: park-at-every-hop programs are installed on each flow's static path")
+	}
+	if cfg.Compress && cfg.Mode == ParkEveryHop {
+		panic("sim: compression cannot ride every-hop striping: wire-parse hops would re-parse compressed transit frames")
 	}
 
 	// Partition placement: greedy min-cut over the switch graph (leaves
@@ -354,6 +379,44 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 			attach(leaves[i], leafPortGen, leafPortSpine+rmt.PortID(cfg.spineOf(i)))
 		}
 	}
+	// Compression companion policy: compress where the flow enters the
+	// fabric, restore when the headers return from the flow's spine —
+	// the same port layout ParkEdge uses, loaded from the declarative
+	// spec rather than a built-in Go program.
+	leafComp := make([]*prog.Instance, L)
+	if cfg.Compress {
+		slots := cfg.CompressSlots
+		if slots == 0 {
+			slots = cfg.Slots
+		}
+		exp := cfg.CompressMaxExpiry
+		if exp == 0 {
+			exp = cfg.MaxExpiry
+		}
+		for i := 0; i < L; i++ {
+			spec := prog.HeaderCompressSpec(prog.CompressParams{
+				Slots: slots, MaxExpiry: exp,
+				CompressPort: int(leafPortGen),
+				RestorePort:  int(leafPortSpine + rmt.PortID(cfg.spineOf(i))),
+			})
+			inst, err := leaves[i].SW.AttachSpec(spec, nil, nil)
+			if err != nil {
+				panic(fmt.Sprintf("sim: leaf-spine attach compression %s: %v", leaves[i].Name, err))
+			}
+			leafComp[i] = inst
+		}
+	}
+	// Window-start compression-counter snapshots, each taken on the
+	// engine owning its leaf so partitioned runs stay race-free.
+	compSnaps := make([]map[string]uint64, L)
+	if cfg.Compress {
+		for i := 0; i < L; i++ {
+			i := i
+			leaves[i].Engine().ScheduleAt(windowStart, func() {
+				compSnaps[i] = counterSnapshot(leafComp[i])
+			})
+		}
+	}
 	if cfg.Mode == ParkEveryHop {
 		// Striping parks again at the spine and at the egress leaf; each
 		// downstream program sees the upstream header as payload, which
@@ -394,9 +457,10 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 			ports := make(map[string]rmt.PortID, S)
 			var members []ctrl.Member
 			for s := 0; s < S; s++ {
-				if cfg.Mode != ParkNone && s == cfg.spineOf(j) {
-					// A slim flow arriving at the egress leaf on this
-					// spine's port would hit that leaf's merge port.
+				if (cfg.Mode != ParkNone || cfg.Compress) && s == cfg.spineOf(j) {
+					// A slim (or compressed) flow arriving at the egress
+					// leaf on this spine's port would hit that leaf's
+					// merge/restore port.
 					continue
 				}
 				name := fmt.Sprintf("spine%d", s)
@@ -633,6 +697,12 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 		SentWindow:      sentWindow,
 		UnintendedDrops: unintendedDrops,
 		PhaseDelivered:  phaseDelivered,
+	}
+	if cfg.Compress {
+		for i, inst := range leafComp {
+			res.Programs = append(res.Programs, programReport(leaves[i].Name, inst, compSnaps[i]))
+		}
+		sortPrograms(res.Programs)
 	}
 	if controller != nil {
 		res.Control = controller.Snapshot()

@@ -55,6 +55,8 @@ func TestLeafSpineDeterministic(t *testing.T) {
 func TestLeafSpineEdgeParking(t *testing.T) {
 	base := RunLeafSpine(leafSpineSmoke(ParkNone, 4))
 	edge := RunLeafSpine(leafSpineSmoke(ParkEdge, 4))
+	assertFabricInvariants(t, base)
+	assertFabricInvariants(t, edge)
 	if !base.Healthy || !edge.Healthy {
 		t.Fatalf("unhealthy below saturation: base=%+v edge=%+v", base, base.Healthy)
 	}
@@ -101,6 +103,7 @@ func TestLeafSpineEdgeParking(t *testing.T) {
 func TestLeafSpineEveryHopStripes(t *testing.T) {
 	edge := RunLeafSpine(leafSpineSmoke(ParkEdge, 4))
 	hop := RunLeafSpine(leafSpineSmoke(ParkEveryHop, 4))
+	assertFabricInvariants(t, hop)
 	if !hop.Healthy {
 		t.Fatalf("striping unhealthy below saturation: %+v", hop)
 	}
@@ -136,6 +139,7 @@ func TestLeafSpineFailureReroute(t *testing.T) {
 		FailLink: true, FailAtNs: 5e6, RerouteNs: 1e6,
 	}
 	r := RunLeafSpine(cfg)
+	assertFabricInvariants(t, r)
 	if r.PhaseDelivered[0] == 0 || r.PhaseDelivered[2] == 0 {
 		t.Fatalf("no recovery: phases=%v", r.PhaseDelivered)
 	}

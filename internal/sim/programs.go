@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/prog"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// ProgramAttachment asks a topology preset to load one declarative table
+// program (internal/prog) onto its switch alongside — or instead of — the
+// built-in PayloadPark program. Params override the spec's declared
+// parameters. The topology pins split_port and merge_port to its canonical
+// ports unless the caller pins them in Params, so a serialized spec written
+// against one port layout runs anywhere.
+type ProgramAttachment struct {
+	Spec   *prog.Spec       `json:"spec"`
+	Params map[string]int64 `json:"params,omitempty"`
+}
+
+// ProgramCounters is one attached program's report: the spec name, every
+// named counter's in-window delta, and the end-of-run occupancy of its
+// EXP/CLK state tables (parking slots plus compression contexts).
+type ProgramCounters struct {
+	// Switch names the hosting switch on multi-switch topologies ("" on
+	// the testbed, which has one switch).
+	Switch  string `json:"switch,omitempty"`
+	Program string `json:"program"`
+	// Counters holds the in-window delta of every counter the spec
+	// declares, keyed by the spec's counter names.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Occupancy is the end-of-run occupied-cell count across the
+	// program's meta state tables (orphan detection).
+	Occupancy int `json:"occupancy"`
+}
+
+// attachPrograms loads each attachment onto sw, defaulting split_port and
+// merge_port to the topology's canonical ports. Topology presets panic on
+// attach failure, like they do for the built-in program: a bad spec is a
+// configuration error, not a simulation outcome.
+func attachPrograms(sw *core.Switch, atts []ProgramAttachment, split, merge rmt.PortID) []*prog.Instance {
+	insts := make([]*prog.Instance, 0, len(atts))
+	for _, att := range atts {
+		params := make(map[string]int64, len(att.Params)+2)
+		for k, v := range att.Params {
+			params[k] = v
+		}
+		if att.Spec != nil {
+			for name, def := range map[string]int64{
+				"split_port": int64(split),
+				"merge_port": int64(merge),
+			} {
+				if _, pinned := att.Params[name]; pinned {
+					continue
+				}
+				if _, declared := att.Spec.ResolveParam(name, nil); declared {
+					params[name] = def
+				}
+			}
+		}
+		inst, err := sw.AttachSpec(att.Spec, params, nil)
+		if err != nil {
+			panic(fmt.Sprintf("sim: attach program: %v", err))
+		}
+		insts = append(insts, inst)
+	}
+	return insts
+}
+
+// counterSnapshot captures one instance's cumulative counter values.
+func counterSnapshot(inst *prog.Instance) map[string]uint64 {
+	return inst.Counters()
+}
+
+// programSnapshots captures every instance's cumulative counters (taken
+// at window start for in-window deltas).
+func programSnapshots(insts []*prog.Instance) []map[string]uint64 {
+	out := make([]map[string]uint64, len(insts))
+	for i, inst := range insts {
+		out[i] = counterSnapshot(inst)
+	}
+	return out
+}
+
+// programOccupancy sums the occupied cells of the instance's meta state
+// tables (parked payload slots and compression contexts).
+func programOccupancy(inst *prog.Instance) int {
+	return inst.Occupied(prog.RoleMeta) + inst.Occupied(prog.RoleCompMeta)
+}
+
+// programReport diffs one instance against its window-start snapshot.
+// A nil snapshot (window never started) reports the cumulative values.
+func programReport(swName string, inst *prog.Instance, snap map[string]uint64) ProgramCounters {
+	pc := ProgramCounters{
+		Switch:    swName,
+		Program:   inst.Spec().Name,
+		Counters:  make(map[string]uint64),
+		Occupancy: programOccupancy(inst),
+	}
+	for name, v := range inst.Counters() {
+		pc.Counters[name] = v - snap[name]
+	}
+	return pc
+}
+
+// programReports builds the report section for one switch's instances.
+func programReports(swName string, insts []*prog.Instance, snaps []map[string]uint64) []ProgramCounters {
+	out := make([]ProgramCounters, 0, len(insts))
+	for i, inst := range insts {
+		var snap map[string]uint64
+		if i < len(snaps) {
+			snap = snaps[i]
+		}
+		out = append(out, programReport(swName, inst, snap))
+	}
+	sortPrograms(out)
+	return out
+}
+
+// sortPrograms orders a report section by (switch, program) so output is
+// deterministic regardless of attach order.
+func sortPrograms(pcs []ProgramCounters) {
+	sort.SliceStable(pcs, func(i, j int) bool {
+		if pcs[i].Switch != pcs[j].Switch {
+			return pcs[i].Switch < pcs[j].Switch
+		}
+		return pcs[i].Program < pcs[j].Program
+	})
+}

@@ -56,6 +56,12 @@ type TestbedConfig struct {
 	// are overridden to the canonical topology).
 	PayloadPark bool
 	PP          core.Config
+	// Programs attaches declarative table programs (internal/prog specs)
+	// beyond — or instead of — the built-in parking program. Each spec's
+	// split_port/merge_port default to the canonical generator/NF ports
+	// unless pinned in the attachment's Params. Per-program in-window
+	// counter deltas land in Result.Programs.
+	Programs []ProgramAttachment
 	// ExplicitDrop enables the §6.2.4 framework modification.
 	ExplicitDrop bool
 	// WarmupNs/MeasureNs bound the measurement window.
@@ -155,6 +161,9 @@ type Result struct {
 	ExplicitDrops uint64 `json:"explicit_drops"`
 	// Healthy reports the paper's <0.1% unintended-drop criterion.
 	Healthy bool `json:"healthy"`
+	// Programs reports each attached declarative table program's
+	// in-window counter deltas (empty unless TestbedConfig.Programs ran).
+	Programs []ProgramCounters `json:"programs,omitempty"`
 	// SRAMPct is the average per-stage SRAM utilization of the ingress pipe.
 	SRAMPct float64 `json:"sram_pct"`
 	// PerCore is the NF server's per-core drop/occupancy record over the
@@ -205,6 +214,7 @@ func RunTestbed(cfg TestbedConfig) Result {
 			panic(fmt.Sprintf("sim: attach payloadpark: %v", err))
 		}
 	}
+	insts := attachPrograms(sw, cfg.Programs, portSplit, portNF)
 
 	chain := cfg.BuildChain()
 	srv := nf.NewServer(nf.ServerConfig{
@@ -334,10 +344,12 @@ func RunTestbed(cfg TestbedConfig) Result {
 
 	// Counter snapshot at window start for in-window deltas.
 	var snap core.Counters
+	var progSnaps []map[string]uint64
 	eng.ScheduleAt(windowStart, func() {
 		if prog != nil {
 			snap = prog.C
 		}
+		progSnaps = programSnapshots(insts)
 	})
 
 	// Adaptive-eviction control plane (single-switch: no groups, the
@@ -396,6 +408,12 @@ func RunTestbed(cfg TestbedConfig) Result {
 		res.SmallSkips = prog.C.SmallPayloadSkips.Value() - snap.SmallPayloadSkips.Value()
 		res.ExplicitDrops = prog.C.ExplicitDrops.Value() - snap.ExplicitDrops.Value()
 		res.SRAMPct = sw.Pipe(0).Resources().SRAMAvgPct
+	}
+	if len(insts) > 0 {
+		res.Programs = programReports("", insts, progSnaps)
+		if res.SRAMPct == 0 {
+			res.SRAMPct = sw.Pipe(0).Resources().SRAMAvgPct
+		}
 	}
 	if controller != nil {
 		res.Control = controller.Snapshot()

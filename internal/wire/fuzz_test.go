@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+)
+
+// FuzzWireRoundTrip throws arbitrary datagram bytes at the frame parser
+// exactly as a switch daemon receives them off the socket. Corrupt
+// frames must be rejected with an error — never a panic — and any frame
+// that parses must reserialize to a stable wire form: parse(serialize(p))
+// succeeds and reserializes byte-identically. (The first parse may
+// canonicalize lossy bits — e.g. the TCP data-offset nibble is fixed at
+// 5 on output — so the fixpoint is asserted from the first reserialize
+// onward, not against the raw input.)
+func FuzzWireRoundTrip(f *testing.F) {
+	ft := packet.FiveTuple{
+		SrcIP: packet.IPv4Addr{10, 0, 0, 1}, DstIP: packet.IPv4Addr{10, 1, 0, 9},
+		SrcPort: 5000, DstPort: 80, Protocol: packet.IPProtoUDP,
+	}
+	b := packet.NewBuilder(wGenMAC, wNFMAC)
+
+	// Seed the corpus with every frame shape the daemons exchange:
+	// plain UDP, TCP, a split frame with a PayloadPark header at the
+	// default and a shifted decoupling boundary, and a header-compressed
+	// frame.
+	f.Add(b.UDP(ft, 512, 1).Serialize(), byte(0))
+	tft := ft
+	tft.Protocol = packet.IPProtoTCP
+	f.Add(b.TCP(tft, 512, 7, 2).Serialize(), byte(0))
+	pp := b.UDP(ft, 512, 3)
+	pp.PP = &packet.PPHeader{Enabled: true, Tag: packet.Tag{TableIndex: 9, Clock: 4}.Seal()}
+	f.Add(pp.Serialize(), byte(1))
+	shifted := b.UDP(ft, 512, 4)
+	shifted.PP = &packet.PPHeader{Enabled: true, Tag: packet.Tag{TableIndex: 2, Clock: 1}.Seal()}
+	shifted.PPOffset = 8
+	f.Add(shifted.Serialize(), byte(2))
+	cr := b.UDP(ft, 128, 5)
+	cr.SetCR(packet.CRHeader{Proto: packet.IPProtoUDP, Tag: packet.Tag{TableIndex: 3, Clock: 2}.Seal()})
+	f.Add(cr.Serialize(), byte(0))
+	f.Add([]byte{}, byte(0))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), byte(1))
+
+	f.Fuzz(func(t *testing.T, frame []byte, mode byte) {
+		if len(frame) > MaxFrame {
+			frame = frame[:MaxFrame]
+		}
+		// The PP offset is port knowledge, not frame bytes: fuzz the
+		// three geometries the simulations use (none, 0, shifted).
+		ppOffset := []int{-1, 0, 8}[int(mode)%3]
+		p1, err := packet.ParseAt(frame, ppOffset)
+		if err != nil {
+			if p1 != nil {
+				t.Fatalf("rejected frame returned a packet: %v", err)
+			}
+			return // corrupt input rejected cleanly
+		}
+
+		// Whatever parsed must reserialize...
+		out1 := p1.Serialize()
+		reOffset := -1
+		if p1.PP != nil {
+			reOffset = p1.PPOffset
+		}
+		// ...into a frame the receiving daemon can parse back...
+		p2, err := packet.ParseAt(out1, reOffset)
+		if err != nil {
+			t.Fatalf("serialized frame does not re-parse (ppOffset=%d): %v\nframe: %x", reOffset, err, out1)
+		}
+		// ...reaching a stable wire form.
+		if out2 := p2.Serialize(); !bytes.Equal(out1, out2) {
+			t.Fatalf("round trip not a fixpoint:\nfirst:  %x\nsecond: %x", out1, out2)
+		}
+		if p2.Eth != p1.Eth {
+			t.Fatalf("ethernet header drifted: %+v -> %+v", p1.Eth, p2.Eth)
+		}
+		if p1.CR == nil && p2.FiveTuple() != p1.FiveTuple() {
+			t.Fatalf("five-tuple drifted: %+v -> %+v", p1.FiveTuple(), p2.FiveTuple())
+		}
+	})
+}

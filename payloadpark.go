@@ -42,6 +42,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/harness"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/scenario"
 	"github.com/payloadpark/payloadpark/internal/sim"
@@ -111,6 +112,28 @@ type (
 	// ParkingPolicy selects where and how payloads park (the zero value
 	// is the baseline).
 	ParkingPolicy = scenario.Parking
+	// ProgramPolicy is the declarative table-program section of a
+	// Scenario: Kind "compress" runs the built-in ROHC-style
+	// header-compression spec, Kind "custom" installs an arbitrary
+	// serialized ProgramSpec (Testbed only). The zero value installs
+	// nothing.
+	ProgramPolicy = scenario.Program
+	// ProgramSpec is a declarative table program — parser geometry,
+	// match-action tables, and register layouts as data. Specs round-trip
+	// through JSON, so new policies need no Go code; installing one
+	// (ProgramPolicy Kind "custom") compiles it against the same RMT
+	// stage/SRAM budgets as the built-in program.
+	ProgramSpec = prog.Spec
+	// ProgramInstance is a compiled, installed ProgramSpec: live counters,
+	// registers, and runtime parameters.
+	ProgramInstance = prog.Instance
+	// ProgramCounters is one installed program's counter report in
+	// Report.Programs.
+	ProgramCounters = sim.ProgramCounters
+	// ParkSpecParams / CompressSpecParams parameterize the built-in spec
+	// builders.
+	ParkSpecParams     = prog.ParkParams
+	CompressSpecParams = prog.CompressParams
 	// Control is the control-plane spec of a Scenario: ECMP multipath
 	// routing (LeafSpine) and/or the fabric-wide adaptive parking policy,
 	// both driven by a telemetry-tick controller. The zero value keeps
@@ -173,6 +196,16 @@ var (
 // CustomTopology implementations pass it to their sim config so
 // mid-simulation cancellation works for them too.
 func CancelFunc(ctx context.Context) func() bool { return scenario.CancelFunc(ctx) }
+
+// Built-in table-program spec builders: the paper's parking program, the
+// ROHC-style header-compression program, and both combined on one pipe —
+// each returned as plain data that serializes to JSON (the format
+// `ppbench -program` runs).
+var (
+	PayloadParkProgramSpec    = prog.PayloadParkSpec
+	HeaderCompressProgramSpec = prog.HeaderCompressSpec
+	ParkCompressProgramSpec   = prog.ParkCompressSpec
+)
 
 // Parked-payload geometry (fixed by the hardware model, §5 and §6.2.5).
 const (
