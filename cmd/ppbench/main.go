@@ -9,6 +9,7 @@
 //
 //	ppbench -list
 //	ppbench -exp fig7 [-quick] [-seed N] [-json out.json]
+//	ppbench -exp live [-quick] [-json BENCH_live.json]
 //	ppbench -exp all  [-quick] [-json out.json]
 //	ppbench -exp scale -partitions 1,2,4,8 [-quick] [-json BENCH_scale.json]
 //	ppbench -parallel [-quick] [-seed N]

@@ -2,6 +2,10 @@
 // over UDP sockets. It hosts one of the paper's chains and returns
 // processed frames to the switch; the PayloadPark header riding in the
 // payload region passes through untouched.
+//
+// Like ppswitchd, it receives in recvmmsg-style bursts (-burst) and
+// returns the processed burst through the reused-buffer batched sender
+// (wire.BatchSender, one sendmmsg per burst on Linux).
 package main
 
 import (

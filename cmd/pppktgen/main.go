@@ -1,6 +1,12 @@
 // Command pppktgen is the wire-mode traffic generator: it sends UDP
 // packets (fixed-size or the paper's datacenter mix) through the switch
 // and reports how many came back intact.
+//
+// -blast replaces the paced sender with the open-loop batched path:
+// frames are serialized back-to-back into one reused buffer and flushed
+// in sendmmsg-style batches (wire.BatchSender, the same send path the
+// live fabric's per-pipe workers use), reporting achieved pps and Gbps
+// instead of pacing to -pps.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 		size   = flag.Int("size", 0, "fixed packet size in bytes (0 = datacenter mix)")
 		pps    = flag.Int("pps", 20000, "send rate in packets/second")
 		seed   = flag.Int64("seed", 1, "random seed")
+		blast  = flag.Bool("blast", false, "open-loop batched sends (ignore -pps), report wire rate")
 	)
 	flag.Parse()
 
@@ -44,29 +51,53 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	g, err := wire.NewGenerator(ctx, wire.GenConfig{Listen: *listen, SwitchAddr: *swAddr})
+	g, err := wire.NewGenerator(ctx, wire.GenConfig{Listen: *listen, SwitchAddr: *swAddr, Discard: *blast})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pppktgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pppktgen: %s -> %s, %d packets at %d pps (%s sizes)\n",
-		g.Addr(), *swAddr, *count, *pps, dist.Name())
 
-	interval := time.Second / time.Duration(*pps)
-	start := time.Now()
 	var sentBytes int
-	for i := 0; i < *count; i++ {
-		pkt := gen.Next()
-		sentBytes += pkt.Len()
-		if err := g.Send(pkt.Serialize()); err != nil {
-			fmt.Fprintf(os.Stderr, "pppktgen: send: %v\n", err)
-			os.Exit(1)
+	var elapsed time.Duration
+	if *blast {
+		fmt.Printf("pppktgen: %s -> %s, %d packets open-loop batched (%s sizes)\n",
+			g.Addr(), *swAddr, *count, dist.Name())
+		bs := g.BatchSender()
+		dst := g.SwitchUDPAddr()
+		start := time.Now()
+		for i := 0; i < *count; i++ {
+			pkt := gen.Next()
+			sentBytes += pkt.Len()
+			bs.Commit(pkt.AppendSerialize(bs.Begin()), dst, &g.Sent)
+			if bs.Pending() >= wire.DefaultBurst {
+				bs.Flush()
+			}
 		}
-		time.Sleep(interval)
+		bs.Flush()
+		elapsed = time.Since(start)
+	} else {
+		fmt.Printf("pppktgen: %s -> %s, %d packets at %d pps (%s sizes)\n",
+			g.Addr(), *swAddr, *count, *pps, dist.Name())
+		interval := time.Second / time.Duration(*pps)
+		start := time.Now()
+		for i := 0; i < *count; i++ {
+			pkt := gen.Next()
+			sentBytes += pkt.Len()
+			if err := g.Send(pkt.Serialize()); err != nil {
+				fmt.Fprintf(os.Stderr, "pppktgen: send: %v\n", err)
+				os.Exit(1)
+			}
+			time.Sleep(interval)
+		}
+		elapsed = time.Since(start)
 	}
-	elapsed := time.Since(start)
 	got := g.WaitReceived(uint64(*count), 5*time.Second)
 	fmt.Printf("pppktgen: sent=%d (%.2f Mbit, %.1fs) received=%d loss=%.3f%%\n",
 		g.Sent.Load(), float64(sentBytes)*8/1e6, elapsed.Seconds(),
 		got, 100*float64(g.Sent.Load()-got)/float64(g.Sent.Load()))
+	if *blast && elapsed > 0 {
+		secs := elapsed.Seconds()
+		fmt.Printf("pppktgen: wire rate %.0f pps, %.3f Gbps sent\n",
+			float64(g.Sent.Load())/secs, float64(sentBytes)*8/secs/1e9)
+	}
 }

@@ -2,6 +2,12 @@
 // over UDP sockets: raw Ethernet frames ride one-per-datagram between the
 // generator, this switch, and the NF server.
 //
+// Frames are read in recvmmsg-style bursts (-burst) and the whole burst
+// is driven through the switch's zero-alloc batch path; emissions are
+// serialized back-to-back into one reused buffer and flushed with a
+// single sendmmsg on Linux (wire.BatchSender) — the same receive and
+// send path the live fabric's per-pipe workers use.
+//
 // Example (three terminals):
 //
 //	ppswitchd -listen 127.0.0.1:7000 -gen 127.0.0.1:7001 -nf 127.0.0.1:7002 -slots 4096

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// burstSlot is one frame's scratch state inside a FrameBurst: a reusable
+// parsed packet whose payload is steered into buf at a fixed offset so the
+// headroom in front of it can absorb merged payload blocks in place —
+// the same layout frameScratch gives InjectFrameAppend, replicated per
+// burst index so a whole burst can be parsed before any packet is
+// injected.
+type burstSlot struct {
+	pkt packet.Packet
+	udp packet.UDP
+	tcp packet.TCP
+	pp  packet.PPHeader
+	// buf backs the payload: [0,head) is merge headroom, payload bytes
+	// start at head.
+	buf  []byte
+	head int
+}
+
+// FrameBurst is the batched raw-frame entry point: a fixed-capacity set of
+// parse slots feeding InjectBatch. A socket worker fills it with one
+// receive burst (Add per frame), runs the whole burst through the switch
+// (Run), and serializes the surviving emissions — one parse/inject/emit
+// cycle per burst instead of per frame, with nothing allocated in steady
+// state.
+//
+// A FrameBurst is owned by one goroutine and — like all Inject* paths —
+// may only run concurrently with other pipe traffic under the
+// one-worker-per-pipe discipline ParallelDriver documents. Emissions
+// returned by Run alias the burst's slot scratch and stay valid until the
+// next Reset/Add cycle.
+type FrameBurst struct {
+	sw      *Switch
+	slots   []burstSlot
+	batch   []BatchPacket
+	results []BatchResult
+}
+
+// NewFrameBurst returns a burst of the given capacity (DefaultBurst-sized
+// callers typically match their receive burst).
+func (s *Switch) NewFrameBurst(capacity int) *FrameBurst {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FrameBurst{
+		sw:      s,
+		slots:   make([]burstSlot, capacity),
+		batch:   make([]BatchPacket, 0, capacity),
+		results: make([]BatchResult, capacity),
+	}
+}
+
+// Reset empties the burst for the next receive cycle.
+func (b *FrameBurst) Reset() { b.batch = b.batch[:0] }
+
+// Len returns how many frames the burst currently holds.
+func (b *FrameBurst) Len() int { return len(b.batch) }
+
+// Cap returns the burst capacity.
+func (b *FrameBurst) Cap() int { return len(b.slots) }
+
+// Add parses frame into the next slot, entering on port in. Parse
+// failures and invalid ports are counted against the switch (rx + drop
+// reason) and reported back; the burst itself stays usable. Adding past
+// capacity is an error.
+func (b *FrameBurst) Add(frame []byte, in rmt.PortID) error {
+	if len(b.batch) >= len(b.slots) {
+		return fmt.Errorf("core: frame burst full (%d slots)", len(b.slots))
+	}
+	pipeIdx := PipeOfPort(in)
+	if pipeIdx < 0 || pipeIdx >= NumPipes {
+		b.sw.rx[invalidShard].Inc()
+		b.sw.drop(invalidShard, dropInvalidPort)
+		return fmt.Errorf("core: invalid port %d", in)
+	}
+	sc := &b.slots[len(b.batch)]
+	if sc.buf == nil || sc.head != b.sw.maxPark {
+		sc.head = b.sw.maxPark
+		sc.buf = make([]byte, sc.head+maxFrameBytes)
+	}
+	sc.pkt.UDP = &sc.udp
+	sc.pkt.TCP = &sc.tcp
+	sc.pkt.PP = &sc.pp
+	sc.pkt.Payload = sc.buf[sc.head:sc.head]
+	if err := packet.ParseAtInto(&sc.pkt, frame, b.sw.ppOffset[in]); err != nil {
+		b.sw.rx[pipeIdx].Inc()
+		b.sw.drop(pipeIdx, dropParseError)
+		return err
+	}
+	// Headroom holds only while the payload still sits at its scratch
+	// position (an oversized frame would have forced a reallocation).
+	if sc.head > 0 && len(sc.pkt.Payload) > 0 && &sc.pkt.Payload[0] == &sc.buf[sc.head] {
+		sc.pkt.StashHeadroom(sc.buf[:sc.head])
+	} else {
+		sc.pkt.StashHeadroom(nil)
+	}
+	b.batch = append(b.batch, BatchPacket{Pkt: &sc.pkt, In: in})
+	return nil
+}
+
+// Run injects every added frame through the switch via InjectBatch and
+// returns the per-frame results, index-aligned with the Add order. Result
+// emissions (packets included) alias slot scratch: serialize or copy what
+// must survive before the next Reset/Add.
+func (b *FrameBurst) Run() []BatchResult {
+	results := b.results[:len(b.batch)]
+	b.sw.InjectBatch(b.batch, results)
+	return results
+}

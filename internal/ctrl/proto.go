@@ -1,0 +1,360 @@
+package ctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// The control protocol carries the Plant interface over a byte stream so
+// a Controller can drive dataplane daemons in other processes — the role
+// P4Runtime plays for a hardware switch. Framing is a 4-byte big-endian
+// body length followed by the body; the body's first byte is the message
+// type. Strings are u16-length-prefixed UTF-8; integers are big-endian
+// fixed width; floats are IEEE 754 bits.
+//
+// ReadTelemetry is the only request/response exchange (msgTelemetryReq →
+// msgTelemetryResp); the three Push* updates are one-way. All messages
+// flow on one stream in order, so a push sent before a telemetry request
+// is applied before the sample is taken.
+
+const (
+	msgTelemetryReq  = 1
+	msgTelemetryResp = 2
+	msgPushExpiry    = 3
+	msgPushTransit   = 4
+	msgPushGroup     = 5
+
+	// maxProtoFrame bounds a frame body; larger announcements are
+	// corruption, not real telemetry.
+	maxProtoFrame = 1 << 20
+)
+
+// appendString appends a u16-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// parseString consumes a u16-length-prefixed string.
+func parseString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("ctrl: truncated string length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("ctrl: truncated string body (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// appendTelemetry encodes a telemetry snapshot (sans type byte).
+func appendTelemetry(b []byte, t *Telemetry) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.Switches)))
+	for i := range t.Switches {
+		s := &t.Switches[i]
+		b = appendString(b, s.Name)
+		b = binary.BigEndian.AppendUint64(b, s.Premature)
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Occupancy))
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Slots))
+		if s.Demotable {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.Links)))
+	for i := range t.Links {
+		l := &t.Links[i]
+		b = appendString(b, l.Name)
+		if l.Down {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(l.UtilPct))
+		b = binary.BigEndian.AppendUint64(b, uint64(l.QueueBytes))
+	}
+	return b
+}
+
+// parseTelemetry decodes a telemetry body into t, reusing its slices.
+func parseTelemetry(b []byte, t *Telemetry) error {
+	if len(b) < 4 {
+		return fmt.Errorf("ctrl: truncated telemetry switch count")
+	}
+	nsw := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	t.Switches = t.Switches[:0]
+	for i := 0; i < nsw; i++ {
+		var s SwitchTelem
+		var err error
+		if s.Name, b, err = parseString(b); err != nil {
+			return err
+		}
+		if len(b) < 8+8+8+1 {
+			return fmt.Errorf("ctrl: truncated switch telemetry %q", s.Name)
+		}
+		s.Premature = binary.BigEndian.Uint64(b)
+		s.Occupancy = int(binary.BigEndian.Uint64(b[8:]))
+		s.Slots = int(binary.BigEndian.Uint64(b[16:]))
+		s.Demotable = b[24] != 0
+		b = b[25:]
+		t.Switches = append(t.Switches, s)
+	}
+	if len(b) < 4 {
+		return fmt.Errorf("ctrl: truncated telemetry link count")
+	}
+	nl := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	t.Links = t.Links[:0]
+	for i := 0; i < nl; i++ {
+		var l LinkTelem
+		var err error
+		if l.Name, b, err = parseString(b); err != nil {
+			return err
+		}
+		if len(b) < 1+8+8 {
+			return fmt.Errorf("ctrl: truncated link telemetry %q", l.Name)
+		}
+		l.Down = b[0] != 0
+		l.UtilPct = math.Float64frombits(binary.BigEndian.Uint64(b[1:]))
+		l.QueueBytes = int(binary.BigEndian.Uint64(b[9:]))
+		b = b[17:]
+		t.Links = append(t.Links, l)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("ctrl: %d trailing bytes after telemetry", len(b))
+	}
+	return nil
+}
+
+// writeFrame writes one length-prefixed frame (body already includes the
+// type byte).
+func writeFrame(w io.Writer, scratch, body []byte) error {
+	if len(body) > maxProtoFrame {
+		return fmt.Errorf("ctrl: frame body %d exceeds %d bytes", len(body), maxProtoFrame)
+	}
+	hdr := binary.BigEndian.AppendUint32(scratch[:0], uint32(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame body into buf (grown as needed).
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return buf, fmt.Errorf("ctrl: empty frame")
+	}
+	if n > maxProtoFrame {
+		return buf, fmt.Errorf("ctrl: frame body %d exceeds %d bytes", n, maxProtoFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("ctrl: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// PlantClient implements Plant over a byte stream whose far end runs
+// ServePlant. Methods are safe for one goroutine (the Controller); the
+// first transport or protocol error latches in Err and turns every
+// subsequent call into a no-op, mirroring how a controller survives a
+// dead switch connection.
+type PlantClient struct {
+	rw   io.ReadWriter
+	out  []byte
+	in   []byte
+	head [4]byte
+	err  error
+}
+
+// NewPlantClient wraps a stream connected to ServePlant.
+func NewPlantClient(rw io.ReadWriter) *PlantClient {
+	return &PlantClient{rw: rw}
+}
+
+// Err returns the latched transport/protocol error, if any.
+func (c *PlantClient) Err() error { return c.err }
+
+func (c *PlantClient) send(body []byte) {
+	if c.err != nil {
+		return
+	}
+	c.out = body
+	c.err = writeFrame(c.rw, c.head[:], body)
+}
+
+// ReadTelemetry requests a snapshot and decodes the response into t. On
+// error t is left truncated and the error latches.
+func (c *PlantClient) ReadTelemetry(t *Telemetry) {
+	c.send(append(c.out[:0], msgTelemetryReq))
+	if c.err != nil {
+		return
+	}
+	c.in, c.err = readFrame(c.rw, c.in)
+	if c.err != nil {
+		return
+	}
+	if c.in[0] != msgTelemetryResp {
+		c.err = fmt.Errorf("ctrl: unexpected reply type %d to telemetry request", c.in[0])
+		return
+	}
+	c.err = parseTelemetry(c.in[1:], t)
+}
+
+// PushExpiry sends a fire-and-forget expiry rewrite for sw.
+func (c *PlantClient) PushExpiry(sw string, expiry uint32) {
+	b := append(c.out[:0], msgPushExpiry)
+	b = appendString(b, sw)
+	c.send(binary.BigEndian.AppendUint32(b, expiry))
+}
+
+// PushTransitSplit sends a fire-and-forget transit-split toggle for sw.
+func (c *PlantClient) PushTransitSplit(sw string, enabled bool) {
+	b := append(c.out[:0], msgPushTransit)
+	b = appendString(b, sw)
+	if enabled {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	c.send(b)
+}
+
+// PushGroup sends a fire-and-forget group-membership rewrite.
+func (c *PlantClient) PushGroup(group string, members []string) {
+	b := append(c.out[:0], msgPushGroup)
+	b = appendString(b, group)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(members)))
+	for _, m := range members {
+		b = appendString(b, m)
+	}
+	c.send(b)
+}
+
+var _ Plant = (*PlantClient)(nil)
+
+// ServePlant answers one PlantClient over rw, forwarding every message to
+// plant until the stream closes (io.EOF returns nil) or a protocol error
+// occurs. The plant's methods are called from this goroutine only; the
+// Telemetry scratch is reused across requests as Plant documents.
+func ServePlant(rw io.ReadWriter, plant Plant) error {
+	var buf []byte
+	var out []byte
+	var head [4]byte
+	var t Telemetry
+	var err error
+	for {
+		buf, err = readFrame(rw, buf)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		body := buf[1:]
+		switch buf[0] {
+		case msgTelemetryReq:
+			if len(body) != 0 {
+				return fmt.Errorf("ctrl: telemetry request carries %d body bytes", len(body))
+			}
+			plant.ReadTelemetry(&t)
+			out = appendTelemetry(append(out[:0], msgTelemetryResp), &t)
+			if err := writeFrame(rw, head[:], out); err != nil {
+				return err
+			}
+		case msgPushExpiry:
+			sw, rest, err := parseString(body)
+			if err != nil {
+				return err
+			}
+			if len(rest) != 4 {
+				return fmt.Errorf("ctrl: push-expiry body has %d trailing bytes, want 4", len(rest))
+			}
+			plant.PushExpiry(sw, binary.BigEndian.Uint32(rest))
+		case msgPushTransit:
+			sw, rest, err := parseString(body)
+			if err != nil {
+				return err
+			}
+			if len(rest) != 1 {
+				return fmt.Errorf("ctrl: push-transit body has %d trailing bytes, want 1", len(rest))
+			}
+			plant.PushTransitSplit(sw, rest[0] != 0)
+		case msgPushGroup:
+			group, rest, err := parseString(body)
+			if err != nil {
+				return err
+			}
+			if len(rest) < 4 {
+				return fmt.Errorf("ctrl: truncated push-group member count")
+			}
+			n := int(binary.BigEndian.Uint32(rest))
+			rest = rest[4:]
+			members := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				var m string
+				if m, rest, err = parseString(rest); err != nil {
+					return err
+				}
+				members = append(members, m)
+			}
+			if len(rest) != 0 {
+				return fmt.Errorf("ctrl: %d trailing bytes after push-group", len(rest))
+			}
+			plant.PushGroup(group, members)
+		default:
+			return fmt.Errorf("ctrl: unknown message type %d", buf[0])
+		}
+	}
+}
+
+// LockedPlant serializes a Plant behind a mutex so ServePlant sessions
+// and in-process callers can share one dataplane.
+type LockedPlant struct {
+	mu sync.Mutex
+	P  Plant
+}
+
+func (l *LockedPlant) ReadTelemetry(t *Telemetry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.P.ReadTelemetry(t)
+}
+
+func (l *LockedPlant) PushExpiry(sw string, expiry uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.P.PushExpiry(sw, expiry)
+}
+
+func (l *LockedPlant) PushTransitSplit(sw string, enabled bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.P.PushTransitSplit(sw, enabled)
+}
+
+func (l *LockedPlant) PushGroup(group string, members []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.P.PushGroup(group, members)
+}
+
+var _ Plant = (*LockedPlant)(nil)

@@ -1,0 +1,202 @@
+package ctrl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+)
+
+func sampleTelemetry() Telemetry {
+	return Telemetry{
+		Switches: []SwitchTelem{
+			{Name: "leaf0", Premature: 42, Occupancy: 17, Slots: 1024, Demotable: true},
+			{Name: "spine1", Premature: 0, Occupancy: 0, Slots: 0, Demotable: false},
+		},
+		Links: []LinkTelem{
+			{Name: "leaf0-spine1", Down: false, UtilPct: 87.5, QueueBytes: 40960},
+			{Name: "leaf1-spine0", Down: true, UtilPct: 0, QueueBytes: 0},
+		},
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	want := sampleTelemetry()
+	body := appendTelemetry(nil, &want)
+	var got Telemetry
+	// Pre-populate with garbage to prove slices are reset, not appended.
+	got.Switches = []SwitchTelem{{Name: "stale"}}
+	got.Links = []LinkTelem{{Name: "stale"}}
+	if err := parseTelemetry(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Empty snapshot round-trips too.
+	var empty, got2 Telemetry
+	if err := parseTelemetry(appendTelemetry(nil, &empty), &got2); err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Switches) != 0 || len(got2.Links) != 0 {
+		t.Fatalf("empty snapshot decoded as %+v", got2)
+	}
+}
+
+func TestParseTelemetryRejectsCorrupt(t *testing.T) {
+	want := sampleTelemetry()
+	body := appendTelemetry(nil, &want)
+	// Every strict prefix must be rejected, never panic.
+	for n := 0; n < len(body); n++ {
+		var got Telemetry
+		if err := parseTelemetry(body[:n], &got); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(body))
+		}
+	}
+	// Trailing garbage is rejected.
+	var got Telemetry
+	if err := parseTelemetry(append(append([]byte{}, body...), 0xff), &got); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// An absurd switch count must fail fast, not allocate.
+	huge := binary.BigEndian.AppendUint32(nil, 1<<30)
+	if err := parseTelemetry(huge, &got); err == nil {
+		t.Fatal("huge switch count accepted")
+	}
+}
+
+func TestReadFrameRejectsOversizeAndTruncated(t *testing.T) {
+	over := binary.BigEndian.AppendUint32(nil, maxProtoFrame+1)
+	if _, err := readFrame(bytes.NewReader(over), nil); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	zero := binary.BigEndian.AppendUint32(nil, 0)
+	if _, err := readFrame(bytes.NewReader(zero), nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	short := binary.BigEndian.AppendUint32(nil, 10)
+	short = append(short, 1, 2, 3) // 3 of 10 body bytes
+	if _, err := readFrame(bytes.NewReader(short), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// recordingPlant records every Plant call for conformance checks.
+type recordingPlant struct {
+	telem   Telemetry
+	expiry  map[string]uint32
+	transit map[string]bool
+	groups  map[string][]string
+	reads   int
+}
+
+func newRecordingPlant(t Telemetry) *recordingPlant {
+	return &recordingPlant{
+		telem:   t,
+		expiry:  map[string]uint32{},
+		transit: map[string]bool{},
+		groups:  map[string][]string{},
+	}
+}
+
+func (p *recordingPlant) ReadTelemetry(t *Telemetry) {
+	p.reads++
+	t.Switches = append(t.Switches[:0], p.telem.Switches...)
+	t.Links = append(t.Links[:0], p.telem.Links...)
+}
+func (p *recordingPlant) PushExpiry(sw string, expiry uint32) { p.expiry[sw] = expiry }
+func (p *recordingPlant) PushTransitSplit(sw string, on bool) { p.transit[sw] = on }
+func (p *recordingPlant) PushGroup(group string, members []string) {
+	p.groups[group] = append([]string(nil), members...)
+}
+
+// TestPlantClientConformance drives a PlantClient against ServePlant over
+// net.Pipe and checks the served plant observes exactly the calls a
+// direct in-process Plant would.
+func TestPlantClientConformance(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	plant := newRecordingPlant(sampleTelemetry())
+	done := make(chan error, 1)
+	go func() { done <- ServePlant(srvConn, plant) }()
+
+	c := NewPlantClient(cliConn)
+	// Pushes are ordered before the read on one stream, so the snapshot
+	// is taken after they land.
+	c.PushExpiry("leaf0", 8)
+	c.PushExpiry("leaf0", 1) // last write wins
+	c.PushTransitSplit("spine1", false)
+	c.PushGroup("g0", []string{"spine0", "spine2"})
+	c.PushGroup("gempty", nil)
+	var got Telemetry
+	got.Switches = []SwitchTelem{{Name: "stale"}}
+	c.ReadTelemetry(&got)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plant.telem) {
+		t.Fatalf("telemetry over the wire:\n got %+v\nwant %+v", got, plant.telem)
+	}
+	// Second read reuses the decode scratch.
+	c.ReadTelemetry(&got)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plant.telem) {
+		t.Fatalf("second telemetry read diverged: %+v", got)
+	}
+
+	cliConn.Close()
+	if err := <-done; err != nil && err != io.ErrClosedPipe {
+		t.Fatalf("ServePlant: %v", err)
+	}
+	if plant.reads != 2 {
+		t.Fatalf("plant saw %d telemetry reads, want 2", plant.reads)
+	}
+	if got := plant.expiry["leaf0"]; got != 1 {
+		t.Fatalf("expiry[leaf0] = %d, want 1 (last write)", got)
+	}
+	if on, ok := plant.transit["spine1"]; !ok || on {
+		t.Fatalf("transit[spine1] = %v,%v, want false,true", on, ok)
+	}
+	if !reflect.DeepEqual(plant.groups["g0"], []string{"spine0", "spine2"}) {
+		t.Fatalf("groups[g0] = %v", plant.groups["g0"])
+	}
+	if g, ok := plant.groups["gempty"]; !ok || len(g) != 0 {
+		t.Fatalf("groups[gempty] = %v,%v, want empty,true", g, ok)
+	}
+}
+
+// rwShim turns a read-only byte stream into the io.ReadWriter ServePlant
+// wants, discarding anything it writes back.
+type rwShim struct {
+	io.Reader
+	io.Writer
+}
+
+// TestServePlantRejectsGarbage feeds ServePlant malformed frames and
+// requires an error (not a hang or panic), leaving the plant untouched.
+func TestServePlantRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown type":        {0, 0, 0, 1, 99},
+		"telemetry req body":  {0, 0, 0, 2, msgTelemetryReq, 7},
+		"expiry no payload":   {0, 0, 0, 1, msgPushExpiry},
+		"expiry short body":   {0, 0, 0, 5, msgPushExpiry, 0, 2, 'a', 'b'},
+		"transit extra bytes": {0, 0, 0, 7, msgPushTransit, 0, 1, 'x', 1, 9, 9},
+		"group short count":   {0, 0, 0, 4, msgPushGroup, 0, 1, 'g'},
+	}
+	for name, raw := range cases {
+		plant := newRecordingPlant(Telemetry{})
+		if err := ServePlant(rwShim{bytes.NewReader(raw), io.Discard}, plant); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if len(plant.expiry)+len(plant.transit)+len(plant.groups) != 0 {
+			t.Errorf("%s: plant mutated", name)
+		}
+	}
+	// A clean EOF (stream closed between frames) is a normal shutdown.
+	if err := ServePlant(rwShim{bytes.NewReader(nil), io.Discard}, newRecordingPlant(Telemetry{})); err != nil {
+		t.Fatalf("clean EOF: %v", err)
+	}
+}

@@ -1,0 +1,345 @@
+package live
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/packet"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// Endpoint kinds hanging off switch ports.
+const (
+	epGen  = iota // traffic source; in the chain geometry also the sink
+	epNF          // NF server
+	epSink        // pure sink (leaf-spine delivery point)
+)
+
+// endpoint is a generator, NF, or sink attached to a switch port.
+type endpoint struct {
+	kind  int
+	index int // generator / NF pair index
+}
+
+// cableEnd addresses one switch port.
+type cableEnd struct {
+	sw   int
+	port rmt.PortID
+}
+
+// link is what a cabled switch port connects to: an endpoint or the far
+// end of a switch-to-switch cable.
+type link struct {
+	ep    *endpoint
+	cable *cableEnd
+}
+
+// fabricSwitch is one switch of the fabric: the compiled pipelines, its
+// parking programs, and its port wiring.
+type fabricSwitch struct {
+	name  string
+	sw    *core.Switch
+	progs []*core.Program
+	links map[rmt.PortID]link
+}
+
+// pipesInUse returns the sorted pipe indices with at least one cabled
+// port.
+func (fs *fabricSwitch) pipesInUse() []int {
+	var used [core.NumPipes]bool
+	for port := range fs.links {
+		used[core.PipeOfPort(port)] = true
+	}
+	var pipes []int
+	for p, u := range used {
+		if u {
+			pipes = append(pipes, p)
+		}
+	}
+	return pipes
+}
+
+// fabric is the topology shared by the live runner and the reference
+// replay: switches with installed programs, the cable graph, and the
+// per-generator frame sequences.
+type fabric struct {
+	cfg      Config
+	geo      geometry
+	switches []*fabricSwitch
+	// gens[i] holds generator i's deterministic frames; genEntry[i] is
+	// where they enter the fabric; genTarget[i] is the NF pair serving it.
+	gens      [][][]byte
+	genEntry  []cableEnd
+	genTarget []int
+	// nfPort[j] is where NF j hangs (frames forwarded by the NF re-enter
+	// there).
+	nfPort []cableEnd
+}
+
+// build constructs the fabric for cfg (already defaulted and validated).
+func build(cfg Config) (*fabric, error) {
+	geo, err := cfg.parseGeometry()
+	if err != nil {
+		return nil, err
+	}
+	f := &fabric{cfg: cfg, geo: geo}
+	if geo.kind == "chain" {
+		err = f.buildChain()
+	} else {
+		err = f.buildLeafSpine()
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i, target := range f.genTarget {
+		f.gens = append(f.gens, cfg.genFrames(i, target))
+	}
+	return f, nil
+}
+
+// buildChain wires the testbed chain: one switch, and per pipe p a
+// generator on port 16p (the split port) and an NF on port 16p+1 (the
+// merge port) — the gen doubles as the sink, like the hardware testbed
+// where the pktgen NIC both offers and receives the traffic.
+func (f *fabric) buildChain() error {
+	fs := &fabricSwitch{
+		name:  "sw0",
+		sw:    core.NewSwitch("sw0"),
+		links: make(map[rmt.PortID]link),
+	}
+	for p := 0; p < f.cfg.Pipes; p++ {
+		split := rmt.PortID(p * core.PortsPerPipe)
+		merge := split + 1
+		fs.sw.AddL2Route(nfMAC(p), merge)
+		fs.sw.AddL2Route(genMAC(p), split)
+		if f.cfg.Parking {
+			prog, err := fs.sw.AttachPayloadPark(core.Config{
+				Slots:     f.cfg.Slots,
+				MaxExpiry: uint32(f.cfg.MaxExpiry),
+				SplitPort: split,
+				MergePort: merge,
+			}, -1)
+			if err != nil {
+				return fmt.Errorf("live: pipe %d program: %w", p, err)
+			}
+			fs.progs = append(fs.progs, prog)
+		}
+		fs.links[split] = link{ep: &endpoint{kind: epGen, index: p}}
+		fs.links[merge] = link{ep: &endpoint{kind: epNF, index: p}}
+		f.genEntry = append(f.genEntry, cableEnd{sw: 0, port: split})
+		f.genTarget = append(f.genTarget, p)
+		f.nfPort = append(f.nfPort, cableEnd{sw: 0, port: merge})
+	}
+	f.switches = []*fabricSwitch{fs}
+	return nil
+}
+
+// buildLeafSpine wires L leaves and S spines, park-at-edge. Leaf k's
+// ports (all pipe 0): 0 generator, 1 NF, 2 sink, 3+s uplink to spine s.
+// Generator k's traffic targets the NF on leaf (k+1)%L: split at leaf
+// k's port 0, transit via spine k%S, NF'd at leaf (k+1)%L, returned via
+// the same spine into leaf k's merge port 3+(k%S), merged, delivered to
+// leaf k's sink. Spine s's port k cables to leaf k; spines are baseline
+// L2 switches. The parity-safety constraint (adjacent leaves on distinct
+// spines) guarantees transit frames never enter a merge port.
+func (f *fabric) buildLeafSpine() error {
+	L, S := f.geo.leaves, f.geo.spines
+	for k := 0; k < L; k++ {
+		leaf := &fabricSwitch{
+			name:  fmt.Sprintf("leaf%d", k),
+			sw:    core.NewSwitch(fmt.Sprintf("leaf%d", k)),
+			links: make(map[rmt.PortID]link),
+		}
+		merge := rmt.PortID(3 + k%S)
+		if f.cfg.Parking {
+			prog, err := leaf.sw.AttachPayloadPark(core.Config{
+				Slots:     f.cfg.Slots,
+				MaxExpiry: uint32(f.cfg.MaxExpiry),
+				SplitPort: 0,
+				MergePort: merge,
+			}, -1)
+			if err != nil {
+				return fmt.Errorf("live: leaf %d program: %w", k, err)
+			}
+			leaf.progs = append(leaf.progs, prog)
+		}
+		// Local endpoints.
+		leaf.links[0] = link{ep: &endpoint{kind: epGen, index: k}}
+		leaf.links[1] = link{ep: &endpoint{kind: epNF, index: k}}
+		leaf.links[2] = link{ep: &endpoint{kind: epSink, index: k}}
+		// L2: this leaf's NF and sink, outbound split traffic to the next
+		// leaf's NF, and the previous leaf's NF'd traffic back up its
+		// return spine.
+		leaf.sw.AddL2Route(nfMAC(k), 1)
+		leaf.sw.AddL2Route(genMAC(k), 2)
+		next := (k + 1) % L
+		leaf.sw.AddL2Route(nfMAC(next), rmt.PortID(3+k%S))
+		prev := (k - 1 + L) % L
+		leaf.sw.AddL2Route(genMAC(prev), rmt.PortID(3+prev%S))
+		f.switches = append(f.switches, leaf)
+		f.genEntry = append(f.genEntry, cableEnd{sw: k, port: 0})
+		f.genTarget = append(f.genTarget, next)
+		f.nfPort = append(f.nfPort, cableEnd{sw: k, port: 1})
+	}
+	for s := 0; s < S; s++ {
+		spine := &fabricSwitch{
+			name:  fmt.Sprintf("spine%d", s),
+			sw:    core.NewSwitch(fmt.Sprintf("spine%d", s)),
+			links: make(map[rmt.PortID]link),
+		}
+		for k := 0; k < L; k++ {
+			spine.sw.AddL2Route(nfMAC(k), rmt.PortID(k))
+			spine.sw.AddL2Route(genMAC(k), rmt.PortID(k))
+		}
+		f.switches = append(f.switches, spine)
+	}
+	// Cables: leaf k port 3+s <-> spine s port k.
+	for k := 0; k < L; k++ {
+		for s := 0; s < S; s++ {
+			leafEnd := cableEnd{sw: k, port: rmt.PortID(3 + s)}
+			spineEnd := cableEnd{sw: L + s, port: rmt.PortID(k)}
+			f.switches[k].links[leafEnd.port] = link{cable: &spineEnd}
+			f.switches[L+s].links[spineEnd.port] = link{cable: &leafEnd}
+		}
+	}
+	return nil
+}
+
+// collect merges the fabric's dataplane counters. Callers must have
+// quiesced every pipe worker first (or be running the single-threaded
+// reference).
+func (f *fabric) collect() CounterSet {
+	var cs CounterSet
+	cs.Drops = make(map[string]uint64)
+	for _, fs := range f.switches {
+		cs.Rx += fs.sw.RxPackets()
+		cs.Tx += fs.sw.TxPackets()
+		for _, p := range fs.progs {
+			cs.Splits += p.C.Splits.Value()
+			cs.Merges += p.C.Merges.Value()
+			cs.Evictions += p.C.Evictions.Value()
+			cs.PrematureEvictions += p.C.PrematureEvictions.Value()
+			cs.ExplicitDrops += p.C.ExplicitDrops.Value()
+			cs.OccupiedSkips += p.C.OccupiedSkips.Value()
+			cs.SmallPayloadSkips += p.C.SmallPayloadSkips.Value()
+			cs.DemotedSkips += p.C.DemotedSkips.Value()
+			cs.SplitDisabledFromNF += p.C.SplitDisabledFromNF.Value()
+			cs.BadTagDrops += p.C.BadTagDrops.Value()
+			cs.StaleExplicitDrops += p.C.StaleExplicitDrops.Value()
+		}
+		for why, n := range fs.sw.Drops() {
+			cs.Drops[why] += n
+		}
+	}
+	if len(cs.Drops) == 0 {
+		cs.Drops = nil
+	}
+	return cs
+}
+
+// refNF is one NF endpoint of the reference replay, mirroring
+// wire.NFDaemon's byte path exactly: persistent parse scratch, the shared
+// handle chain, serialization into a reused buffer.
+type refNF struct {
+	handle func(*packet.Packet) bool
+	pkt    packet.Packet
+	udp    packet.UDP
+	tcp    packet.TCP
+	out    []byte
+}
+
+// nfOffset is where the PayloadPark header sits in a split UDP frame, as
+// wire.NFDaemon hard-codes it.
+const nfOffset = packet.HeaderUnitLen
+
+// process runs one frame through the NF, returning the response frame
+// (forwarded traffic, or an explicit-drop notification) or nil when the
+// frame dies silently. notified reports the notification case.
+func (n *refNF) process(frame []byte, explicitDrop bool) (out []byte, notified bool) {
+	n.pkt.UDP, n.pkt.TCP = &n.udp, &n.tcp
+	if err := packet.ParseAtInto(&n.pkt, frame, -1); err != nil {
+		return nil, false
+	}
+	if n.handle(&n.pkt) {
+		n.out = n.pkt.AppendSerialize(n.out[:0])
+		return n.out, false
+	}
+	if explicitDrop && len(frame) >= nfOffset+packet.PPHeaderLen && frame[nfOffset]&0x80 != 0 {
+		n.out = append(n.out[:0], frame[:nfOffset+packet.PPHeaderLen]...)
+		n.out[len(n.out)-packet.PPHeaderLen] |= 0x40
+		return n.out, true
+	}
+	return nil, false
+}
+
+// maxHops bounds one frame's walk through the reference fabric; the
+// longest legitimate path (leaf-spine with the NF return) is 7 segments.
+const maxHops = 16
+
+// ReferenceRun replays cfg's deterministic workload through the same
+// fabric in process — the dataplane the discrete-event simulator drives,
+// stripped of timing. Frames walk the cable graph depth-first, one at a
+// time, which is exactly the operation order the live fabric's lockstep
+// mode produces; the returned counters are the parity baseline.
+func ReferenceRun(cfg Config) (*Result, error) {
+	cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nfs := make([]*refNF, len(f.nfPort))
+	for j := range nfs {
+		nfs[j] = &refNF{handle: newNFHandle(cfg.DropFraction)}
+	}
+	res := &Result{Geometry: cfg.Geometry, Mode: "reference", Parking: cfg.Parking}
+	var hopBuf, injBuf []byte
+	for k := 0; k < cfg.Frames; k++ {
+		for g := range f.gens {
+			frame := f.gens[g][k]
+			at := f.genEntry[g]
+			res.Sent++
+			for hop := 0; hop < maxHops; hop++ {
+				fs := f.switches[at.sw]
+				out, em, err := fs.sw.InjectFrameAppend(frame, at.port, injBuf[:0])
+				injBuf = out
+				if err != nil || em == nil {
+					break // consumed or dropped at the switch
+				}
+				lk, ok := fs.links[em.Port]
+				if !ok {
+					return nil, fmt.Errorf("live: reference: %s egress port %d is not cabled", fs.name, em.Port)
+				}
+				if lk.cable != nil {
+					hopBuf = append(hopBuf[:0], out...)
+					frame = hopBuf
+					at = *lk.cable
+					continue
+				}
+				switch lk.ep.kind {
+				case epGen, epSink:
+					res.Delivered++
+					res.DeliveredBytes += uint64(len(out))
+				case epNF:
+					resp, notified := nfs[lk.ep.index].process(out, cfg.ExplicitDrop)
+					if resp == nil {
+						res.NFDropped++
+						break
+					}
+					if notified {
+						res.NFNotified++
+					}
+					hopBuf = append(hopBuf[:0], resp...)
+					frame = hopBuf
+					at = f.nfPort[lk.ep.index]
+					continue
+				}
+				break
+			}
+		}
+	}
+	res.Counters = f.collect()
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package live
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/ctrl"
+)
+
+// runPair runs the live fabric and the in-process reference over the
+// identical configuration and requires exact counter parity.
+func runPair(t *testing.T, cfg Config) (*Result, *Result) {
+	t.Helper()
+	live, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	ref, err := ReferenceRun(cfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if err := Parity(live, ref); err != nil {
+		t.Fatalf("parity: %v\n live %+v\n ref  %+v", err, live.Counters, ref.Counters)
+	}
+	return live, ref
+}
+
+func TestLockstepParityChain(t *testing.T) {
+	live, _ := runPair(t, Config{
+		Geometry:     "chain",
+		Parking:      true,
+		Slots:        8,
+		Frames:       96,
+		Lockstep:     true,
+		DropFraction: 0.25,
+		Seed:         7,
+	})
+	if live.Counters.Splits == 0 || live.Counters.Merges == 0 {
+		t.Fatalf("workload exercised no parking: %+v", live.Counters)
+	}
+	if live.NFDropped == 0 {
+		t.Fatalf("drop fraction produced no NF drops: %+v", live)
+	}
+	if live.Counters.Evictions == 0 {
+		t.Logf("note: no evictions at this seed: %+v", live.Counters)
+	}
+}
+
+func TestLockstepParityChainExplicitDrop(t *testing.T) {
+	live, _ := runPair(t, Config{
+		Geometry:     "chain",
+		Parking:      true,
+		Slots:        8,
+		Frames:       96,
+		Lockstep:     true,
+		DropFraction: 0.25,
+		ExplicitDrop: true,
+		Seed:         11,
+	})
+	if live.NFNotified == 0 {
+		t.Fatalf("explicit drop produced no notifications: %+v", live)
+	}
+	if live.Counters.ExplicitDrops == 0 {
+		t.Fatalf("no explicit drops landed at the switch: %+v", live.Counters)
+	}
+}
+
+func TestLockstepParityChainTwoPipes(t *testing.T) {
+	live, _ := runPair(t, Config{
+		Geometry:     "chain",
+		Pipes:        2,
+		Parking:      true,
+		Slots:        8,
+		Frames:       48,
+		Lockstep:     true,
+		DropFraction: 0.2,
+		Seed:         3,
+	})
+	if live.Counters.Splits == 0 {
+		t.Fatalf("no splits across two pipes: %+v", live.Counters)
+	}
+}
+
+func TestLockstepParityLeafSpine(t *testing.T) {
+	live, _ := runPair(t, Config{
+		Geometry:     "4x2",
+		Parking:      true,
+		Slots:        8,
+		Frames:       32,
+		Lockstep:     true,
+		DropFraction: 0.2,
+		Seed:         5,
+	})
+	if live.Counters.Splits == 0 || live.Counters.Merges == 0 {
+		t.Fatalf("leaf-spine exercised no parking: %+v", live.Counters)
+	}
+	if live.Delivered == 0 {
+		t.Fatalf("nothing delivered to sinks: %+v", live)
+	}
+}
+
+func TestLockstepBaselineChain(t *testing.T) {
+	live, _ := runPair(t, Config{
+		Geometry: "chain",
+		Frames:   32,
+		Lockstep: true,
+		Seed:     2,
+	})
+	if live.Counters.Splits != 0 {
+		t.Fatalf("baseline run split packets: %+v", live.Counters)
+	}
+	if live.Delivered != live.Sent {
+		t.Fatalf("baseline lost frames: %+v", live)
+	}
+}
+
+func TestThroughputChainDelivers(t *testing.T) {
+	live, err := Run(context.Background(), Config{
+		Geometry: "chain",
+		Parking:  true,
+		Slots:    32,
+		Frames:   2000,
+		Window:   128,
+		Seed:     1,
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Mode != "throughput" {
+		t.Fatalf("mode = %q", live.Mode)
+	}
+	if live.Sent != 2000 {
+		t.Fatalf("sent %d of 2000", live.Sent)
+	}
+	if live.Delivered == 0 || live.PPS <= 0 || live.Gbps <= 0 {
+		t.Fatalf("no throughput measured: %+v", live)
+	}
+}
+
+func TestLiveControllerTicks(t *testing.T) {
+	ctl := &ctrl.Config{PeriodNs: int64(time.Millisecond)}
+	live, err := Run(context.Background(), Config{
+		Geometry: "chain",
+		Parking:  true,
+		Slots:    16,
+		Frames:   1500,
+		Window:   64,
+		Seed:     9,
+		Control:  ctl,
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.ControlTicks == 0 {
+		t.Fatalf("controller never ticked: %+v", live)
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Geometry: "ring"}, "unknown geometry"},
+		{Config{Geometry: "3x2"}, "merge port"},
+		{Config{Geometry: "4x2", ExplicitDrop: true}, "explicit drop"},
+		{Config{Geometry: "chain", Pipes: 99}, "pipes"},
+		{Config{Geometry: "chain", Slots: -1}, "slots"},
+		{Config{Geometry: "chain", DropFraction: 1.5}, "drop fraction"},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg
+		cfg.FillDefaults()
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%+v accepted", tc.cfg)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+			t.Errorf("%+v: error %q does not mention %q", tc.cfg, err, tc.want)
+		}
+	}
+	// Errors must list the valid shapes so the CLI user can self-serve.
+	cfg := Config{Geometry: "ring"}
+	cfg.FillDefaults()
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("geometry error does not list valid options: %v", cfg.Validate())
+	}
+}

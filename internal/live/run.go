@@ -1,0 +1,475 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/wire"
+)
+
+// liveFabric is the fabric brought up on sockets: one switchNode per
+// fabricSwitch plus the endpoint daemons.
+type liveFabric struct {
+	f     *fabric
+	nodes []*switchNode
+	gens  []*wire.Generator
+	sinks []*wire.Generator // leaf-spine delivery points (nil entries for chain)
+	nfs   []*wire.NFDaemon
+}
+
+// resolveUDP parses an endpoint's bound address.
+func resolveUDP(addr string) (*net.UDPAddr, error) {
+	return net.ResolveUDPAddr("udp", addr)
+}
+
+// bringUp binds every socket of the fabric and cables them together.
+// Workers and daemons are started; teardown happens via ctx cancellation
+// plus close().
+func bringUp(ctx context.Context, f *fabric) (*liveFabric, error) {
+	lf := &liveFabric{f: f}
+	ok := false
+	defer func() {
+		if !ok {
+			lf.close()
+		}
+	}()
+	for _, fs := range f.switches {
+		n, err := newSwitchNode(fs)
+		if err != nil {
+			return nil, err
+		}
+		lf.nodes = append(lf.nodes, n)
+	}
+	// Endpoints: every generator, sink, and NF binds against the pipe
+	// socket its port belongs to.
+	lf.sinks = make([]*wire.Generator, len(f.genEntry))
+	for _, entry := range f.genEntry {
+		swAddr := lf.nodes[entry.sw].addr(entry.port)
+		g, err := wire.NewGenerator(ctx, wire.GenConfig{
+			Listen:     "127.0.0.1:0",
+			SwitchAddr: swAddr.String(),
+			Discard:    true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lf.gens = append(lf.gens, g)
+		ga, err := resolveUDP(g.Addr())
+		if err != nil {
+			return nil, err
+		}
+		if err := lf.nodes[entry.sw].cable(entry.port, ga); err != nil {
+			return nil, err
+		}
+	}
+	for _, at := range f.nfPort {
+		swAddr := lf.nodes[at.sw].addr(at.port)
+		nfd, err := wire.NewNFDaemon(wire.NFConfig{
+			Listen:       "127.0.0.1:0",
+			SwitchAddr:   swAddr.String(),
+			Handle:       newNFHandle(f.cfg.DropFraction),
+			ExplicitDrop: f.cfg.ExplicitDrop,
+			Burst:        f.cfg.Burst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lf.nfs = append(lf.nfs, nfd)
+		na, err := resolveUDP(nfd.Addr())
+		if err != nil {
+			return nil, err
+		}
+		if err := lf.nodes[at.sw].cable(at.port, na); err != nil {
+			return nil, err
+		}
+	}
+	// Sinks and inter-switch cables.
+	for si, fs := range f.switches {
+		for port, lk := range fs.links {
+			switch {
+			case lk.ep != nil && lk.ep.kind == epSink:
+				swAddr := lf.nodes[si].addr(port)
+				s, err := wire.NewGenerator(ctx, wire.GenConfig{
+					Listen:     "127.0.0.1:0",
+					SwitchAddr: swAddr.String(),
+					Discard:    true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				lf.sinks[lk.ep.index] = s
+				sa, err := resolveUDP(s.Addr())
+				if err != nil {
+					return nil, err
+				}
+				if err := lf.nodes[si].cable(port, sa); err != nil {
+					return nil, err
+				}
+			case lk.cable != nil:
+				far := lf.nodes[lk.cable.sw].addr(lk.cable.port)
+				if far == nil {
+					return nil, fmt.Errorf("live: cable (%s,%d) has no far socket", fs.name, port)
+				}
+				if err := lf.nodes[si].cable(port, far); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, n := range lf.nodes {
+		n.start(ctx, f.cfg.Burst)
+	}
+	for _, nfd := range lf.nfs {
+		d := nfd
+		go d.Run(ctx)
+	}
+	ok = true
+	return lf, nil
+}
+
+// close shuts every socket down.
+func (lf *liveFabric) close() {
+	for _, n := range lf.nodes {
+		n.close()
+	}
+}
+
+// delivered returns generator g's delivered frame count (the gen itself
+// in the chain, the leaf sink in leaf-spine).
+func (lf *liveFabric) delivered(g int) uint64 {
+	if lf.sinks[g] != nil {
+		return lf.sinks[g].Received.Load()
+	}
+	return lf.gens[g].Received.Load()
+}
+
+// accounted returns how many sent frames have finished: delivered, NF
+// dropped, or NF notified.
+func (lf *liveFabric) accounted() uint64 {
+	var n uint64
+	for g := range lf.gens {
+		n += lf.delivered(g)
+	}
+	for _, nfd := range lf.nfs {
+		n += nfd.Dropped.Load() + nfd.Notified.Load()
+	}
+	return n
+}
+
+// switchIngress sums datagrams accepted by every switch worker.
+func (lf *liveFabric) switchIngress() uint64 {
+	var n uint64
+	for _, node := range lf.nodes {
+		n += node.rxFrames.Load()
+	}
+	return n
+}
+
+// expectedIngress is the exact datagram count the fabric's switches see
+// once quiescent: every generator frame crosses hops switches, every
+// NF-forwarded frame crosses hops on the way back, and each explicit-
+// drop notification enters its merge switch once.
+func (lf *liveFabric) expectedIngress(sent uint64) uint64 {
+	hops := uint64(1)
+	if lf.f.geo.kind == "leafspine" {
+		hops = 3
+	}
+	var nfTx, notified uint64
+	for _, nfd := range lf.nfs {
+		nfTx += nfd.Tx.Load()
+		notified += nfd.Notified.Load()
+	}
+	return hops*sent + hops*nfTx + notified
+}
+
+// waitFor polls cond (every 200µs) until it holds or ctx expires.
+func waitFor(ctx context.Context, cond func() bool, what string) error {
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("live: timed out waiting for %s", what)
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// Run brings the fabric up on loopback sockets and drives the configured
+// workload through it, returning the measured result. Lockstep mode is
+// the deterministic replay (compare against ReferenceRun with Parity);
+// throughput mode measures open-loop wire rate.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	lf, err := bringUp(ctx, f)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		cancel()
+		lf.close()
+	}()
+
+	res := &Result{Geometry: cfg.Geometry, Parking: cfg.Parking}
+
+	// Optional controller over the socket-backed control plant: a TCP
+	// loopback stream carrying the ctrl protocol, served by the fabric.
+	var ctlTicks int
+	var ctlStop chan struct{}
+	var ctlDone sync.WaitGroup
+	if cfg.Control != nil {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("live: control listener: %w", err)
+		}
+		defer ln.Close()
+		plant := &livePlant{nodes: lf.nodes}
+		var srvDone sync.WaitGroup
+		srvDone.Add(1)
+		go func() {
+			defer srvDone.Done()
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			ctrl.ServePlant(conn, plant)
+		}()
+		cliConn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, fmt.Errorf("live: control dial: %w", err)
+		}
+		ctlCfg := *cfg.Control
+		ctlCfg.FillDefaults()
+		controller := ctrl.New(ctlCfg, ctrl.NewPlantClient(cliConn), nil)
+		period := time.Duration(ctlCfg.PeriodNs)
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		ctlStop = make(chan struct{})
+		ctlDone.Add(1)
+		start := time.Now()
+		go func() {
+			defer ctlDone.Done()
+			defer cliConn.Close()
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctlStop:
+					return
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					controller.Tick(time.Since(start).Nanoseconds())
+					ctlTicks++
+				}
+			}
+		}()
+		defer srvDone.Wait()
+	}
+	stopControl := func() {
+		if ctlStop != nil {
+			close(ctlStop)
+			ctlDone.Wait()
+			ctlStop = nil
+		}
+	}
+	defer stopControl()
+
+	begin := time.Now()
+	if cfg.Lockstep {
+		res.Mode = "lockstep"
+		var sent uint64
+		for k := 0; k < cfg.Frames; k++ {
+			for g := range lf.gens {
+				if err := lf.gens[g].Send(f.gens[g][k]); err != nil {
+					return nil, fmt.Errorf("live: send: %w", err)
+				}
+				sent++
+				want := sent
+				if err := waitFor(ctx, func() bool { return lf.accounted() >= want },
+					fmt.Sprintf("frame %d of generator %d to be accounted", k, g)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Sent = sent
+		// Trailing explicit-drop notifications are still in flight when
+		// Notified ticks; wait for the exact switch ingress count.
+		if err := waitFor(ctx, func() bool { return lf.switchIngress() >= lf.expectedIngress(sent) },
+			"fabric quiescence"); err != nil {
+			return nil, err
+		}
+	} else {
+		res.Mode = "throughput"
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(lf.gens))
+		for g := range lf.gens {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				errCh <- lf.blast(ctx, g)
+			}(g)
+		}
+		wg.Wait()
+		for range lf.gens {
+			if err := <-errCh; err != nil {
+				return nil, err
+			}
+		}
+		for _, gen := range lf.gens {
+			res.Sent += gen.Sent.Load()
+		}
+		// Open-loop runs can consume frames inside the fabric (premature
+		// evictions); settle on stability rather than exact accounting.
+		if err := lf.settle(ctx); err != nil {
+			return nil, err
+		}
+	}
+	res.ElapsedNs = time.Since(begin).Nanoseconds()
+	stopControl()
+
+	for g := range lf.gens {
+		res.Delivered += lf.delivered(g)
+		if lf.sinks[g] != nil {
+			res.DeliveredBytes += lf.sinks[g].ReceivedBytes.Load()
+		} else {
+			res.DeliveredBytes += lf.gens[g].ReceivedBytes.Load()
+		}
+	}
+	for _, nfd := range lf.nfs {
+		res.NFDropped += nfd.Dropped.Load()
+		res.NFNotified += nfd.Notified.Load()
+	}
+	if res.ElapsedNs > 0 {
+		secs := float64(res.ElapsedNs) / 1e9
+		res.PPS = float64(res.Delivered) / secs
+		res.Gbps = float64(res.DeliveredBytes) * 8 / secs / 1e9
+	}
+	res.ControlTicks = ctlTicks
+
+	// Merged counters are only coherent with every worker parked; quiesce
+	// node by node (the fabric is globally idle, so per-node barriers
+	// suffice and also publish the workers' writes to this goroutine).
+	cs := CounterSet{Drops: map[string]uint64{}}
+	for _, n := range lf.nodes {
+		n.quiesce(func() {
+			one := (&fabric{switches: []*fabricSwitch{n.fs}}).collect()
+			cs.Rx += one.Rx
+			cs.Tx += one.Tx
+			cs.Splits += one.Splits
+			cs.Merges += one.Merges
+			cs.Evictions += one.Evictions
+			cs.PrematureEvictions += one.PrematureEvictions
+			cs.ExplicitDrops += one.ExplicitDrops
+			cs.OccupiedSkips += one.OccupiedSkips
+			cs.SmallPayloadSkips += one.SmallPayloadSkips
+			cs.DemotedSkips += one.DemotedSkips
+			cs.SplitDisabledFromNF += one.SplitDisabledFromNF
+			cs.BadTagDrops += one.BadTagDrops
+			cs.StaleExplicitDrops += one.StaleExplicitDrops
+			for why, v := range one.Drops {
+				cs.Drops[why] += v
+			}
+		})
+	}
+	if len(cs.Drops) == 0 {
+		cs.Drops = nil
+	}
+	res.Counters = cs
+	return res, nil
+}
+
+// blast is one generator's open-loop sender: batched sends windowed by
+// delivery accounting, with a stall detector that writes off frames the
+// fabric consumed (evictions) so ghosts never wedge the window.
+func (lf *liveFabric) blast(ctx context.Context, g int) error {
+	gen := lf.gens[g]
+	frames := lf.f.gens[g]
+	burst := lf.f.cfg.Burst
+	if burst <= 0 {
+		burst = wire.DefaultBurst
+	}
+	window := lf.f.cfg.Window
+	bs := gen.BatchSender()
+	dst := gen.SwitchUDPAddr()
+	acct := func() uint64 {
+		n := lf.delivered(g)
+		nfd := lf.nfs[lf.f.genTarget[g]]
+		return n + nfd.Dropped.Load() + nfd.Notified.Load()
+	}
+	var ghosts uint64
+	lastAcct := uint64(0)
+	lastProgress := time.Now()
+	for sent := 0; sent < len(frames); {
+		if ctx.Err() != nil {
+			return fmt.Errorf("live: generator %d timed out at %d/%d frames", g, sent, len(frames))
+		}
+		a := acct()
+		if a != lastAcct {
+			lastAcct = a
+			lastProgress = time.Now()
+		}
+		inflight := uint64(sent) - a - ghosts
+		if int(inflight) >= window {
+			if time.Since(lastProgress) > 10*time.Millisecond {
+				// The missing frames died inside the fabric; stop counting
+				// them against the window.
+				ghosts += inflight - uint64(window)/2
+				lastProgress = time.Now()
+				continue
+			}
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		n := window - int(inflight)
+		if n > burst {
+			n = burst
+		}
+		if n > len(frames)-sent {
+			n = len(frames) - sent
+		}
+		for i := 0; i < n; i++ {
+			bs.Queue(frames[sent+i], dst, &gen.Sent)
+		}
+		bs.Flush()
+		sent += n
+	}
+	return nil
+}
+
+// settle waits until the fabric stops making progress: the switch
+// ingress and accounting totals are unchanged across consecutive 20ms
+// samples.
+func (lf *liveFabric) settle(ctx context.Context) error {
+	stable := 0
+	last := [2]uint64{}
+	return waitFor(ctx, func() bool {
+		cur := [2]uint64{lf.switchIngress(), lf.accounted()}
+		if cur == last {
+			stable++
+		} else {
+			stable = 0
+			last = cur
+		}
+		if stable == 0 {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur = [2]uint64{lf.switchIngress(), lf.accounted()}
+		return cur == last
+	}, "fabric to settle")
+}

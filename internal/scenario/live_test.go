@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"math/rand"
+
+	"github.com/payloadpark/payloadpark/internal/sim"
+)
+
+// oddDist is a size distribution the live topology cannot serialize or
+// reproduce in its pre-generated frame tables.
+type oddDist struct{}
+
+func (oddDist) Sample(*rand.Rand) int { return 700 }
+func (oddDist) Name() string          { return "odd" }
+
+func TestLiveScenarioRoundTripAndRun(t *testing.T) {
+	s := Scenario{
+		Name:     "live-smoke",
+		Topology: Live{Geometry: "chain", Frames: 16, Lockstep: true, DropFraction: 0.25},
+		Parking:  Parking{Mode: sim.ParkEdge, Slots: 8, ExplicitDrop: true},
+		Traffic:  Traffic{FixedSize: 512, Flows: 32},
+		Opts:     RunOptions{Seed: 4},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	lt, ok := back.Topology.(Live)
+	if !ok || lt != s.Topology.(Live) {
+		t.Fatalf("topology did not round-trip: %+v", back.Topology)
+	}
+	rep, err := Run(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Topology != "live" || rep.Live == nil {
+		t.Fatalf("report missing live section: %+v", rep)
+	}
+	if rep.Live.Mode != "lockstep" || rep.Live.Sent != 16 {
+		t.Fatalf("unexpected live result: %+v", rep.Live)
+	}
+	if rep.Live.Counters.Splits == 0 {
+		t.Fatalf("parking scenario split nothing: %+v", rep.Live.Counters)
+	}
+	if !rep.Healthy {
+		t.Fatalf("lockstep run unhealthy: %+v", rep)
+	}
+}
+
+func TestLiveScenarioValidation(t *testing.T) {
+	base := Scenario{Topology: Live{}, Parking: Parking{Mode: sim.ParkEdge}}
+	cases := []struct {
+		mutate func(*Scenario)
+		want   string
+	}{
+		{func(s *Scenario) { s.Topology = Live{Geometry: "ring"} }, "unknown geometry"},
+		{func(s *Scenario) { s.Topology = Live{Geometry: "3x2"} }, "merge port"},
+		{func(s *Scenario) { s.Topology = Live{Geometry: "4x2"}; s.Parking.ExplicitDrop = true }, "explicit drop"},
+		{func(s *Scenario) { s.Parking.Mode = sim.ParkEveryHop }, "ParkEveryHop"},
+		{func(s *Scenario) { s.Parking.Recirculate = true }, "Recirculate"},
+		{func(s *Scenario) { s.Program.Kind = "compress" }, "table programs"},
+		{func(s *Scenario) { s.Control.ECMP = true }, "ECMP"},
+		{func(s *Scenario) { s.Traffic.Dist = oddDist{} }, "Dist"},
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mutate(&s)
+		_, err := Run(context.Background(), s)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("mutation expecting %q got %v", tc.want, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/live"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/sim"
@@ -51,6 +52,7 @@ type Report struct {
 	Testbed     *sim.Result            `json:"testbed,omitempty"`
 	MultiServer *sim.MultiServerResult `json:"multiserver,omitempty"`
 	Fabric      *sim.FabricResult      `json:"fabric,omitempty"`
+	Live        *live.Result           `json:"live,omitempty"`
 }
 
 // Run executes one Scenario and returns its Report. It is the single

@@ -30,7 +30,7 @@ import (
 // Run/Sweep's worker pool and Report plumbing.
 type Topology interface {
 	// Kind names the topology in reports ("testbed", "multiserver",
-	// "leafspine", or a custom name).
+	// "leafspine", "live", or a custom name).
 	Kind() string
 	// validate rejects impossible geometry or unsupported knob
 	// combinations with a descriptive error, before any simulation runs.

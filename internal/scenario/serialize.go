@@ -80,6 +80,8 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 		kind = "multiserver"
 	case LeafSpine, *LeafSpine:
 		kind = "leafspine"
+	case Live, *Live:
+		kind = "live"
 	default:
 		return nil, errf("marshal: topology %q is not serializable", s.Topology.Kind())
 	}
@@ -154,10 +156,16 @@ func (s *Scenario) UnmarshalJSON(b []byte) error {
 			return fmt.Errorf("scenario: leafspine config: %w", err)
 		}
 		out.Topology = t
+	case "live":
+		var t Live
+		if err := strictUnmarshal(cfg, &t); err != nil {
+			return fmt.Errorf("scenario: live config: %w", err)
+		}
+		out.Topology = t
 	case "":
-		return errf("unmarshal: missing topology.kind (want \"testbed\", \"multiserver\", or \"leafspine\")")
+		return errf("unmarshal: missing topology.kind (want \"testbed\", \"multiserver\", \"leafspine\", or \"live\")")
 	default:
-		return errf("unmarshal: unknown topology kind %q (want \"testbed\", \"multiserver\", or \"leafspine\")", w.Topology.Kind)
+		return errf("unmarshal: unknown topology kind %q (want \"testbed\", \"multiserver\", \"leafspine\", or \"live\")", w.Topology.Kind)
 	}
 	if w.Parking != nil {
 		out.Parking = *w.Parking

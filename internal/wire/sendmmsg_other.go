@@ -1,0 +1,11 @@
+//go:build !linux
+
+package wire
+
+// batchScratch is empty off linux: there is no batched-send syscall, so
+// Flush always takes the portable per-frame path.
+type batchScratch struct{}
+
+func (s *BatchSender) flushFast() (sent, errs int, handled bool) {
+	return 0, 0, false
+}

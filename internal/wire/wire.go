@@ -34,7 +34,7 @@ const MaxFrame = 2048
 // which amortizes the syscall round trip per burst instead of per frame.
 const DefaultBurst = 32
 
-// burstReader drains receive bursts from a UDP socket into reusable
+// BurstReader drains receive bursts from a UDP socket into reusable
 // buffers. The first read of a burst blocks; the rest are non-blocking
 // (an immediate deadline), so a busy socket costs ~one read syscall per
 // burst. On a quiet socket the drain would only ever time out, so empty
@@ -42,7 +42,10 @@ const DefaultBurst = 32
 // bursts) — steady trickle traffic converges back to ~one syscall per
 // frame while any queue build-up re-engages batching within a few
 // frames.
-type burstReader struct {
+//
+// It is shared by the wire daemons and the live fabric's per-pipe socket
+// workers; one BurstReader is owned by one goroutine.
+type BurstReader struct {
 	conn  *net.UDPConn
 	bufs  [][]byte
 	from  []*net.UDPAddr
@@ -57,11 +60,13 @@ type burstReader struct {
 // drain attempts.
 const maxDrainBackoff = 8
 
-func newBurstReader(conn *net.UDPConn, burst int) *burstReader {
+// NewBurstReader wraps conn with a burst-sized buffer set (burst <= 0
+// selects DefaultBurst).
+func NewBurstReader(conn *net.UDPConn, burst int) *BurstReader {
 	if burst <= 0 {
 		burst = DefaultBurst
 	}
-	b := &burstReader{
+	b := &BurstReader{
 		conn:  conn,
 		bufs:  make([][]byte, burst),
 		from:  make([]*net.UDPAddr, burst),
@@ -73,10 +78,18 @@ func newBurstReader(conn *net.UDPConn, burst int) *burstReader {
 	return b
 }
 
-// read fills as many buffers as the socket can supply without waiting
+// Frame returns the i-th frame of the current burst, valid until the next
+// Read.
+func (b *BurstReader) Frame(i int) []byte { return b.bufs[i][:b.sizes[i]] }
+
+// From returns the i-th frame's source address, valid until the next
+// Read.
+func (b *BurstReader) From(i int) *net.UDPAddr { return b.from[i] }
+
+// Read fills as many buffers as the socket can supply without waiting
 // (at least one, blocking for it) and returns the count. A non-timeout
 // error is returned only when no frame was read.
-func (b *burstReader) read() (int, error) {
+func (b *BurstReader) Read() (int, error) {
 	n, from, err := b.conn.ReadFromUDP(b.bufs[0])
 	if err != nil {
 		return 0, err
@@ -144,6 +157,15 @@ type SwitchDaemon struct {
 	Rx, Tx, Errors atomic.Uint64
 }
 
+// TuneUDP widens a socket's kernel buffers to absorb open-loop bursts:
+// the default budget (~208 KiB on Linux) overflows under a few hundred
+// in-flight MTU frames, dropping datagrams on loopback. Errors are
+// ignored — the kernel clamps to its configured maximum.
+func TuneUDP(conn *net.UDPConn) {
+	conn.SetReadBuffer(1 << 21)
+	conn.SetWriteBuffer(1 << 21)
+}
+
 // NewSwitchDaemon validates the config and binds the socket.
 func NewSwitchDaemon(cfg SwitchConfig) (*SwitchDaemon, error) {
 	if len(cfg.Ports) == 0 {
@@ -157,6 +179,7 @@ func NewSwitchDaemon(cfg SwitchConfig) (*SwitchDaemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}
+	TuneUDP(conn)
 	d := &SwitchDaemon{
 		cfg:   cfg,
 		sw:    core.NewSwitch("wire"),
@@ -200,54 +223,52 @@ func (d *SwitchDaemon) Counters() *core.Counters {
 
 // Run serves until ctx is cancelled. Single-threaded by design: the
 // dataplane program is not concurrency-safe, exactly like the single
-// pipeline it models. Frames are read in recvmmsg-style bursts and each
-// is processed through the scratch-backed InjectFrameAppend path — a
-// burst costs roughly one read syscall plus one write per forwarded
-// frame, and the steady state allocates nothing.
+// pipeline it models. Frames are read in recvmmsg-style bursts, the
+// whole burst is parsed and driven through the switch's zero-alloc
+// InjectBatch path, and the surviving emissions are serialized into one
+// reused buffer and written out together (BatchSender) — a burst costs
+// roughly one read syscall plus one write per forwarded frame, and the
+// steady state allocates nothing.
 func (d *SwitchDaemon) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
 		d.conn.Close()
 	}()
-	br := newBurstReader(d.conn, d.cfg.Burst)
-	// Each frame is written out before the next is injected, so the
-	// per-pipe scratch emission and a reused output buffer are safe —
-	// the allocation-free frame path.
-	var outBuf []byte
+	br := NewBurstReader(d.conn, d.cfg.Burst)
+	burst := d.sw.NewFrameBurst(len(br.bufs))
+	bs := NewBatchSender(d.conn)
 	for {
-		count, err := br.read()
+		count, err := br.Read()
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
 			return err
 		}
+		burst.Reset()
 		for i := 0; i < count; i++ {
-			port, ok := d.peers[br.from[i].String()]
+			port, ok := d.peers[br.From(i).String()]
 			if !ok {
 				d.Errors.Add(1)
 				continue
 			}
 			d.Rx.Add(1)
-			out, em, err := d.sw.InjectFrameAppend(br.bufs[i][:br.sizes[i]], port, outBuf[:0])
-			outBuf = out
-			if err != nil || em == nil {
-				if err != nil {
-					d.Errors.Add(1)
-				}
+			if err := burst.Add(br.Frame(i), port); err != nil {
+				d.Errors.Add(1)
+			}
+		}
+		for _, r := range burst.Run() {
+			if !r.OK {
 				continue
 			}
-			dst, ok := d.addrs[em.Port]
+			dst, ok := d.addrs[r.Em.Port]
 			if !ok {
 				d.Errors.Add(1)
 				continue
 			}
-			if _, err := d.conn.WriteToUDP(out, dst); err != nil {
-				d.Errors.Add(1)
-				continue
-			}
-			d.Tx.Add(1)
+			bs.Commit(r.Em.Pkt.AppendSerialize(bs.Begin()), dst, &d.Tx)
 		}
+		d.Errors.Add(uint64(bs.Flush()))
 	}
 }
 
@@ -294,6 +315,7 @@ func NewNFDaemon(cfg NFConfig) (*NFDaemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}
+	TuneUDP(conn)
 	swAddr, err := net.ResolveUDPAddr("udp", cfg.SwitchAddr)
 	if err != nil {
 		conn.Close()
@@ -321,21 +343,22 @@ func (d *NFDaemon) Retarget(switchAddr string) error {
 const ppOffset = packet.HeaderUnitLen
 
 // Run serves until ctx is cancelled. Frames are read in recvmmsg-style
-// bursts; each is parsed into a reused packet and serialized into a
-// reused buffer, so the framework path allocates only what the hosted NF
-// chain itself allocates.
+// bursts; each is parsed into a reused packet, serialized into the
+// burst's shared send buffer, and the whole burst's responses are
+// written out together (BatchSender), so the framework path allocates
+// only what the hosted NF chain itself allocates.
 func (d *NFDaemon) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
 		d.conn.Close()
 	}()
-	br := newBurstReader(d.conn, d.cfg.Burst)
+	br := NewBurstReader(d.conn, d.cfg.Burst)
+	bs := NewBatchSender(d.conn)
 	var pkt packet.Packet
 	var udp packet.UDP
 	var tcp packet.TCP
-	var outBuf []byte
 	for {
-		count, err := br.read()
+		count, err := br.Read()
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -344,7 +367,7 @@ func (d *NFDaemon) Run(ctx context.Context) error {
 		}
 		for i := 0; i < count; i++ {
 			d.Rx.Add(1)
-			frame := br.bufs[i][:br.sizes[i]]
+			frame := br.Frame(i)
 			// The NF parses only the protocol headers it understands; the
 			// PayloadPark header rides in the payload region.
 			pkt.UDP, pkt.TCP = &udp, &tcp
@@ -352,26 +375,21 @@ func (d *NFDaemon) Run(ctx context.Context) error {
 				continue
 			}
 			if d.cfg.Handle(&pkt) {
-				outBuf = pkt.AppendSerialize(outBuf[:0])
-				if _, err := d.conn.WriteToUDP(outBuf, d.swAddr); err == nil {
-					d.Tx.Add(1)
-				}
+				bs.Commit(pkt.AppendSerialize(bs.Begin()), d.swAddr, &d.Tx)
 				continue
 			}
 			// Dropped by the NF.
 			if d.cfg.ExplicitDrop && len(frame) >= ppOffset+packet.PPHeaderLen && frame[ppOffset]&0x80 != 0 {
 				// Raw-byte manipulation, as the real 50-line framework patch
 				// does: flip OP, truncate after the PayloadPark header.
-				notif := append(outBuf[:0], frame[:ppOffset+packet.PPHeaderLen]...)
-				notif[ppOffset] |= 0x40
-				outBuf = notif
-				if _, err := d.conn.WriteToUDP(notif, d.swAddr); err == nil {
-					d.Notified.Add(1)
-					continue
-				}
+				notif := append(bs.Begin(), frame[:ppOffset+packet.PPHeaderLen]...)
+				notif[len(notif)-packet.PPHeaderLen] |= 0x40
+				bs.Commit(notif, d.swAddr, &d.Notified)
+				continue
 			}
 			d.Dropped.Add(1)
 		}
+		bs.Flush()
 	}
 }
 
@@ -381,17 +399,22 @@ type GenConfig struct {
 	Listen string
 	// SwitchAddr is the switch's socket.
 	SwitchAddr string
+	// Discard counts returned frames without buffering their bytes — the
+	// wire-rate mode, where retaining millions of frames would swamp the
+	// measurement.
+	Discard bool
 }
 
 // Generator sends frames to the switch and collects returned frames.
 type Generator struct {
+	cfg    GenConfig
 	conn   *net.UDPConn
 	swAddr *net.UDPAddr
 
 	mu       sync.Mutex
 	received [][]byte
 
-	Sent, Received atomic.Uint64
+	Sent, Received, ReceivedBytes atomic.Uint64
 }
 
 // NewGenerator binds the generator socket and starts its receive loop.
@@ -404,12 +427,13 @@ func NewGenerator(ctx context.Context, cfg GenConfig) (*Generator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}
+	TuneUDP(conn)
 	swAddr, err := net.ResolveUDPAddr("udp", cfg.SwitchAddr)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: switch addr: %w", err)
 	}
-	g := &Generator{conn: conn, swAddr: swAddr}
+	g := &Generator{cfg: cfg, conn: conn, swAddr: swAddr}
 	go func() {
 		<-ctx.Done()
 		conn.Close()
@@ -440,11 +464,22 @@ func (g *Generator) recvLoop() {
 			return
 		}
 		g.Received.Add(1)
+		g.ReceivedBytes.Add(uint64(n))
+		if g.cfg.Discard {
+			continue
+		}
 		g.mu.Lock()
 		g.received = append(g.received, append([]byte(nil), buf[:n]...))
 		g.mu.Unlock()
 	}
 }
+
+// BatchSender returns a batched sender over the generator's socket; pair
+// it with SwitchUDPAddr and the Sent counter for wire-rate blasting.
+func (g *Generator) BatchSender() *BatchSender { return NewBatchSender(g.conn) }
+
+// SwitchUDPAddr returns the resolved switch address Send targets.
+func (g *Generator) SwitchUDPAddr() *net.UDPAddr { return g.swAddr }
 
 // Send transmits one frame to the switch.
 func (g *Generator) Send(frame []byte) error {

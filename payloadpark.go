@@ -9,12 +9,16 @@
 // This package is the public facade over the internal reproduction:
 //
 //   - Run is the simulation entrypoint: one Scenario descriptor — a
-//     Topology (testbed, multi-server, leaf-spine, or custom), a Parking
-//     policy, a Traffic spec, a ServerModel, and RunOptions — executed
-//     into one structured, JSON-serializable Report. RunSweep expands a
-//     Sweep (a base Scenario plus parameter Axes) into a grid and runs
-//     the points in parallel, honoring context cancellation
+//     Topology (testbed, multi-server, leaf-spine, live, or custom), a
+//     Parking policy, a Traffic spec, a ServerModel, and RunOptions —
+//     executed into one structured, JSON-serializable Report. RunSweep
+//     expands a Sweep (a base Scenario plus parameter Axes) into a grid
+//     and runs the points in parallel, honoring context cancellation
 //     mid-simulation.
+//   - LiveTopology swaps the simulator for real UDP loopback sockets:
+//     the same compiled pipeline behind per-pipe worker sockets, with
+//     deterministic lockstep replays held to exact counter parity
+//     against an in-process reference, or open-loop wire-rate runs.
 //   - Deployment builds the canonical testbed (traffic generator, RMT
 //     switch running the PayloadPark P4 program, NF server) and lets
 //     applications push packets through it in-process.
@@ -40,6 +44,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/harness"
+	"github.com/payloadpark/payloadpark/internal/live"
 	"github.com/payloadpark/payloadpark/internal/nf"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/prog"
@@ -106,6 +111,14 @@ type (
 	MultiServerTopology = scenario.MultiServer
 	// LeafSpineTopology is the multi-switch fabric.
 	LeafSpineTopology = scenario.LeafSpine
+	// LiveTopology runs the scenario on real UDP loopback sockets instead
+	// of the discrete-event simulator: per-pipe worker sockets around the
+	// same compiled switch pipeline, a socket NF daemon, and (with
+	// Control) a controller driving the fabric over a socket-backed
+	// control protocol. Lockstep runs replay deterministically and match
+	// the in-process reference counter for counter; the default
+	// throughput mode measures open-loop loopback wire rate.
+	LiveTopology = scenario.Live
 	// CustomTopology is the escape hatch: a user hook that runs the
 	// composed scenario on a bespoke deployment.
 	CustomTopology = scenario.Custom
@@ -153,6 +166,14 @@ type (
 	// Report is the structured result of one Run, topology-independent
 	// headline metrics plus the embedded per-topology detail.
 	Report = scenario.Report
+	// LiveResult is the socket fabric's measurement in Report.Live:
+	// delivery and NF accounting, merged program counters, and (in
+	// throughput mode) the loopback wire rate.
+	LiveResult = live.Result
+	// LiveCounterSet is the merged switch-counter section of a
+	// LiveResult; lockstep runs hold it to exact equality with the
+	// in-process reference replay.
+	LiveCounterSet = live.CounterSet
 	// Sweep is a parameter grid over a base Scenario.
 	Sweep = scenario.Sweep
 	// Axis is one sweep dimension; AxisPoint one value on it.
