@@ -383,6 +383,11 @@ func runProgramFile(ctx context.Context, path, jsonPath string, quick bool, seed
 	if err := dec.Decode(&spec); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	// Lint before running: a dead table or unbound parameter in a
+	// hand-written spec still installs, so warn where the author looks.
+	for _, f := range spec.Lint() {
+		fmt.Printf("   lint: %s\n", f)
+	}
 	s := scenario.Scenario{
 		Name:     spec.Name,
 		Topology: scenario.Testbed{},

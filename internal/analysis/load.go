@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Module is the module path the package belongs to.
+	Module string
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+	Module     *struct{ Path, Dir string }
+}
+
+// Load lists patterns from dir with the go tool and returns every
+// matched package of the containing module, parsed and type-checked.
+// Dependencies — standard library and intra-module alike — are imported
+// from compiler export data, so loading is offline and proportional to
+// the source actually analyzed.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("analysis: go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	// -deps lists dependencies first; keep a stable name order instead.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter{gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, t listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", t.ImportPath, err)
+	}
+	module := ""
+	if t.Module != nil {
+		module = t.Module.Path
+	}
+	return &Package{
+		Path:   t.ImportPath,
+		Dir:    t.Dir,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		Module: module,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// exportImporter resolves "unsafe" itself and everything else from
+// export data.
+type exportImporter struct{ gc types.Importer }
+
+func (e exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// RunAnalyzers applies the analyzers to every package, resolves the
+// //pp: suppression annotations, and returns the surviving findings
+// sorted by position. Suppressed diagnostics are dropped; unused or
+// unknown annotations become findings themselves (see suppress.go).
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		anns := scanAnnotations(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Module:    pkg.Module,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if a.Directive != "" && anns.suppresses(a.Directive, pos) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
+			}
+		}
+		findings = append(findings, anns.leftoverFindings(analyzers)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// moduleDir returns the module root directory of dir, for locating
+// committed spec files relative to the tree under analysis.
+func ModuleDir(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

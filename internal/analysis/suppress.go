@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //pp: annotation vocabulary. Suppression directives silence one
+// analyzer's diagnostics on the annotated line and must carry a reason;
+// marker directives (zeroalloc) declare a contract the matching
+// analyzer enforces rather than silencing one.
+const (
+	// DirNondeterministicOK suppresses a determinism finding: the
+	// annotated wall-clock read, map range, or select is deliberate and
+	// provably does not flow into scheduling, counters, or reports.
+	DirNondeterministicOK = "nondeterministic-ok"
+	// DirAllocOK suppresses a zeroalloc finding: the annotated
+	// expression allocates only off the steady state (warm-up, growth,
+	// or error paths), as the AllocsPerRun tests pin.
+	DirAllocOK = "alloc-ok"
+	// DirJSONOK suppresses a reportjson finding: the annotated field is
+	// deliberately outside the serialized surface.
+	DirJSONOK = "json-ok"
+	// DirZeroalloc marks a function whose body the zeroalloc analyzer
+	// checks for statically detectable allocation sources.
+	DirZeroalloc = "zeroalloc"
+)
+
+// suppressionDirectives maps each suppression directive to use-tracking;
+// DirZeroalloc is a marker, not a suppression.
+var suppressionDirectives = map[string]bool{
+	DirNondeterministicOK: true,
+	DirAllocOK:            true,
+	DirJSONOK:             true,
+}
+
+// directiveOwner names the analyzer whose diagnostics a directive
+// suppresses, so an unused annotation is reported under the analyzer a
+// reader would consult.
+var directiveOwner = map[string]string{
+	DirNondeterministicOK: "determinism",
+	DirAllocOK:            "zeroalloc",
+	DirJSONOK:             "reportjson",
+}
+
+// annotation is one parsed //pp: comment.
+type annotation struct {
+	directive string
+	reason    string
+	pos       token.Position
+	// line is the source line the annotation applies to: its own line
+	// for a trailing comment, the next line for a whole-line comment.
+	line string // filename:line key
+	used bool
+	// marker records a non-suppression directive (zeroalloc), which the
+	// leftover scan skips: the zeroalloc analyzer owns its placement
+	// rules.
+	marker  bool
+	unknown bool
+}
+
+// annotations indexes a package's //pp: comments.
+type annotations struct {
+	byLine map[string][]*annotation
+	all    []*annotation
+}
+
+// lineKey builds the filename:line index key.
+func lineKey(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Lines are small; avoid strconv for a dependency-free itoa.
+	var digits [12]byte
+	i := len(digits)
+	if line == 0 {
+		i--
+		digits[i] = '0'
+	}
+	for line > 0 {
+		i--
+		digits[i] = byte('0' + line%10)
+		line /= 10
+	}
+	b.Write(digits[i:])
+	return b.String()
+}
+
+// parseDirective splits a "//pp:..." comment into directive and reason.
+// The reason stops at an embedded "// want" so fixture expectation
+// comments can share the line with the annotation they exercise.
+func parseDirective(text string) (directive, reason string, ok bool) {
+	body, found := strings.CutPrefix(text, "//pp:")
+	if !found {
+		return "", "", false
+	}
+	if i := strings.Index(body, "// want"); i >= 0 {
+		body = body[:i]
+	}
+	directive, reason, _ = strings.Cut(strings.TrimSpace(body), " ")
+	return directive, strings.TrimSpace(reason), true
+}
+
+// scanAnnotations collects every //pp: comment in the files.
+func scanAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
+	anns := &annotations{byLine: make(map[string][]*annotation)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				directive, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				a := &annotation{directive: directive, reason: reason, pos: pos}
+				switch {
+				case directive == DirZeroalloc:
+					a.marker = true
+				case !suppressionDirectives[directive]:
+					a.unknown = true
+				}
+				// A comment that starts its line annotates the next
+				// line; a trailing comment annotates its own.
+				applies := pos.Line
+				if startsLine(fset, f, c) {
+					applies = pos.Line + 1
+				}
+				a.line = lineKey(pos.Filename, applies)
+				anns.byLine[a.line] = append(anns.byLine[a.line], a)
+				anns.all = append(anns.all, a)
+			}
+		}
+	}
+	return anns
+}
+
+// startsLine reports whether comment c is the first token on its line:
+// a whole-line comment annotates the line below it, a trailing comment
+// annotates its own. The test is whether any non-comment AST node ends
+// in [lineStart, c.Slash).
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	tf := fset.File(c.Slash)
+	lineStart := tf.LineStart(tf.Line(c.Slash))
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if end := n.End(); end > lineStart && end <= c.Slash {
+			trailing = true
+			return false
+		}
+		// Only descend into nodes overlapping [lineStart, c.Slash).
+		return n.Pos() < c.Slash && n.End() > lineStart
+	})
+	return !trailing
+}
+
+// suppresses consumes a matching annotation for a diagnostic of the
+// given directive at pos, returning whether one was found. One
+// annotation suppresses exactly one diagnostic — a second finding on
+// the same line needs its own annotation — and an annotation without a
+// reason suppresses nothing (it is reported instead).
+func (anns *annotations) suppresses(directive string, pos token.Position) bool {
+	for _, a := range anns.byLine[lineKey(pos.Filename, pos.Line)] {
+		if a.directive == directive && a.reason != "" && !a.used {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// leftoverFindings reports annotations that did not earn their place:
+// unknown directives, suppression annotations with no reason, and
+// suppression annotations that matched no diagnostic. Findings are only
+// emitted for analyzers in the running set, so a single-analyzer
+// fixture run sees exactly its own directives' leftovers.
+func (anns *annotations) leftoverFindings(analyzers []*Analyzer) []Finding {
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var out []Finding
+	for _, a := range anns.all {
+		switch {
+		case a.unknown:
+			// Attribute unknown directives to the first running
+			// analyzer: every ppvet run reports them exactly once.
+			out = append(out, Finding{
+				Analyzer: analyzers[0].Name,
+				File:     a.pos.Filename, Line: a.pos.Line, Col: a.pos.Column,
+				Message: "unknown //pp: directive " + a.directive + " (known: alloc-ok, json-ok, nondeterministic-ok, zeroalloc)",
+			})
+		case a.marker || a.used:
+		case a.reason == "" && running[directiveOwner[a.directive]]:
+			out = append(out, Finding{
+				Analyzer: directiveOwner[a.directive],
+				File:     a.pos.Filename, Line: a.pos.Line, Col: a.pos.Column,
+				Message: "//pp:" + a.directive + " needs a reason (\"//pp:" + a.directive + " <why>\")",
+			})
+		case running[directiveOwner[a.directive]]:
+			out = append(out, Finding{
+				Analyzer: directiveOwner[a.directive],
+				File:     a.pos.Filename, Line: a.pos.Line, Col: a.pos.Column,
+				Message: "unused //pp:" + a.directive + " annotation: no " + directiveOwner[a.directive] + " diagnostic on this line",
+			})
+		}
+	}
+	return out
+}

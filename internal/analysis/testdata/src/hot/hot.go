@@ -1,0 +1,89 @@
+// Fixture for the zeroalloc analyzer: //pp:zeroalloc marks the checked
+// functions; unmarked ones may allocate freely.
+package hot
+
+import "fmt"
+
+// Grow allocates on every call.
+//
+//pp:zeroalloc
+func Grow(buf []byte, n int) []byte {
+	out := make([]byte, n) // want `allocates: make`
+	copy(out, buf)
+	return out
+}
+
+// Reuse is the steady-state idiom: truncate and self-append.
+//
+//pp:zeroalloc
+func Reuse(buf []byte, b byte) []byte {
+	buf = buf[:0]
+	buf = append(buf, b) // self-append reuses capacity: no finding
+	return buf
+}
+
+// Warmup grows once, deliberately, with the suppression carrying why.
+//
+//pp:zeroalloc
+func Warmup(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n) //pp:alloc-ok fixture: warm-up growth off the steady state
+	}
+	return buf[:n]
+}
+
+// Leak appends into a different slice: the result escapes.
+//
+//pp:zeroalloc
+func Leak(dst, src []byte) []byte {
+	out := append(dst, src...) // want `allocates: append`
+	return out
+}
+
+// Wrap boxes its arguments into fmt.Errorf's variadic interface{}.
+//
+//pp:zeroalloc
+func Wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrap: %w", err) // want `variadic interface\{\} call boxes`
+	}
+	return nil
+}
+
+type hdr struct{ a, b int }
+
+// Escape heap-allocates the literal behind the returned pointer.
+//
+//pp:zeroalloc
+func Escape() *hdr {
+	return &hdr{a: 1} // want `&composite literal escapes`
+}
+
+// Stack builds a value struct: no allocation, no finding.
+//
+//pp:zeroalloc
+func Stack() hdr {
+	return hdr{a: 1}
+}
+
+// Convert copies the string into a fresh byte slice.
+//
+//pp:zeroalloc
+func Convert(s string) []byte {
+	return []byte(s) // want `string to \[\]byte conversion copies`
+}
+
+// Capture's closure must be heap-allocated to hold n.
+//
+//pp:zeroalloc
+func Capture(n int) func() int {
+	return func() int { return n } // want `func literal captures "n"`
+}
+
+// Unchecked is not annotated: allocations here are fine.
+func Unchecked(n int) []byte {
+	return make([]byte, n)
+}
+
+//pp:zeroalloc // want `must be part of a function's doc comment`
+var sink []byte

@@ -1,0 +1,91 @@
+// Fixture for the determinism analyzer: the directory name "sim" puts
+// this package in the deterministic set. `// want` comments declare the
+// expected diagnostics (backquoted regexps), as in x/tools analysistest.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// The suppressed negative: the annotation carries a reason, so exactly
+// this diagnostic is silenced and nothing is reported.
+func progressClock() time.Time {
+	return time.Now() //pp:nondeterministic-ok fixture: progress logging only, never ordering
+}
+
+// An annotation without a reason suppresses nothing: both the original
+// diagnostic and the needs-a-reason finding surface.
+func noReason() time.Time {
+	return time.Now() //pp:nondeterministic-ok // want `time\.Now reads the wall clock` `needs a reason`
+}
+
+// An annotation that matches no diagnostic on its line is reported as
+// unused rather than silently tolerated.
+//
+//pp:nondeterministic-ok nothing here needs it // want `unused //pp:nondeterministic-ok annotation`
+func deterministic() int {
+	return 4
+}
+
+// A misspelled directive is reported, not treated as an unknown-but-fine
+// comment.
+//
+//pp:nondetermnistic-ok typo // want `unknown //pp: directive`
+func alsoDeterministic() int {
+	return 5
+}
+
+func mapOrder(m map[string]int) int {
+	s := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		s += len(k)
+	}
+	return s
+}
+
+func sortedOrder(keys []string) int {
+	s := 0
+	for _, k := range keys { // slices range deterministically: no finding
+		s += len(k)
+	}
+	return s
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `global math/rand source`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(4) // method on an explicit generator: no finding
+}
+
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors: no finding
+}
+
+func race(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func single(a chan int) int {
+	select { // one case plus default is deterministic: no finding
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

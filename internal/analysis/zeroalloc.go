@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Zeroalloc checks functions annotated //pp:zeroalloc for statically
+// detectable allocation sources. The annotation marks the hot paths the
+// AllocsPerRun tests already pin at zero allocations per operation
+// (InjectBatch, the FrameBurst drain, the rmt PHV pool paths, wire
+// parse/serialize, packet recycling); the analyzer turns a regression
+// from a flaky benchmark diff into a lint failure that names the
+// allocating expression. Deliberate off-steady-state allocations
+// (warm-up buffer growth, error paths) carry //pp:alloc-ok with the
+// reason.
+var Zeroalloc = &Analyzer{
+	Name:      "zeroalloc",
+	Directive: DirAllocOK,
+	Doc: `check //pp:zeroalloc functions for static allocation sources
+
+Flags make/new, slice and map composite literals, escaping &T{}
+literals, append to anything but the appended slice itself, string<->
+[]byte conversions, conversions into interfaces, variadic interface{}
+calls (fmt.Errorf and friends box their arguments), and closures that
+capture variables. Each finding names the allocating expression so a
+zero-alloc regression explains itself at lint time instead of failing
+an AllocsPerRun test later.`,
+	Run: runZeroalloc,
+}
+
+func runZeroalloc(pass *Pass) error {
+	inDoc := make(map[*ast.Comment]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			marked := false
+			for _, c := range fd.Doc.List {
+				if d, _, ok := parseDirective(c.Text); ok && d == DirZeroalloc {
+					inDoc[c] = true
+					marked = true
+				}
+			}
+			if marked && fd.Body != nil {
+				checkZeroallocFunc(pass, fd)
+			}
+		}
+		// A marker anywhere else has nothing to check: report it so a
+		// misplaced annotation cannot silently guard nothing.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, _, ok := parseDirective(c.Text); ok && d == DirZeroalloc && !inDoc[c] {
+					pass.Reportf(c.Pos(), "//pp:zeroalloc must be part of a function's doc comment; this marker checks nothing")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkZeroallocFunc walks one annotated function body.
+func checkZeroallocFunc(pass *Pass, fd *ast.FuncDecl) {
+	selfAppends := collectSelfAppends(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if v := capturedVar(pass, fd, n); v != nil {
+				pass.Reportf(n.Pos(), "allocates: func literal captures %q; the closure is heap-allocated", v.Name())
+			}
+			return false // the literal's own body runs elsewhere
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "allocates: &composite literal escapes to the heap")
+					return false // don't re-flag the inner literal
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "allocates: slice literal")
+				case *types.Map:
+					pass.Reportf(n.Pos(), "allocates: map literal")
+				}
+			}
+		case *ast.CallExpr:
+			checkZeroallocCall(pass, n, selfAppends)
+		}
+		return true
+	})
+}
+
+// collectSelfAppends marks the append calls of the reuse idiom
+// x = append(x, ...): appending to a slice that is assigned straight
+// back to itself reuses capacity in steady state and is the one append
+// form a zero-alloc hot path may contain.
+func collectSelfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, isCall := as.Rhs[0].(*ast.CallExpr)
+		if !isCall || len(call.Args) == 0 {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "append" {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			ok[call] = true
+		}
+		return true
+	})
+	return ok
+}
+
+// checkZeroallocCall flags the allocating call forms.
+func checkZeroallocCall(pass *Pass, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Conversions: T(x).
+	if tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "allocates: make")
+			case "new":
+				pass.Reportf(call.Pos(), "allocates: new")
+			case "append":
+				if !selfAppends[call] {
+					pass.Reportf(call.Pos(), "allocates: append whose result is not assigned back to %s; a non-reused slice grows on the heap", types.ExprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	// Ordinary calls: variadic interface{} parameters box every
+	// argument (fmt.Errorf, fmt.Sprintf, ...).
+	sig, isSig := tv.Type.Underlying().(*types.Signature)
+	if !isSig || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	elem, isSlice := last.Type().Underlying().(*types.Slice)
+	if !isSlice {
+		return
+	}
+	if _, isIface := elem.Elem().Underlying().(*types.Interface); !isIface {
+		return
+	}
+	if len(call.Args) >= sig.Params().Len() {
+		pass.Reportf(call.Pos(), "allocates: variadic interface{} call boxes its arguments")
+	}
+}
+
+// checkConversion flags the converting forms that copy or box.
+func checkConversion(pass *Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	operand := pass.TypesInfo.Types[call.Args[0]].Type
+	if operand == nil {
+		return
+	}
+	switch t := target.Underlying().(type) {
+	case *types.Slice:
+		if isString(operand) && isByteOrRune(t.Elem()) {
+			pass.Reportf(call.Pos(), "allocates: string to %s conversion copies", types.TypeString(target, types.RelativeTo(pass.Pkg)))
+		}
+	case *types.Basic:
+		if isString(target) {
+			if s, isSlice := operand.Underlying().(*types.Slice); isSlice && isByteOrRune(s.Elem()) {
+				pass.Reportf(call.Pos(), "allocates: %s to string conversion copies", types.TypeString(operand, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	case *types.Interface:
+		if _, opIface := operand.Underlying().(*types.Interface); !opIface && !isUntypedNil(operand) {
+			pass.Reportf(call.Pos(), "allocates: conversion to interface boxes %s", types.TypeString(operand, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// capturedVar returns a variable the func literal captures from its
+// enclosing function, or nil. Package-level state does not count: a
+// closure over globals compiles to a static funcval.
+func capturedVar(pass *Pass, outer *ast.FuncDecl, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= outer.Pos() && v.Pos() < lit.Pos() {
+			captured = v
+		}
+		return true
+	})
+	return captured
+}

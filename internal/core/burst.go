@@ -58,6 +58,8 @@ func (s *Switch) NewFrameBurst(capacity int) *FrameBurst {
 }
 
 // Reset empties the burst for the next receive cycle.
+//
+//pp:zeroalloc
 func (b *FrameBurst) Reset() { b.batch = b.batch[:0] }
 
 // Len returns how many frames the burst currently holds.
@@ -70,20 +72,22 @@ func (b *FrameBurst) Cap() int { return len(b.slots) }
 // failures and invalid ports are counted against the switch (rx + drop
 // reason) and reported back; the burst itself stays usable. Adding past
 // capacity is an error.
+//
+//pp:zeroalloc
 func (b *FrameBurst) Add(frame []byte, in rmt.PortID) error {
 	if len(b.batch) >= len(b.slots) {
-		return fmt.Errorf("core: frame burst full (%d slots)", len(b.slots))
+		return fmt.Errorf("core: frame burst full (%d slots)", len(b.slots)) //pp:alloc-ok error path only; a full burst is a caller bug, off the steady state
 	}
 	pipeIdx := PipeOfPort(in)
 	if pipeIdx < 0 || pipeIdx >= NumPipes {
 		b.sw.rx[invalidShard].Inc()
 		b.sw.drop(invalidShard, dropInvalidPort)
-		return fmt.Errorf("core: invalid port %d", in)
+		return fmt.Errorf("core: invalid port %d", in) //pp:alloc-ok error path only; invalid ports never reach the steady state
 	}
 	sc := &b.slots[len(b.batch)]
 	if sc.buf == nil || sc.head != b.sw.maxPark {
 		sc.head = b.sw.maxPark
-		sc.buf = make([]byte, sc.head+maxFrameBytes)
+		sc.buf = make([]byte, sc.head+maxFrameBytes) //pp:alloc-ok one-time slot warm-up; reused for the lifetime of the burst
 	}
 	sc.pkt.UDP = &sc.udp
 	sc.pkt.TCP = &sc.tcp
@@ -109,6 +113,8 @@ func (b *FrameBurst) Add(frame []byte, in rmt.PortID) error {
 // returns the per-frame results, index-aligned with the Add order. Result
 // emissions (packets included) alias slot scratch: serialize or copy what
 // must survive before the next Reset/Add.
+//
+//pp:zeroalloc
 func (b *FrameBurst) Run() []BatchResult {
 	results := b.results[:len(b.batch)]
 	b.sw.InjectBatch(b.batch, results)

@@ -43,12 +43,16 @@ func (s *Switch) SetECMPRoute(dst packet.MAC, members map[string]rmt.PortID) err
 		return fmt.Errorf("core: ECMP group for %v has no members", dst)
 	}
 	names := make([]string, 0, len(members))
+	for name := range members { //pp:nondeterministic-ok key collection; sorted before any use
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	ports := make(map[string]rmt.PortID, len(members))
-	for name, port := range members {
+	for _, name := range names {
+		port := members[name]
 		if int(port) >= NumPorts {
 			return fmt.Errorf("core: ECMP member %q: invalid port %d", name, port)
 		}
-		names = append(names, name)
 		ports[name] = port
 	}
 	tbl, err := maglev.New(names, ecmpTableSize)
@@ -71,7 +75,7 @@ func (s *Switch) ECMPMembers(dst packet.MAC) []string {
 		return nil
 	}
 	names := make([]string, 0, len(g.ports))
-	for name := range g.ports {
+	for name := range g.ports { //pp:nondeterministic-ok key collection; sorted before return
 		names = append(names, name)
 	}
 	sort.Strings(names)

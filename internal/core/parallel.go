@@ -63,7 +63,7 @@ func NewParallelDriver(sw *Switch) *ParallelDriver {
 		}
 		return i
 	}
-	for in, out := range sw.recircOf {
+	for in, out := range sw.recircOf { //pp:nondeterministic-ok union-find partition is iteration-order independent
 		parent[find(out)] = find(in)
 	}
 	// One queue per group leader; non-leader pipes reuse their leader's.

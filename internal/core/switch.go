@@ -323,6 +323,8 @@ func (s *Switch) injectInto(pkt *packet.Packet, in rmt.PortID, headroom []byte, 
 // InjectReuse is InjectTraced filling a caller-owned Emission instead of
 // allocating one per packet: the hot-loop form for drivers (the simulator)
 // that copy what they need out of em before the next injection.
+//
+//pp:zeroalloc
 func (s *Switch) InjectReuse(pkt *packet.Packet, in rmt.PortID, em *Emission) (bool, string) {
 	reason := s.injectInto(pkt, in, nil, em)
 	return reason == "", reason
@@ -361,17 +363,19 @@ func (s *Switch) InjectFrame(frame []byte, in rmt.PortID) ([]byte, *Emission, er
 // The returned emission — including its packet and the emitted bytes when
 // out's capacity was reused — is only valid until the next InjectFrameAppend
 // on the same pipe. Callers that retain either must copy first.
+//
+//pp:zeroalloc
 func (s *Switch) InjectFrameAppend(frame []byte, in rmt.PortID, out []byte) ([]byte, *Emission, error) {
 	pipeIdx := PipeOfPort(in)
 	if pipeIdx < 0 || pipeIdx >= NumPipes {
 		s.rx[invalidShard].Inc()
 		s.drop(invalidShard, dropInvalidPort)
-		return out, nil, fmt.Errorf("core: invalid port %d", in)
+		return out, nil, fmt.Errorf("core: invalid port %d", in) //pp:alloc-ok error path only; invalid ports never reach the steady state
 	}
 	sc := &s.scratch[pipeIdx]
 	if sc.buf == nil || sc.head != s.maxPark {
 		sc.head = s.maxPark
-		sc.buf = make([]byte, sc.head+maxFrameBytes)
+		sc.buf = make([]byte, sc.head+maxFrameBytes) //pp:alloc-ok one-time scratch warm-up; reused across frames on this pipe
 	}
 	// Re-wire the scratch header structs (a prior parse may have nil'ed
 	// some of them) and steer the payload to buf[head:].
@@ -415,12 +419,15 @@ type BatchResult struct {
 // results[i] for batch[i] (len(results) must be >= len(batch)). It is
 // observably equivalent to calling InjectTraced per packet, without the
 // per-packet Emission allocation.
+//
+//pp:zeroalloc
 func (s *Switch) InjectBatch(batch []BatchPacket, results []BatchResult) {
 	for i := range batch {
 		s.injectOne(&batch[i], &results[i])
 	}
 }
 
+//pp:zeroalloc
 func (s *Switch) injectOne(bp *BatchPacket, r *BatchResult) {
 	r.Reason = s.injectInto(bp.Pkt, bp.In, nil, &r.Em)
 	r.OK = r.Reason == ""
@@ -432,6 +439,8 @@ func (s *Switch) injectOne(bp *BatchPacket, r *BatchResult) {
 // deparse applies the PHV's park/reassemble effects to the packet bytes
 // and L2-forwards it, filling em. It returns the drop reason, or "" when
 // em holds a valid emission.
+//
+//pp:zeroalloc
 func (s *Switch) deparse(pipeIdx int, phv *rmt.PHV, passes int, em *Emission) string {
 	if phv.Drop {
 		s.drop(pipeIdx, phv.DropWhy)

@@ -188,7 +188,7 @@ func (c *Controller) tickGroup(now int64, gs *groupState, links map[string]*Link
 		}
 	}
 	causeDown := false
-	for name := range gs.active {
+	for name := range gs.active { //pp:nondeterministic-ok order-independent boolean OR over a set
 		if !up[name] {
 			causeDown = true
 		}
@@ -199,7 +199,7 @@ func (c *Controller) tickGroup(now int64, gs *groupState, links map[string]*Link
 		// Drain at most one hot member per tick, and only while a cold
 		// alternative stays in the set — never drain the group empty.
 		coldLeft := 0
-		for name := range desired {
+		for name := range desired { //pp:nondeterministic-ok order-independent count over a set
 			if !gs.activeDrained(name) && util[name] < c.cfg.ColdLinkPct {
 				coldLeft++
 			}
@@ -268,7 +268,7 @@ func (c *Controller) tickGroup(now int64, gs *groupState, links map[string]*Link
 	// was not merely undrained means a dead link came back -> recover;
 	// everything else is congestion rebalancing.
 	causeUp := false
-	for name := range desired {
+	for name := range desired { //pp:nondeterministic-ok order-independent boolean OR over a set
 		if !gs.active[name] && !undrained[name] {
 			causeUp = true
 		}
@@ -361,7 +361,7 @@ func setEqual(a, b map[string]bool) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for k := range a {
+	for k := range a { //pp:nondeterministic-ok order-independent set-equality predicate
 		if !b[k] {
 			return false
 		}
@@ -371,7 +371,7 @@ func setEqual(a, b map[string]bool) bool {
 
 func setNames(s map[string]bool) []string {
 	out := make([]string, 0, len(s))
-	for k := range s {
+	for k := range s { //pp:nondeterministic-ok key collection; sorted before return
 		out = append(out, k)
 	}
 	sort.Strings(out)

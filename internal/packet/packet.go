@@ -117,6 +117,8 @@ func ParseAt(frame []byte, ppOffset int) (*Packet, error) {
 // and the payload is appended into Payload's existing backing array
 // (sliced to length zero first). Callers that pre-position Payload inside
 // a larger buffer keep that placement as long as the capacity suffices.
+//
+//pp:zeroalloc
 func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 	if err := p.Eth.Unmarshal(frame); err != nil {
 		return err
@@ -135,7 +137,7 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 	switch p.IP.Protocol {
 	case IPProtoUDP:
 		if p.UDP == nil {
-			p.UDP = &UDP{}
+			p.UDP = &UDP{} //pp:alloc-ok warm-up: a reused packet keeps its UDP struct across parses
 		}
 		p.TCP = nil
 		if err := p.UDP.Unmarshal(frame[off:]); err != nil {
@@ -144,7 +146,7 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 		off += UDPHeaderLen
 	case IPProtoTCP:
 		if p.TCP == nil {
-			p.TCP = &TCP{}
+			p.TCP = &TCP{} //pp:alloc-ok warm-up: a reused packet keeps its TCP struct across parses
 		}
 		p.UDP = nil
 		if err := p.TCP.Unmarshal(frame[off:]); err != nil {
@@ -159,7 +161,7 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 	payload := p.Payload[:0]
 	if ppOffset >= 0 {
 		if len(frame) < off+ppOffset+PPHeaderLen {
-			return fmt.Errorf("payloadpark header at offset %d: %w", ppOffset, ErrTruncated)
+			return fmt.Errorf("payloadpark header at offset %d: %w", ppOffset, ErrTruncated) //pp:alloc-ok error path only; truncated frames are dropped before the steady state
 		}
 		if p.PP == nil {
 			p.PP = &p.ppStore
@@ -170,12 +172,12 @@ func ParseAtInto(p *Packet, frame []byte, ppOffset int) error {
 		p.PPOffset = ppOffset
 		// Payload excludes the header: visible prefix + remainder.
 		payload = append(payload, frame[off:off+ppOffset]...)
-		p.Payload = append(payload, frame[off+ppOffset+PPHeaderLen:]...)
+		p.Payload = append(payload, frame[off+ppOffset+PPHeaderLen:]...) //pp:alloc-ok grows p.Payload's reused backing (payload aliases it); amortized warm-up
 		return nil
 	}
 	p.PP = nil
 	p.PPOffset = 0
-	p.Payload = append(payload, frame[off:]...)
+	p.Payload = append(payload, frame[off:]...) //pp:alloc-ok grows p.Payload's reused backing (payload aliases it); amortized warm-up
 	return nil
 }
 
@@ -258,11 +260,13 @@ func (p *Packet) Serialize() []byte {
 // AppendSerialize appends the packet's wire bytes to buf and returns the
 // extended slice. Callers on the hot path pass a reused buffer (typically
 // buf[:0]) so steady-state serialization does not allocate.
+//
+//pp:zeroalloc
 func (p *Packet) AppendSerialize(buf []byte) []byte {
 	n := p.Len()
 	off := len(buf)
 	if cap(buf)-off < n {
-		grown := make([]byte, off+n, off+n+512)
+		grown := make([]byte, off+n, off+n+512) //pp:alloc-ok grow path; hot callers pass a reused buf sized by prior rounds
 		copy(grown, buf)
 		buf = grown
 	} else {
@@ -349,20 +353,22 @@ func (p *Packet) Clone() *Packet {
 // CloneInto deep-copies the packet into dst, reusing dst's header
 // structs and payload backing array — the allocation-free Clone for
 // pooled packets (pcap replay at scale reuses retired packets this way).
+//
+//pp:zeroalloc
 func (p *Packet) CloneInto(dst *Packet) *Packet {
 	udp, tcp, payload := dst.UDP, dst.TCP, dst.Payload
 	*dst = *p
 	dst.UDP, dst.TCP = nil, nil
 	if p.UDP != nil {
 		if udp == nil {
-			udp = &UDP{}
+			udp = &UDP{} //pp:alloc-ok warm-up: a reused dst keeps its UDP struct across clones
 		}
 		*udp = *p.UDP
 		dst.UDP = udp
 	}
 	if p.TCP != nil {
 		if tcp == nil {
-			tcp = &TCP{}
+			tcp = &TCP{} //pp:alloc-ok warm-up: a reused dst keeps its TCP struct across clones
 		}
 		*tcp = *p.TCP
 		dst.TCP = tcp
@@ -379,7 +385,7 @@ func (p *Packet) CloneInto(dst *Packet) *Packet {
 	} else {
 		dst.CR = nil
 	}
-	dst.Payload = append(payload[:0], p.Payload...)
+	dst.Payload = append(payload[:0], p.Payload...) //pp:alloc-ok grows dst.Payload's reused backing; amortized warm-up
 	dst.headroom = nil
 	return dst
 }

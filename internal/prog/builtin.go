@@ -491,6 +491,24 @@ func appendCompressParts(s *Spec) {
 	)
 }
 
+// BuiltinSpecs returns representative instances of the three built-in
+// programs, parameterized with the geometry core.Install uses (20 base +
+// 28 recirculation payload blocks of 8 bytes, distinct split/merge
+// ports). Tooling — the spec linter in cmd/ppvet, round-trip tests —
+// iterates these to cover every table the package can emit.
+func BuiltinSpecs() []*Spec {
+	park := ParkParams{
+		Slots: 8192, MaxExpiry: 1, SplitPort: 1, MergePort: 2,
+		BoundaryOffset: 42, Recirculate: true,
+		Blocks: 48, BaseBlocks: 20, BlockBytes: 8, MaxClock: 1 << 16,
+	}
+	return []*Spec{
+		PayloadParkSpec(park),
+		HeaderCompressSpec(CompressParams{CompressPort: 1, RestorePort: 2}),
+		ParkCompressSpec(park, 0),
+	}
+}
+
 // ctxEntries builds the store/load entry pair of one context register
 // holding header-image bytes [off, off+n).
 func ctxEntries(off, n int64) []EntrySpec {

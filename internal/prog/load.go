@@ -25,6 +25,11 @@ type LoadOptions struct {
 	// read them unchanged). Names not bound here get instance-owned
 	// counters.
 	Counters map[string]*stats.Counter
+	// Lint, when set, receives every Spec.Lint finding before install.
+	// Findings are advisory — a spec with dead tables still loads, since
+	// liveness is a warning about intent, not installability — so the
+	// callback decides whether to print, collect, or fail.
+	Lint func(LintFinding)
 }
 
 // Instance is one loaded program: the live runtime parameters, counters and
@@ -94,7 +99,7 @@ func (in *Instance) CounterValue(name string) uint64 {
 // CounterNames lists the program's counter names, sorted.
 func (in *Instance) CounterNames() []string {
 	names := make([]string, 0, len(in.counters))
-	for n := range in.counters {
+	for n := range in.counters { //pp:nondeterministic-ok key collection; sorted before return
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -104,7 +109,7 @@ func (in *Instance) CounterNames() []string {
 // Counters snapshots every counter into a map, for reports.
 func (in *Instance) Counters() map[string]uint64 {
 	m := make(map[string]uint64, len(in.counters))
-	for n, c := range in.counters {
+	for n, c := range in.counters { //pp:nondeterministic-ok order-insensitive copy into a map
 		m[n] = c.Value()
 	}
 	return m
@@ -167,18 +172,25 @@ func Load(spec *Spec, opts LoadOptions) (inst *Instance, err error) {
 		return nil, fmt.Errorf("prog: spec %q declares no PHV bits", spec.Name)
 	}
 
+	if opts.Lint != nil {
+		for _, f := range spec.Lint() {
+			opts.Lint(f)
+		}
+	}
+
 	params := make(map[string]int64, len(spec.Params))
-	for k, v := range spec.Params {
+	for k, v := range spec.Params { //pp:nondeterministic-ok order-insensitive copy into a map
 		params[k] = v
 	}
-	for k, v := range opts.Params {
+	// Sorted so a bad override always reports the same parameter first.
+	for _, k := range sortedKeys(opts.Params) {
 		if _, ok := spec.Params[k]; !ok {
 			return nil, fmt.Errorf("prog: spec %q declares no parameter %q to override", spec.Name, k)
 		}
-		params[k] = v
+		params[k] = opts.Params[k]
 	}
 	runtime := make(map[string]*uint32, len(spec.Runtime))
-	for k, v := range spec.Runtime {
+	for k, v := range spec.Runtime { //pp:nondeterministic-ok order-insensitive copy into a map
 		u := v
 		runtime[k] = &u
 	}
@@ -195,7 +207,7 @@ func Load(spec *Spec, opts LoadOptions) (inst *Instance, err error) {
 	// when supplied, instance-owned otherwise.
 	for ti := range spec.Tables {
 		for ei := range spec.Tables[ti].Entries {
-			for _, name := range spec.Tables[ti].Entries[ei].Counters {
+			for _, name := range spec.Tables[ti].Entries[ei].Counters { //pp:nondeterministic-ok idempotent counter creation; order-insensitive
 				if _, ok := inst.counters[name]; ok {
 					continue
 				}
@@ -362,8 +374,10 @@ func compileEntry(e *EntrySpec, inst *Instance, params map[string]int64) (rmt.Ru
 	args := rmt.ActionArgs{Reasons: e.Reasons}
 	if len(e.Params) > 0 {
 		args.Params = make(map[string]int64, len(e.Params))
-		for k, pv := range e.Params {
-			v, err := pv.resolve(params)
+		// Sorted so an unresolvable entry always reports the same
+		// parameter first.
+		for _, k := range sortedKeys(e.Params) {
+			v, err := e.Params[k].resolve(params)
 			if err != nil {
 				return rmt.Rule{}, fmt.Errorf("entry %q parameter %q: %w", e.Name, k, err)
 			}
@@ -372,7 +386,7 @@ func compileEntry(e *EntrySpec, inst *Instance, params map[string]int64) (rmt.Ru
 	}
 	if len(e.Counters) > 0 {
 		args.Counters = make(map[string]*stats.Counter, len(e.Counters))
-		for role, name := range e.Counters {
+		for role, name := range e.Counters { //pp:nondeterministic-ok order-insensitive copy into a map
 			args.Counters[role] = inst.counters[name]
 		}
 	}

@@ -101,6 +101,12 @@ type Spec struct {
 
 	Registers []RegisterSpec `json:"registers,omitempty"`
 	Tables    []TableSpec    `json:"tables,omitempty"`
+
+	// LintAllow waives Lint findings by "code:object" key (for example
+	// "unused-param:params/debug_port"). The waiver lives in the spec so
+	// a reviewed exception travels with the file it excuses; a waiver
+	// that matches no finding is itself reported.
+	LintAllow []string `json:"lint_allow,omitempty"`
 }
 
 // ResolveParam returns the value the named parameter takes under overrides:

@@ -82,6 +82,14 @@ var metaIndexByName = map[string]int{
 	"comp_enabled":  MetaCompEnabled,
 }
 
+// MetaIndex resolves a well-known metadata word name to its index, for
+// tooling (prog's spec linter) that validates "meta.<name>" fields and
+// meta_out bindings without compiling them against a live pipe.
+func MetaIndex(name string) (int, bool) {
+	idx, ok := metaIndexByName[name]
+	return idx, ok
+}
+
 func b2i(b bool) int64 {
 	if b {
 		return 1
@@ -260,7 +268,7 @@ func BuildAction(name string, env Env, args ActionArgs) (func(*Ctx), error) {
 // ActionNames lists the registered vocabulary, sorted.
 func ActionNames() []string {
 	names := make([]string, 0, len(actionRegistry))
-	for n := range actionRegistry {
+	for n := range actionRegistry { //pp:nondeterministic-ok key collection; sorted before return
 		names = append(names, n)
 	}
 	sort.Strings(names)

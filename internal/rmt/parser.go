@@ -66,8 +66,10 @@ func (p *Parser) phvBits() int { return (p.blocks*p.blockBytes + p.parkOffset) *
 // skip the Split path for small payloads (§5: "We apply the Split
 // operation only when the payload length exceeds the number of per-packet
 // bytes that we can store").
+//
+//pp:zeroalloc
 func (p *Parser) ToPHV(pkt *packet.Packet, port PortID) *PHV {
-	phv := &PHV{}
+	phv := &PHV{} //pp:alloc-ok the one deliberate allocation; pooled callers use FillPHV
 	p.FillPHV(phv, pkt, port)
 	return phv
 }

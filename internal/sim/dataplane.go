@@ -169,7 +169,7 @@ func RunDataplane(cfg DataplaneConfig) DataplaneResult {
 	merges := make([]core.BatchPacket, 0, cfg.Batch)
 
 	var injected uint64
-	start := time.Now()
+	start := time.Now() //pp:nondeterministic-ok wall-clock throughput measurement, reported not ordered on
 	for round := 0; round < cfg.Rounds; round++ {
 		for off := 0; off < len(seq); off += cfg.Batch {
 			end := off + cfg.Batch
@@ -205,7 +205,7 @@ func RunDataplane(cfg DataplaneConfig) DataplaneResult {
 			}
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //pp:nondeterministic-ok wall-clock throughput measurement, reported not ordered on
 
 	res := DataplaneResult{Packets: injected, Elapsed: elapsed, Workers: workers}
 	if injected > 0 {

@@ -292,7 +292,7 @@ func RunFabricDataplane(cfg FabricDataplaneConfig) FabricDataplaneResult {
 
 	injectionsPerTrip := uint64(2 * cfg.Switches)
 	var injected uint64
-	start := time.Now()
+	start := time.Now() //pp:nondeterministic-ok wall-clock throughput measurement, reported not ordered on
 
 	if !cfg.Pipelined {
 		for _, b := range batches {
@@ -310,7 +310,7 @@ func RunFabricDataplane(cfg FabricDataplaneConfig) FabricDataplaneResult {
 	} else {
 		injected = runPipelined(cfg, stages, batches, injectionsPerTrip)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //pp:nondeterministic-ok wall-clock throughput measurement, reported not ordered on
 
 	res := FabricDataplaneResult{Packets: injected, Elapsed: elapsed, Workers: workers}
 	if injected > 0 {

@@ -44,19 +44,22 @@ func attachPrograms(sw *core.Switch, atts []ProgramAttachment, split, merge rmt.
 	insts := make([]*prog.Instance, 0, len(atts))
 	for _, att := range atts {
 		params := make(map[string]int64, len(att.Params)+2)
-		for k, v := range att.Params {
+		for k, v := range att.Params { //pp:nondeterministic-ok order-insensitive copy into a map
 			params[k] = v
 		}
 		if att.Spec != nil {
-			for name, def := range map[string]int64{
-				"split_port": int64(split),
-				"merge_port": int64(merge),
+			for _, port := range []struct {
+				name string
+				def  int64
+			}{
+				{"split_port", int64(split)},
+				{"merge_port", int64(merge)},
 			} {
-				if _, pinned := att.Params[name]; pinned {
+				if _, pinned := att.Params[port.name]; pinned {
 					continue
 				}
-				if _, declared := att.Spec.ResolveParam(name, nil); declared {
-					params[name] = def
+				if _, declared := att.Spec.ResolveParam(port.name, nil); declared {
+					params[port.name] = port.def
 				}
 			}
 		}
@@ -99,8 +102,8 @@ func programReport(swName string, inst *prog.Instance, snap map[string]uint64) P
 		Counters:  make(map[string]uint64),
 		Occupancy: programOccupancy(inst),
 	}
-	for name, v := range inst.Counters() {
-		pc.Counters[name] = v - snap[name]
+	for _, name := range inst.CounterNames() {
+		pc.Counters[name] = inst.CounterValue(name) - snap[name]
 	}
 	return pc
 }

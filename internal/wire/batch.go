@@ -46,6 +46,8 @@ func (s *BatchSender) Begin() []byte { return s.buf }
 // (adopting its backing array, which may have grown) as pending for dst.
 // ok, when non-nil, is incremented once the frame's write succeeds in
 // Flush. Zero-length appends are dropped.
+//
+//pp:zeroalloc
 func (s *BatchSender) Commit(buf []byte, dst *net.UDPAddr, ok *atomic.Uint64) {
 	if len(buf) <= len(s.buf) {
 		return
@@ -56,11 +58,13 @@ func (s *BatchSender) Commit(buf []byte, dst *net.UDPAddr, ok *atomic.Uint64) {
 
 // Queue copies an externally built frame into the batch for dst; see
 // Commit for ok.
+//
+//pp:zeroalloc
 func (s *BatchSender) Queue(frame []byte, dst *net.UDPAddr, ok *atomic.Uint64) {
 	if len(frame) == 0 {
 		return
 	}
-	s.Commit(append(s.buf, frame...), dst, ok)
+	s.Commit(append(s.buf, frame...), dst, ok) //pp:alloc-ok grows s.buf's backing, adopted back by Commit; amortized warm-up
 }
 
 // Pending returns how many frames await Flush.
@@ -73,6 +77,8 @@ func (s *BatchSender) Pending() int { return len(s.marks) }
 // syscall amortization batching buys; elsewhere (or when the batch can't
 // be expressed for the socket's address family) it degrades to one
 // WriteToUDP per frame.
+//
+//pp:zeroalloc
 func (s *BatchSender) Flush() (errs int) {
 	if len(s.marks) == 0 {
 		return 0
