@@ -17,6 +17,7 @@
 //	ppbench -topology 4x2 [-json BENCH_fabric.json] [-quick] [-seed N]
 //	ppbench -scenario file.json [-json report.json] [-quick] [-seed N]
 //	ppbench -program spec.json [-json report.json] [-quick] [-seed N]
+//	ppbench -trace trace.json [-scenario file.json] [-quick] [-seed N] [-partitions K]
 //
 // -json writes the experiment's structured result (the same data the
 // text tables render) as a machine-readable artifact; it works for
@@ -52,6 +53,13 @@
 // internal/prog form, e.g. examples/policies/compress-spec.json), runs
 // it as a custom policy on the canonical testbed, and prints the Report
 // with the program's counters — new policies are JSON, not Go.
+//
+// -trace turns on the packet-lifecycle flight recorder and writes the
+// recording as Chrome trace-event JSON (open it in Perfetto or
+// chrome://tracing). Combined with -scenario it records that scenario;
+// alone it records the canonical 4x2 leaf-spine parking run. The
+// export is deterministic: same scenario, same seed, same bytes, at
+// any partition count.
 package main
 
 import (
@@ -87,6 +95,7 @@ func main() {
 		scnFile  = flag.String("scenario", "", "run a serialized Scenario from this JSON file and print its Report")
 		progFile = flag.String("program", "", "run a serialized table-program spec (prog.Spec JSON) on the canonical testbed and print its Report")
 		jsonOut  = flag.String("json", "", "write the structured experiment result to this file")
+		traceOut = flag.String("trace", "", "record the packet-lifecycle flight recorder and write Chrome trace-event JSON to this file (with -scenario, or alone on the canonical 4x2 leaf-spine parking run)")
 		parts    = flag.String("partitions", "", "comma-separated partition counts for the scale experiment (e.g. 1,2,4,8); a single value applies to -scenario runs")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -124,7 +133,14 @@ func main() {
 	opts := harness.Options{Quick: *quick, Seed: *seed, Ctx: ctx, Partitions: partitions}
 
 	if *scnFile != "" {
-		if err := runScenarioFile(ctx, *scnFile, *jsonOut, *quick, *seed, partitions); err != nil {
+		if err := runScenarioFile(ctx, *scnFile, *jsonOut, *traceOut, *quick, *seed, partitions); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *traceOut != "" {
+		if err := runTraceOnly(ctx, *traceOut, *jsonOut, *quick, *seed, partitions); err != nil {
 			fail(err)
 		}
 		return
@@ -320,10 +336,11 @@ func flushProfiles() {
 
 // runScenarioFile loads a serialized Scenario, runs it through the
 // unified entrypoint, and prints the Report (headline summary plus the
-// full JSON; -json additionally writes the Report to a file). The
+// full JSON; -json additionally writes the Report to a file, -trace
+// turns on the flight recorder and exports the Chrome trace). The
 // -quick, -seed, and single-valued -partitions flags act as fallbacks:
 // they apply only when the file's own opts leave them unset.
-func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, seed int64, partitions []int) error {
+func runScenarioFile(ctx context.Context, path, jsonPath, tracePath string, quick bool, seed int64, partitions []int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -341,10 +358,16 @@ func runScenarioFile(ctx context.Context, path, jsonPath string, quick bool, see
 	if len(partitions) == 1 && s.Opts.Partitions == 0 {
 		s.Opts.Partitions = partitions[0]
 	}
+	if tracePath != "" {
+		s.Observe.Trace = true
+	}
 	fmt.Printf("== scenario %s: %s on %s\n", path, s.Name, s.Topology.Kind())
 	start := time.Now()
 	rep, err := scenario.Run(ctx, s)
 	if err != nil {
+		return err
+	}
+	if err := writeTrace(tracePath, rep); err != nil {
 		return err
 	}
 	fmt.Printf("   send=%.3f Gbps goodput=%.3f Gbps lat(avg/max)=%.1f/%.1f us delivered=%d drop=%.4f%% healthy=%t premature=%d\n",
@@ -439,6 +462,62 @@ func runTopology(opts harness.Options, topo, jsonPath string) error {
 	}
 	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
 	writeJSON(jsonPath, suite)
+	return nil
+}
+
+// writeTrace exports a report's flight recording as Chrome trace-event
+// JSON (no-op when path is empty).
+func writeTrace(path string, rep *scenario.Report) error {
+	if path == "" {
+		return nil
+	}
+	if rep.Trace == nil {
+		return fmt.Errorf("-trace: the run produced no flight recording")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Trace.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s (%d events, %d dropped)\n", path, rep.Trace.Total(), rep.Trace.Dropped())
+	return nil
+}
+
+// runTraceOnly records the canonical 4x2 leaf-spine parking run — the
+// topology where the full packet lifecycle (inject, split, transit,
+// merge, sink) plus an adaptive controller all appear — and exports the
+// flight recording.
+func runTraceOnly(ctx context.Context, tracePath, jsonPath string, quick bool, seed int64, partitions []int) error {
+	s := scenario.Scenario{
+		Name:     "trace",
+		Topology: scenario.LeafSpine{Leaves: 4, Spines: 2},
+		Parking:  scenario.Parking{Mode: sim.ParkEdge},
+		Traffic:  scenario.Traffic{SendBps: 6e9},
+		Control:  scenario.Control{Adaptive: true},
+		Observe:  scenario.Observe{Trace: true, Metrics: true},
+		Opts:     scenario.RunOptions{Seed: seed, Quick: quick},
+	}
+	if len(partitions) == 1 {
+		s.Opts.Partitions = partitions[0]
+	}
+	fmt.Printf("== trace: canonical 4x2 leaf-spine parking run\n")
+	start := time.Now()
+	rep, err := scenario.Run(ctx, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   goodput=%.3f Gbps delivered=%d healthy=%t\n", rep.GoodputGbps, rep.Delivered, rep.Healthy)
+	if err := writeTrace(tracePath, rep); err != nil {
+		return err
+	}
+	fmt.Printf("   (%.1fs)\n", time.Since(start).Seconds())
+	writeJSON(jsonPath, rep)
 	return nil
 }
 

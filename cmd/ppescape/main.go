@@ -1,0 +1,278 @@
+// Command ppescape cross-checks the //pp:zeroalloc contract against the
+// compiler's escape analysis. The ppvet zeroalloc analyzer rejects
+// *syntactic* allocation sources (make, new, closures, boxing) inside
+// marked functions, but it cannot see what the optimizer decides; this
+// tool runs `go build -gcflags=-m` over the packages containing marks
+// and reports every "escapes to heap" / "moved to heap" diagnostic that
+// lands inside a marked function's body.
+//
+// Findings are compared against the committed allowlist
+// (api/escape_allowlist.txt, one normalized finding per line): a finding
+// missing from the allowlist — a new heap allocation on a hot path — or
+// a stale allowlist entry fails the run, so CI catches both regressions
+// and silent fixes. -update rewrites the allowlist from the current
+// build.
+//
+// Findings are keyed by file and function, not line number, so pure
+// line shifts do not churn the allowlist.
+//
+// Usage (from the module root):
+//
+//	ppescape [-update]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const allowlistPath = "api/escape_allowlist.txt"
+
+const mark = "//pp:zeroalloc"
+
+// markedFunc is one //pp:zeroalloc function's source extent.
+type markedFunc struct {
+	file       string // module-relative path
+	name       string // receiver-qualified display name
+	start, end int    // line range, inclusive
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite "+allowlistPath+" from the current build")
+	flag.Parse()
+	if err := run(*update); err != nil {
+		fmt.Fprintf(os.Stderr, "ppescape: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(update bool) error {
+	if _, err := os.Stat("go.mod"); err != nil {
+		return fmt.Errorf("run from the module root (go.mod not found)")
+	}
+	marked, pkgs, err := collectMarked()
+	if err != nil {
+		return err
+	}
+	if len(marked) == 0 {
+		return fmt.Errorf("no %s marks found", mark)
+	}
+	findings, err := escapeFindings(marked, pkgs)
+	if err != nil {
+		return err
+	}
+	if update {
+		return writeAllowlist(findings)
+	}
+	want, err := readAllowlist()
+	if err != nil {
+		return err
+	}
+	missing, stale := diff(findings, want)
+	for _, f := range missing {
+		fmt.Printf("NEW ESCAPE   %s\n", f)
+	}
+	for _, f := range stale {
+		fmt.Printf("STALE ENTRY  %s\n", f)
+	}
+	if len(missing)+len(stale) > 0 {
+		return fmt.Errorf("%d new escape(s), %d stale allowlist entr(ies); run `go run ./cmd/ppescape -update` and review the diff", len(missing), len(stale))
+	}
+	fmt.Printf("ppescape: %d marked functions across %d packages, %d allowlisted escapes, no drift\n",
+		len(marked), len(pkgs), len(findings))
+	return nil
+}
+
+// collectMarked parses every non-test .go file under internal/ and cmd/
+// (skipping testdata fixtures) and returns the marked functions plus the
+// package patterns to rebuild.
+func collectMarked() ([]markedFunc, []string, error) {
+	var marked []markedFunc
+	pkgSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil || fn.Body == nil {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					if c.Text == mark || strings.HasPrefix(c.Text, mark+" ") {
+						marked = append(marked, markedFunc{
+							file:  path,
+							name:  funcName(fn),
+							start: fset.Position(fn.Pos()).Line,
+							end:   fset.Position(fn.End()).Line,
+						})
+						pkgSet["./"+filepath.ToSlash(filepath.Dir(path))] = true
+						break
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	return marked, pkgs, nil
+}
+
+// funcName renders a receiver-qualified display name: Emit becomes
+// (*Recorder).Emit, plain functions keep their identifier.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	var recv strings.Builder
+	switch t := fn.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			recv.WriteString("*" + id.Name)
+		}
+	case *ast.Ident:
+		recv.WriteString(t.Name)
+	}
+	if recv.Len() == 0 {
+		return fn.Name.Name
+	}
+	return "(" + recv.String() + ")." + fn.Name.Name
+}
+
+// escapeLine matches one compiler diagnostic: file:line:col: message.
+var escapeLine = regexp.MustCompile(`^([^\s:]+\.go):(\d+):\d+: (.*)$`)
+
+// escapeFindings rebuilds pkgs with -gcflags=-m under a scratch GOCACHE
+// (a warm cache suppresses the diagnostics entirely) and returns the
+// normalized heap-allocation findings inside marked functions.
+func escapeFindings(marked []markedFunc, pkgs []string) ([]string, error) {
+	scratch, err := os.MkdirTemp("", "ppescape-gocache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgs...)...)
+	cmd.Env = append(os.Environ(), "GOCACHE="+scratch, "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	set := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, mf := range marked {
+			if mf.file == m[1] && lineNo >= mf.start && lineNo <= mf.end {
+				set[fmt.Sprintf("%s:%s: %s", mf.file, mf.name, msg)] = true
+				break
+			}
+		}
+	}
+	findings := make([]string, 0, len(set))
+	for f := range set {
+		findings = append(findings, f)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+func readAllowlist() ([]string, error) {
+	data, err := os.ReadFile(allowlistPath)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func writeAllowlist(findings []string) error {
+	var b strings.Builder
+	b.WriteString("# Heap escapes the compiler reports inside //pp:zeroalloc functions.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/ppescape -update\n")
+	b.WriteString("# An empty list is the goal; every entry here is a known, justified\n")
+	b.WriteString("# exception (see the function's //pp:alloc-ok waiver for the why).\n")
+	for _, f := range findings {
+		b.WriteString(f)
+		b.WriteString("\n")
+	}
+	if err := os.WriteFile(allowlistPath, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ppescape: wrote %s (%d findings)\n", allowlistPath, len(findings))
+	return nil
+}
+
+// diff returns findings absent from the allowlist and allowlist entries
+// no longer observed (both sorted).
+func diff(got, want []string) (missing, stale []string) {
+	gotSet := map[string]bool{}
+	for _, f := range got {
+		gotSet[f] = true
+	}
+	wantSet := map[string]bool{}
+	for _, f := range want {
+		wantSet[f] = true
+	}
+	for _, f := range got {
+		if !wantSet[f] {
+			missing = append(missing, f)
+		}
+	}
+	for _, f := range want {
+		if !gotSet[f] {
+			stale = append(stale, f)
+		}
+	}
+	return missing, stale
+}

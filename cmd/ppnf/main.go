@@ -12,11 +12,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/wire"
 )
@@ -55,6 +58,7 @@ func main() {
 		dropFrac = flag.Float64("fw-drop", 0, "firewall blacklist fraction (0..1)")
 		explicit = flag.Bool("explicit-drop", false, "send Explicit Drop notifications (§6.2.4)")
 		burst    = flag.Int("burst", wire.DefaultBurst, "receive burst size (recvmmsg-style drain)")
+		metrics  = flag.String("metrics", "", "serve Prometheus text exposition at http://ADDR/metrics (e.g. 127.0.0.1:9001)")
 	)
 	flag.Parse()
 
@@ -78,6 +82,13 @@ func main() {
 	}
 	fmt.Printf("ppnf: %s on %s -> switch %s (explicit-drop=%t)\n", chain.Name(), d.Addr(), *swAddr, *explicit)
 
+	if *metrics != "" {
+		if err := serveMetrics(*metrics, d.RegisterMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "ppnf: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := d.Run(ctx); err != nil {
@@ -86,4 +97,24 @@ func main() {
 	}
 	fmt.Printf("ppnf: rx=%d tx=%d dropped=%d notified=%d\n",
 		d.Rx.Load(), d.Tx.Load(), d.Dropped.Load(), d.Notified.Load())
+}
+
+// serveMetrics binds addr, registers the daemon's atomics, and serves
+// GET /metrics in the background; a bad address fails at startup.
+func serveMetrics(addr string, register func(*obs.Registry)) error {
+	reg := obs.NewRegistry()
+	register(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	fmt.Printf("ppnf: metrics at http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "ppnf: metrics server: %v\n", err)
+		}
+	}()
+	return nil
 }

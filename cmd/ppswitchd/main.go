@@ -19,10 +19,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/wire"
@@ -43,6 +46,7 @@ func main() {
 		expiry  = flag.Uint("expiry", 1, "expiry threshold MAX_EXP")
 		recirc  = flag.Bool("recirculate", false, "park 384 bytes via recirculation")
 		burst   = flag.Int("burst", wire.DefaultBurst, "receive burst size (recvmmsg-style drain)")
+		metrics = flag.String("metrics", "", "serve Prometheus text exposition at http://ADDR/metrics (e.g. 127.0.0.1:9000)")
 	)
 	flag.Parse()
 
@@ -79,6 +83,13 @@ func main() {
 	}
 	fmt.Printf("ppswitchd: listening on %s, gen=%s nf=%s, %s\n", d.Addr(), *genAddr, *nfAddr, mode)
 
+	if *metrics != "" {
+		if err := serveMetrics(*metrics, d.RegisterMetrics, "ppswitchd"); err != nil {
+			fmt.Fprintf(os.Stderr, "ppswitchd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := d.Run(ctx); err != nil {
@@ -87,4 +98,25 @@ func main() {
 	}
 	fmt.Printf("ppswitchd: rx=%d tx=%d errors=%d\n", d.Rx.Load(), d.Tx.Load(), d.Errors.Load())
 	fmt.Printf("ppswitchd: %s\n", d.Counters().String())
+}
+
+// serveMetrics binds addr, registers the daemon's atomics via register,
+// and serves GET /metrics in the background. Binding synchronously means
+// a bad -metrics address fails at startup, not silently mid-run.
+func serveMetrics(addr string, register func(*obs.Registry), name string) error {
+	reg := obs.NewRegistry()
+	register(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	fmt.Printf("%s: metrics at http://%s/metrics\n", name, ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: metrics server: %v\n", name, err)
+		}
+	}()
+	return nil
 }

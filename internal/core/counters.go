@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/stats"
 )
 
@@ -60,4 +61,37 @@ func (c *Counters) String() string {
 func (c *Counters) Outstanding() int64 {
 	return int64(c.Splits.Value()) - int64(c.Merges.Value()) -
 		int64(c.ExplicitDrops.Value()) - int64(c.Evictions.Value())
+}
+
+// RegisterObs registers every monitoring counter with the metrics
+// registry under the given Prometheus label set (e.g.
+// `switch="leaf0",program="0"`; empty for an unlabeled deployment).
+// Registration only captures read closures: the counters themselves
+// stay plain non-atomic fields, and snapshots must happen while the
+// dataplane is quiescent.
+func (c *Counters) RegisterObs(reg *obs.Registry, labels string) {
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	for _, m := range []struct {
+		name string
+		help string
+		c    *stats.Counter
+	}{
+		{"pp_park_splits_total", "payload splits parked", &c.Splits},
+		{"pp_park_merges_total", "parked payloads merged back", &c.Merges},
+		{"pp_park_explicit_drops_total", "explicit-drop slot reclaims", &c.ExplicitDrops},
+		{"pp_park_evictions_total", "payloads evicted by expiry", &c.Evictions},
+		{"pp_park_premature_evictions_total", "merges that found their payload evicted", &c.PrematureEvictions},
+		{"pp_park_split_disabled_total", "packets from the NF with split disabled", &c.SplitDisabledFromNF},
+		{"pp_park_small_payload_skips_total", "splits skipped for undersized payloads", &c.SmallPayloadSkips},
+		{"pp_park_occupied_skips_total", "splits skipped on occupied slots", &c.OccupiedSkips},
+		{"pp_park_demoted_skips_total", "splits skipped while demoted", &c.DemotedSkips},
+		{"pp_park_bad_tag_drops_total", "merge-port packets failing tag validation", &c.BadTagDrops},
+		{"pp_park_stale_explicit_drops_total", "explicit drops on already-reclaimed slots", &c.StaleExplicitDrops},
+	} {
+		ctr := m.c
+		reg.Counter(m.name+suffix, m.help, func() uint64 { return ctr.Value() })
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/payloadpark/payloadpark/internal/obs"
 )
 
 // Decision is one control-plane action, timestamped for the decision
@@ -68,6 +70,11 @@ type Controller struct {
 	sw     map[string]*switchState
 	telem  Telemetry
 	rep    Report
+
+	// observer, when set, sees every decision as it is made (the
+	// flight recorder's controller track). It runs inside Tick on the
+	// controller's goroutine.
+	observer func(at int64, kind, target string)
 }
 
 // New builds a controller over the plant. groups is the full ECMP group
@@ -99,8 +106,39 @@ func (c *Controller) Snapshot() *Report {
 	return &rep
 }
 
+// SetObserver installs a callback invoked on every decision. Install
+// before the run starts; pass nil to detach.
+func (c *Controller) SetObserver(fn func(at int64, kind, target string)) {
+	c.observer = fn
+}
+
+// RegisterMetrics publishes the controller's tick and per-kind
+// decision totals. Reads are closures over the live report: snapshot
+// after the run (simulation) or accept racy-but-monotone counts (a
+// live scrape).
+func (c *Controller) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("pp_ctrl_ticks_total", "control intervals executed", func() uint64 { return uint64(c.rep.Ticks) })
+	for _, m := range []struct {
+		kind string
+		n    *int
+	}{
+		{"reroute", &c.rep.Reroutes},
+		{"recover", &c.rep.Recoveries},
+		{"rebalance", &c.rep.Rebalances},
+		{"expiry", &c.rep.ExpiryChanges},
+		{"demote", &c.rep.Demotions},
+		{"restore", &c.rep.Restorations},
+	} {
+		n := m.n
+		reg.Counter(fmt.Sprintf("pp_ctrl_decisions_total{kind=%q}", m.kind), "decisions by kind", func() uint64 { return uint64(*n) })
+	}
+}
+
 func (c *Controller) decide(now int64, kind, target, detail string) {
 	c.rep.Decisions = append(c.rep.Decisions, Decision{AtNs: now, Kind: kind, Target: target, Detail: detail})
+	if c.observer != nil {
+		c.observer(now, kind, target)
+	}
 	switch kind {
 	case "reroute":
 		c.rep.Reroutes++

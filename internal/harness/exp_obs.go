@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"github.com/payloadpark/payloadpark/internal/scenario"
+	"github.com/payloadpark/payloadpark/internal/sim"
+)
+
+func init() {
+	register(experiment(Experiment{
+		ID:    "obs",
+		Title: "Observability budget: metrics + flight recorder overhead, trace determinism",
+		Paper: "not a paper figure: instrumentation for every other experiment — the dark path must cost nothing and the recorder must not perturb results",
+	}, CollectObsSuite, RenderObsSuite))
+}
+
+// ObsSuite is the observability experiment's machine-readable result
+// (the BENCH artifact's "obs" section): wall-clock overhead of each
+// observation level on the Fig. 7-class testbed workload, plus the
+// flight recorder's determinism verdict on a partitioned leaf-spine.
+type ObsSuite struct {
+	// Points times the same testbed run dark, with metrics, and with the
+	// flight recorder; overheads are relative to the dark run.
+	Points []ObsPoint `json:"points"`
+	// Perturbed reports whether any observed run's simulated outcome
+	// diverged from the dark run's (it must not: observation is read-only).
+	Perturbed bool `json:"perturbed"`
+	// Identical is the trace determinism verdict: the Chrome export of a
+	// serial 4x2 leaf-spine run is byte-identical to the partitioned one.
+	Identical bool `json:"identical"`
+	// TraceEvents and TraceBytes size the leaf-spine recording.
+	TraceEvents uint64 `json:"trace_events"`
+	TraceBytes  int    `json:"trace_bytes"`
+}
+
+// ObsPoint is one observation level's timing (best of three runs, so a
+// scheduler hiccup on one run does not read as instrumentation cost).
+type ObsPoint struct {
+	Mode        string  `json:"mode"` // "off", "metrics", "trace"
+	WallMs      float64 `json:"wall_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// obsScenario is the overhead workload: the Fig. 7-class testbed at its
+// canonical 4 Gbps offered load with edge parking — the geometry the
+// acceptance bar for disabled-path overhead is stated against.
+func obsScenario(o Options) scenario.Scenario {
+	return scenario.Scenario{
+		Name:     "obs",
+		Topology: scenario.Testbed{},
+		Parking:  scenario.Parking{Mode: sim.ParkEdge},
+		Traffic:  scenario.Traffic{SendBps: 4e9},
+		Opts:     o.scnOpts(),
+	}
+}
+
+// CollectObsSuite times the three observation levels and checks the
+// recorder's two invariants: observation never changes the simulated
+// outcome, and the trace export is byte-identical across partition
+// counts.
+func CollectObsSuite(o Options) (*ObsSuite, error) {
+	out := &ObsSuite{Identical: true}
+	levels := []struct {
+		mode string
+		obs  scenario.Observe
+	}{
+		{"off", scenario.Observe{}},
+		{"metrics", scenario.Observe{Metrics: true}},
+		{"trace", scenario.Observe{Metrics: true, Trace: true}},
+	}
+	var darkMs float64
+	var darkRep *scenario.Report
+	for _, lv := range levels {
+		s := obsScenario(o)
+		s.Observe = lv.obs
+		best := 0.0
+		var rep *scenario.Report
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			r, err := run(o, s)
+			if err != nil {
+				return nil, fmt.Errorf("harness: obs %s: %w", lv.mode, err)
+			}
+			wall := float64(time.Since(start).Microseconds()) / 1e3
+			if rep == nil || wall < best {
+				best = wall
+			}
+			rep = r
+		}
+		pt := ObsPoint{Mode: lv.mode, WallMs: best}
+		if darkRep == nil {
+			darkRep, darkMs = rep, best
+		} else {
+			if darkMs > 0 {
+				pt.OverheadPct = 100 * (best - darkMs) / darkMs
+			}
+			// Strip the observation artifacts before comparing outcomes.
+			clone := *rep
+			clone.Metrics, clone.Trace = nil, nil
+			if !reflect.DeepEqual(&clone, darkRep) {
+				out.Perturbed = true
+			}
+		}
+		out.Points = append(out.Points, pt)
+	}
+
+	// Trace determinism: the 4x2 leaf-spine recording (full packet
+	// lifecycle plus a controller track) exports byte-identically whether
+	// the fabric ran serial or split across two partitions.
+	export := func(partitions int) ([]byte, uint64, error) {
+		s := scenario.Scenario{
+			Name:     "obs-trace",
+			Topology: scenario.LeafSpine{Leaves: 4, Spines: 2},
+			Parking:  scenario.Parking{Mode: sim.ParkEdge},
+			Traffic:  scenario.Traffic{SendBps: 6e9},
+			Control:  scenario.Control{Adaptive: true},
+			Observe:  scenario.Observe{Trace: true},
+			Opts:     o.scnOpts(),
+		}
+		s.Opts.Partitions = partitions
+		rep, err := run(o, s)
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: obs trace partitions=%d: %w", partitions, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Trace.WriteChrome(&buf); err != nil {
+			return nil, 0, err
+		}
+		return buf.Bytes(), rep.Trace.Total(), nil
+	}
+	serial, events, err := export(1)
+	if err != nil {
+		return nil, err
+	}
+	parted, _, err := export(2)
+	if err != nil {
+		return nil, err
+	}
+	out.Identical = bytes.Equal(serial, parted)
+	out.TraceEvents = events
+	out.TraceBytes = len(serial)
+	return out, nil
+}
+
+// RenderObsSuite writes the overhead table and the determinism verdicts.
+func RenderObsSuite(suite *ObsSuite, w io.Writer) error {
+	fmt.Fprintln(w, "observability budget, Fig. 7-class testbed, 4 Gbps offered, edge parking (best of 3):")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "observation\twall(ms)\toverhead")
+	for _, pt := range suite.Points {
+		fmt.Fprintf(tw, "%s\t%.1f\t%+.1f%%\n", pt.Mode, pt.WallMs, pt.OverheadPct)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  trace export: %d events, %d bytes, byte-identical serial vs 2 partitions: %t\n",
+		suite.TraceEvents, suite.TraceBytes, suite.Identical)
+	if suite.Perturbed {
+		fmt.Fprintln(w, "PERTURBATION: an observed run's simulated outcome diverged from the dark run")
+	}
+	if !suite.Identical {
+		fmt.Fprintln(w, "DETERMINISM VIOLATION: the partitioned trace diverged from the serial export")
+	}
+	return nil
+}

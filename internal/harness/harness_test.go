@@ -16,7 +16,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"cores", "ctrl", "equiv", "fabric", "fig10", "fig11", "fig12",
-		"fig13", "fig14", "fig15", "fig16", "fig6", "fig7", "fig8", "fig9", "live", "policies", "s621", "scale", "table1"}
+		"fig13", "fig14", "fig15", "fig16", "fig6", "fig7", "fig8", "fig9", "live", "obs", "policies", "s621", "scale", "table1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(all), len(want))

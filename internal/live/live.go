@@ -24,6 +24,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
 )
@@ -81,6 +82,13 @@ type Config struct {
 
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration `json:"-"`
+
+	// Metrics, when non-nil, registers the fabric's live counters and
+	// socket-batching histograms (per-node rx/errors, per-generator
+	// sent/received, burst and batch size distributions) for snapshot
+	// or scrape. Only atomically maintained state is exposed, so a
+	// scrape mid-run is race-free.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // FillDefaults resolves zero values to the stock configuration.

@@ -10,6 +10,7 @@ import (
 
 	"github.com/payloadpark/payloadpark/internal/core"
 	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/wire"
 )
@@ -46,6 +47,11 @@ type switchNode struct {
 	// errs counts uncabled emissions and send failures.
 	errs atomic.Uint64
 	wg   sync.WaitGroup
+
+	// burstHist/batchHist, when metrics are registered, observe each
+	// worker's receive-burst and send-batch sizes (shared across the
+	// node's pipe workers; the histogram is atomic).
+	burstHist, batchHist *obs.Histogram
 }
 
 // newSwitchNode binds one loopback socket per pipe in use. Workers are
@@ -118,6 +124,7 @@ func (n *switchNode) runPipe(ctx context.Context, pw *pipeWorker, burst int) {
 	br := wire.NewBurstReader(pw.conn, burst)
 	fb := n.fs.sw.NewFrameBurst(burst)
 	bs := wire.NewBatchSender(pw.conn)
+	br.Hist, bs.Hist = n.burstHist, n.batchHist
 	for {
 		for {
 			select {

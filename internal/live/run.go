@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/wire"
 )
 
@@ -120,6 +121,9 @@ func bringUp(ctx context.Context, f *fabric) (*liveFabric, error) {
 			}
 		}
 	}
+	if f.cfg.Metrics != nil {
+		lf.registerMetrics(f.cfg.Metrics)
+	}
 	for _, n := range lf.nodes {
 		n.start(ctx, f.cfg.Burst)
 	}
@@ -129,6 +133,36 @@ func bringUp(ctx context.Context, f *fabric) (*liveFabric, error) {
 	}
 	ok = true
 	return lf, nil
+}
+
+// registerMetrics publishes the fabric's atomically maintained state:
+// per-node ingress/error counts and burst/batch histograms, per-NF
+// daemon counters, and per-generator send/receive totals. Must run
+// before workers start (the histograms are wired into each worker's
+// reader/sender at start).
+func (lf *liveFabric) registerMetrics(reg *obs.Registry) {
+	for _, n := range lf.nodes {
+		n := n
+		lbl := fmt.Sprintf("{switch=%q}", n.fs.name)
+		reg.Counter("pp_live_rx_frames_total"+lbl, "datagrams accepted by the node's workers", n.rxFrames.Load)
+		reg.Counter("pp_live_errors_total"+lbl, "uncabled emissions and send failures", n.errs.Load)
+		n.burstHist = reg.Histogram("pp_live_rx_burst_frames"+lbl, "frames drained per receive burst")
+		n.batchHist = reg.Histogram("pp_live_tx_batch_frames"+lbl, "frames written per batched send")
+	}
+	for i, nfd := range lf.nfs {
+		nfd := nfd
+		lbl := fmt.Sprintf(`{nf="%d"}`, i)
+		reg.Counter("pp_live_nf_rx_total"+lbl, "datagrams received by the NF daemon", nfd.Rx.Load)
+		reg.Counter("pp_live_nf_tx_total"+lbl, "datagrams forwarded by the NF daemon", nfd.Tx.Load)
+		reg.Counter("pp_live_nf_dropped_total"+lbl, "packets dropped by the NF chain", nfd.Dropped.Load)
+		reg.Counter("pp_live_nf_notified_total"+lbl, "explicit-drop notifications returned", nfd.Notified.Load)
+	}
+	for i, gen := range lf.gens {
+		gen := gen
+		lbl := fmt.Sprintf(`{gen="%d"}`, i)
+		reg.Counter("pp_live_gen_sent_total"+lbl, "frames sent by the generator", gen.Sent.Load)
+		reg.Counter("pp_live_gen_received_total"+lbl, "frames returned to the generator", gen.Received.Load)
+	}
 }
 
 // close shuts every socket down.
@@ -260,7 +294,6 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		ctlStop = make(chan struct{})
 		ctlDone.Add(1)
-		start := time.Now()
 		go func() {
 			defer ctlDone.Done()
 			defer cliConn.Close()
@@ -273,8 +306,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					controller.Tick(time.Since(start).Nanoseconds())
+					// Decisions are stamped with the tick's nominal time
+					// (tick n fires at n*PeriodNs), the same clock domain
+					// the simulator's attachController uses — so live
+					// decision timelines line up with sim traces instead
+					// of drifting on goroutine-start wall-clock offsets.
 					ctlTicks++
+					controller.Tick(int64(ctlTicks) * ctlCfg.PeriodNs)
 				}
 			}
 		}()

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// histogram geometry: log-linear buckets, 2^subBits sub-buckets per
+// octave. Values 0..3 get exact buckets; beyond that each power-of-two
+// range splits into 4 sub-ranges, so the relative bucket error stays
+// under 25% across the full uint64 domain.
+const (
+	subBits    = 2
+	numBuckets = (64-subBits)<<subBits + (1<<subBits - 1) + 1 // 252
+)
+
+// bucketIdx maps a value to its bucket.
+func bucketIdx(v uint64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	l := bits.Len64(v)
+	shift := uint(l - 1 - subBits)
+	return (l-subBits)<<subBits + int((v>>shift)&(1<<subBits-1))
+}
+
+// bucketMax is the largest value landing in bucket idx (inclusive).
+func bucketMax(idx int) uint64 {
+	if idx < 1<<subBits {
+		return uint64(idx)
+	}
+	block := idx >> subBits
+	sub := idx & (1<<subBits - 1)
+	return uint64(1<<subBits+sub+1)<<uint(block-1) - 1
+}
+
+// Histogram is a fixed-geometry log-linear histogram with atomic
+// buckets: safe for concurrent writers and for being read while
+// written (live /metrics scrapes see a torn-but-monotone view, which
+// is what Prometheus expects).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe records one value. Nil-receiver safe so call sites hold a
+// plain field load instead of a branch per metric.
+//
+//pp:zeroalloc
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIdx(v)].Add(1)
+}
+
+// Count is the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum is the total of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered series. name may carry Prometheus-style
+// labels inline: `pp_switch_splits_total{switch="leaf0"}`; family and
+// labels are the split halves.
+type metric struct {
+	name   string
+	family string
+	labels string // `key="v",key2="v2"` without braces; "" when unlabeled
+	help   string
+	kind   metricKind
+	readU  func() uint64
+	readF  func() float64
+	hist   *Histogram
+}
+
+// splitName separates an inline label set from the metric family.
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// Registry is a set of named metrics backed by caller-owned state:
+// counters and gauges are read through callbacks at snapshot/scrape
+// time, so registration adds zero cost to the code being observed.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotonically increasing series read via read.
+// The name may embed a Prometheus label set in braces.
+func (r *Registry) Counter(name, help string, read func() uint64) {
+	r.add(name, help, kindCounter, read, nil, nil)
+}
+
+// Gauge registers a point-in-time series read via read.
+func (r *Registry) Gauge(name, help string, read func() float64) {
+	r.add(name, help, kindGauge, nil, read, nil)
+}
+
+// Histogram registers and returns a histogram owned by the registry's
+// consumer; observe into it from any goroutine.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.add(name, help, kindHistogram, nil, nil, h)
+	return h
+}
+
+func (r *Registry) add(name, help string, kind metricKind, readU func() uint64, readF func() float64, h *Histogram) {
+	family, labels := splitName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, &metric{
+		name: name, family: family, labels: labels, help: help,
+		kind: kind, readU: readU, readF: readF, hist: h,
+	})
+}
+
+// sorted returns the metrics ordered by (family, labels) so exposition
+// groups families and snapshots are deterministic regardless of
+// registration order.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// MetricValue is one counter sample in a snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge sample in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketValue is one non-empty histogram bucket: Max is the largest
+// value the bucket admits, Count the observations in it.
+type BucketValue struct {
+	Max   uint64 `json:"max"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram sample in a snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketValue `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time read of every registered metric, sorted
+// by name, shaped for the report JSON surface.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every metric. Callback-backed counters and gauges
+// must be quiescent or atomic at call time (simulation snapshots run
+// after the fabric stops; daemon registries only expose atomics).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, MetricValue{Name: m.name, Value: m.readU()})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, GaugeValue{Name: m.name, Value: m.readF()})
+		case kindHistogram:
+			hv := HistogramValue{Name: m.name, Count: m.hist.Count(), Sum: m.hist.Sum()}
+			for i := 0; i < numBuckets; i++ {
+				if n := m.hist.buckets[i].Load(); n > 0 {
+					hv.Buckets = append(hv.Buckets, BucketValue{Max: bucketMax(i), Count: n})
+				}
+			}
+			s.Histograms = append(s.Histograms, hv)
+		}
+	}
+	return s
+}

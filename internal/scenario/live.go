@@ -112,13 +112,19 @@ func (l Live) validate(s *Scenario) error {
 	if s.Control.Adaptive && !s.Parking.Enabled() {
 		return errf("live: adaptive control needs parking enabled")
 	}
+	if s.Observe.Trace {
+		return errf("live: Observe.Trace is simulated-topology only (flight recording needs the deterministic sim clock); Observe.Metrics works live")
+	}
 	cfg := l.config(s)
 	cfg.FillDefaults()
 	return cfg.Validate()
 }
 
 func (l Live) run(ctx context.Context, s *Scenario) (*Report, error) {
-	res, err := live.Run(ctx, l.config(s))
+	cfg := l.config(s)
+	ob := newObsSetup(s.Observe)
+	cfg.Metrics = ob.reg
+	res, err := live.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -134,5 +140,6 @@ func (l Live) run(ctx context.Context, s *Scenario) (*Report, error) {
 		rep.UnintendedDropRate = float64(unaccounted) / float64(res.Sent)
 		rep.Healthy = rep.UnintendedDropRate < sim.HealthyDropRate
 	}
+	ob.finish(rep)
 	return rep, nil
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/ctrl"
 	"github.com/payloadpark/payloadpark/internal/live"
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/sim"
 	"github.com/payloadpark/payloadpark/internal/trafficgen"
@@ -53,6 +54,50 @@ type Report struct {
 	MultiServer *sim.MultiServerResult `json:"multiserver,omitempty"`
 	Fabric      *sim.FabricResult      `json:"fabric,omitempty"`
 	Live        *live.Result           `json:"live,omitempty"`
+
+	// Metrics is the observability snapshot, present when
+	// Scenario.Observe.Metrics was set.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Trace is the packet-lifecycle flight recording, present when
+	// Scenario.Observe.Trace was set. It has no JSON form inside the
+	// report; export it with Trace.WriteChrome.
+	Trace *obs.Trace `json:"-"`
+}
+
+// obsSetup carries one run's observability plumbing: the registry and
+// trace built from the Observe spec, handed to the sim config before
+// the run and folded into the Report after.
+type obsSetup struct {
+	reg   *obs.Registry
+	trace *obs.Trace
+}
+
+func newObsSetup(o Observe) obsSetup {
+	var ob obsSetup
+	if o.Metrics {
+		ob.reg = obs.NewRegistry()
+	}
+	if o.Trace {
+		cap := o.TraceEventCap
+		if cap <= 0 {
+			cap = obs.DefaultEventCap
+		}
+		ob.trace = obs.NewTrace(cap)
+	}
+	return ob
+}
+
+func (ob obsSetup) simCfg() sim.ObsConfig {
+	return sim.ObsConfig{Metrics: ob.reg, Trace: ob.trace}
+}
+
+// finish snapshots the registry (after the run, so every counter has
+// its final value) and attaches the trace to the report.
+func (ob obsSetup) finish(rep *Report) {
+	if ob.reg != nil {
+		rep.Metrics = ob.reg.Snapshot()
+	}
+	rep.Trace = ob.trace
 }
 
 // Run executes one Scenario and returns its Report. It is the single
@@ -189,6 +234,8 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 		Control:          s.Control.config(),
 		Cancel:           CancelFunc(ctx),
 	}
+	ob := newObsSetup(s.Observe)
+	cfg.Obs = ob.simCfg()
 	if cfg.PayloadPark {
 		cfg.PP = core.Config{
 			Slots:          s.Parking.Slots,
@@ -206,7 +253,7 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 		cfg.Programs = []sim.ProgramAttachment{{Spec: s.Program.Spec, Params: s.Program.Params}}
 	}
 	res := sim.RunTestbed(cfg)
-	return &Report{
+	rep := &Report{
 		SendGbps:           res.SendGbps,
 		GoodputGbps:        res.GoodputGbps,
 		AvgLatencyUs:       res.AvgLatencyUs,
@@ -219,7 +266,9 @@ func (t Testbed) run(ctx context.Context, s *Scenario) (*Report, error) {
 		Control:            res.Control,
 		Programs:           res.Programs,
 		Testbed:            &res,
-	}, nil
+	}
+	ob.finish(rep)
+	return rep, nil
 }
 
 // --- MultiServer ---
@@ -273,6 +322,8 @@ func (m MultiServer) run(ctx context.Context, s *Scenario) (*Report, error) {
 		MeasureNs:      measure,
 		Cancel:         CancelFunc(ctx),
 	}
+	ob := newObsSetup(s.Observe)
+	cfg.Obs = ob.simCfg()
 	res := sim.RunMultiServer(cfg)
 	rep := &Report{MultiServer: &res}
 	for i := range res.PerServer {
@@ -292,6 +343,7 @@ func (m MultiServer) run(ctx context.Context, s *Scenario) (*Report, error) {
 		rep.UnintendedDropRate /= float64(n)
 	}
 	rep.Healthy = rep.UnintendedDropRate < sim.HealthyDropRate
+	ob.finish(rep)
 	return rep, nil
 }
 
@@ -377,6 +429,8 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 		Partitions:        s.Opts.Partitions,
 		Cancel:            CancelFunc(ctx),
 	}
+	ob := newObsSetup(s.Observe)
+	cfg.Obs = ob.simCfg()
 	res := sim.RunLeafSpine(cfg)
 	rep := &Report{
 		Mode:               res.Mode,
@@ -398,6 +452,7 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 	for _, sw := range res.Switches {
 		rep.Premature += sw.Premature
 	}
+	ob.finish(rep)
 	return rep, nil
 }
 
@@ -406,6 +461,9 @@ func (l LeafSpine) run(ctx context.Context, s *Scenario) (*Report, error) {
 func (c Custom) validate(s *Scenario) error {
 	if c.Run == nil {
 		return errf("custom topology %q has a nil Run hook", c.Kind())
+	}
+	if s.Observe != (Observe{}) {
+		return errf("custom: Observe is unsupported (the hook owns its own sim configs; wire sim.ObsConfig there)")
 	}
 	return nil
 }

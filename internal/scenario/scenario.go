@@ -372,9 +372,35 @@ type Scenario struct {
 	// MAC swap). MultiServer and LeafSpine pin the paper's MAC-swap
 	// chain. Not serializable.
 	Chain func() *nf.Chain `json:"-"`
+	// Observe arms the observability layer (zero value = off).
+	Observe Observe `json:"observe"`
 	// Opts are the execution knobs.
 	Opts RunOptions `json:"opts"`
 }
+
+// Observe is the observability spec: whether a run carries a metrics
+// registry (snapshotted into Report.Metrics) and/or a packet-lifecycle
+// flight recorder (exported through Report.Trace). Both are off by
+// default; the dataplane then pays at most one untaken branch per
+// packet.
+type Observe struct {
+	// Metrics snapshots engine, link, switch, program, controller, and
+	// barrier metrics into Report.Metrics after the run.
+	Metrics bool `json:"metrics,omitempty"`
+	// Trace records packet-lifecycle events (inject, park, merge,
+	// evict, drop, sink, controller decisions) keyed on sim time into
+	// Report.Trace. Simulated topologies only: the live fabric has no
+	// simulation clock to key on.
+	Trace bool `json:"trace,omitempty"`
+	// TraceEventCap bounds each partition recorder's ring buffer
+	// (default obs.DefaultEventCap). Traces stay byte-identical across
+	// partition counts as long as no ring wraps; Report notes dropped
+	// events when one does.
+	TraceEventCap int `json:"trace_event_cap,omitempty"`
+}
+
+// Enabled reports whether any observability is requested.
+func (o Observe) Enabled() bool { return o.Metrics || o.Trace }
 
 // With returns a copy of the scenario with fn applied — the building
 // block Axis setters use.

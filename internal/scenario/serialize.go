@@ -37,6 +37,7 @@ type scenarioWire struct {
 	Control  *Control         `json:"control,omitempty"`
 	Traffic  *Traffic         `json:"traffic,omitempty"`
 	Server   *sim.ServerModel `json:"server,omitempty"`
+	Observe  *Observe         `json:"observe,omitempty"`
 	Opts     *RunOptions      `json:"opts,omitempty"`
 }
 
@@ -107,6 +108,9 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 	}
 	if s.Server != (sim.ServerModel{}) {
 		w.Server = &s.Server
+	}
+	if s.Observe != (Observe{}) {
+		w.Observe = &s.Observe
 	}
 	if s.Opts.Seed != 0 || s.Opts.Quick || s.Opts.WarmupNs != 0 || s.Opts.MeasureNs != 0 {
 		o := s.Opts
@@ -181,6 +185,9 @@ func (s *Scenario) UnmarshalJSON(b []byte) error {
 	}
 	if w.Server != nil {
 		out.Server = *w.Server
+	}
+	if w.Observe != nil {
+		out.Observe = *w.Observe
 	}
 	if w.Opts != nil {
 		out.Opts = *w.Opts

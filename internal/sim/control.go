@@ -146,6 +146,7 @@ func (p *controlPlant) PushGroup(group string, members []string) {
 // the decision timeline from the returned controller after it.
 func attachController(f *Fabric, cfg ctrl.Config, plant *controlPlant, groups []ctrl.Group, until int64) *ctrl.Controller {
 	c := ctrl.New(cfg, plant, groups)
+	f.observeController(c)
 	eng := f.Engine()
 	period := c.Config().PeriodNs
 	var tick func()

@@ -29,6 +29,11 @@ type Engine struct {
 
 	canceled bool
 
+	// nexec counts events executed over the engine's lifetime (the
+	// observability layer's events-total metric; one integer increment
+	// per event whether or not anything reads it).
+	nexec uint64
+
 	// Cancel, when non-nil, is polled every cancelStride executed events
 	// during Run; once it returns true the run stops between events and
 	// Run returns early. The scenario layer binds it to a context so a
@@ -143,6 +148,7 @@ func (e *Engine) Run(until int64) {
 		e.fns[ev.slot] = eventSlot{}
 		e.free = append(e.free, ev.slot)
 		e.now = ev.at
+		e.nexec++
 		if slot.pfn != nil {
 			slot.pfn(slot.p)
 		} else {
@@ -162,6 +168,11 @@ func (e *Engine) Run(until int64) {
 
 // Pending returns the number of queued events (for tests).
 func (e *Engine) Pending() int { return e.queue.len() }
+
+// Executed returns the number of events the engine has run so far.
+// Only meaningful from the engine's own goroutine or after Run
+// returns (metric snapshots read it post-run).
+func (e *Engine) Executed() uint64 { return e.nexec }
 
 // nextAt returns the firing time of the earliest queued event (the
 // partition runner's window placement).

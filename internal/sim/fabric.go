@@ -2,6 +2,7 @@ package sim
 
 import (
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 	"github.com/payloadpark/payloadpark/internal/stats"
@@ -36,6 +37,10 @@ type Fabric struct {
 	flushBuf     []crossMsg
 	lanes        int32
 	minCrossProp int64
+
+	// obs is the run's observability state (nil when disabled); see
+	// EnableObs in observe.go.
+	obs *fabricObs
 }
 
 // NewFabric returns an empty fabric at time zero.
@@ -250,6 +255,16 @@ type SwitchNode struct {
 	em   core.Emission
 	buf  []byte
 	pool []*packet.Packet
+
+	// Flight-recorder state (nil/zero unless the fabric's EnableObs ran
+	// with a trace): the partition's recorder, this node's interned
+	// track id, the cached program list for counter-delta detection,
+	// and the per-node drop-reason intern cache.
+	rec       *obs.Recorder
+	trace     *obs.Trace
+	trk       uint16
+	progs     []*core.Program
+	dropNames map[string]uint16
 }
 
 // SetOut cables egress port to a link. Emissions routed to an uncabled
@@ -300,8 +315,14 @@ func (n *SwitchNode) consumedOf(port rmt.PortID) func(Parcel) {
 }
 
 // handle runs one arriving packet through the switch and schedules its
-// emission after the traversal latency.
+// emission after the traversal latency. With the flight recorder on,
+// the traced variant (observe.go) takes over after one predictable
+// branch — the only per-packet cost tracing adds to a disabled run.
 func (n *SwitchNode) handle(p Parcel, in rmt.PortID) {
+	if n.rec != nil {
+		n.handleTraced(p, in)
+		return
+	}
 	if n.WireParse {
 		if !n.reparse(&p, in) {
 			n.dropOf(in)(p, "wire parse error")
@@ -374,6 +395,8 @@ type SourceNode struct {
 	OnSend func(Parcel)
 
 	sendFn func()
+	rec    *obs.Recorder
+	trk    uint16
 }
 
 // Start schedules the first departure at absolute time at.
@@ -385,6 +408,9 @@ func (s *SourceNode) sendNext() {
 	p := Parcel{Pkt: pkt, Born: now, InWindow: now >= s.WindowStart && now < s.WindowEnd}
 	if p.InWindow && s.OnSend != nil {
 		s.OnSend(p)
+	}
+	if s.rec != nil {
+		s.rec.Emit(obs.Event{At: now, Track: s.trk, Kind: obs.KindInject, ID: p.Born, Arg: int64(pkt.Len())})
 	}
 	s.Out.Send(p)
 	gapNs := int64(float64(pkt.Len()*8) / s.SendBps * 1e9)
@@ -411,10 +437,16 @@ type SinkNode struct {
 
 	Delivered uint64
 	Latency   stats.Summary
+
+	rec *obs.Recorder
+	trk uint16
 }
 
 // Receive is the link-delivery handler.
 func (s *SinkNode) Receive(p Parcel) {
+	if s.rec != nil {
+		s.rec.Emit(obs.Event{At: s.eng.Now(), Track: s.trk, Kind: obs.KindSink, ID: p.Born, Arg: s.eng.Now() - p.Born})
+	}
 	if p.InWindow && s.eng.Now() <= s.WindowEnd {
 		s.Delivered++
 		us := float64(s.eng.Now()-p.Born) / 1e3

@@ -157,6 +157,9 @@ type FabricConfig struct {
 	// Cancel, when non-nil, is polled periodically by the event engine;
 	// once it returns true the run stops early and the result is partial.
 	Cancel func() bool
+	// Obs arms the observability layer (metrics and/or the flight
+	// recorder); the zero value keeps it off.
+	Obs ObsConfig
 }
 
 func (c *FabricConfig) fillDefaults() {
@@ -669,6 +672,8 @@ func RunLeafSpine(cfg FabricConfig) FabricResult {
 			// and reroutes — detection latency is the tick period.
 		}
 	}
+
+	f.EnableObs(cfg.Obs)
 
 	var controller *ctrl.Controller
 	if cfg.Control != nil {

@@ -40,6 +40,9 @@ type MultiServerConfig struct {
 	// Cancel, when non-nil, is polled periodically by the event engine;
 	// once it returns true the run stops early and the result is partial.
 	Cancel func() bool
+	// Obs arms the observability layer (metrics and/or the flight
+	// recorder); the zero value keeps it off.
+	Obs ObsConfig
 }
 
 // MultiServerFlows is each generator's 5-tuple pool size: large enough
@@ -92,6 +95,7 @@ func RunMultiServer(cfg MultiServerConfig) MultiServerResult {
 	for i := 0; i < cfg.Servers; i++ {
 		wireServer(f, swn, cfg, i, windowStart, windowEnd, &results[i])
 	}
+	f.EnableObs(cfg.Obs)
 	f.Run(windowEnd + cfg.WarmupNs)
 
 	out := MultiServerResult{PerServer: results}

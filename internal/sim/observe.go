@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/ctrl"
+	"github.com/payloadpark/payloadpark/internal/obs"
+	"github.com/payloadpark/payloadpark/internal/rmt"
+)
+
+// ObsConfig carries one run's observability bindings into the presets:
+// a metrics registry, a flight-recorder trace, or both. The zero value
+// disables everything and is what every preset defaults to.
+type ObsConfig struct {
+	Metrics *obs.Registry
+	Trace   *obs.Trace
+}
+
+func (c ObsConfig) enabled() bool { return c.Metrics != nil || c.Trace != nil }
+
+// fabricObs is the per-run observability state hanging off a fabric:
+// the trace with one recorder per partition, plus the barrier counters
+// the partition runner maintains when metrics are on.
+type fabricObs struct {
+	trace *obs.Trace
+	reg   *obs.Registry
+	recs  []*obs.Recorder
+
+	// Barrier bookkeeping (written single-threaded at the barrier).
+	rounds      uint64
+	crossMsgs   uint64
+	mailboxPeak int
+	// stallNs accumulates per-round barrier imbalance — the wall-clock
+	// time fast partitions spent waiting for the slowest one. The only
+	// wall-clock value in the layer; it never feeds back into the sim.
+	stallNs int64
+}
+
+// EnableObs arms observability on a fully wired fabric. Call after
+// every switch, program, source, sink and link exists and before Run
+// (and before attachController, which binds the decision track).
+// A zero config is a no-op.
+func (f *Fabric) EnableObs(cfg ObsConfig) {
+	if !cfg.enabled() {
+		return
+	}
+	fo := &fabricObs{trace: cfg.Trace, reg: cfg.Metrics}
+	f.obs = fo
+	if cfg.Trace != nil {
+		k := f.Partitions()
+		partOf := make(map[*Engine]int, k)
+		fo.recs = make([]*obs.Recorder, k)
+		for p := 0; p < k; p++ {
+			fo.recs[p] = cfg.Trace.NewRecorder()
+			partOf[f.PartitionEngine(p)] = p
+		}
+		for _, n := range f.switches {
+			n.rec = fo.recs[partOf[n.eng]]
+			n.trace = cfg.Trace
+			n.trk = cfg.Trace.Intern(n.Name)
+			n.progs = n.SW.Programs()
+			n.dropNames = make(map[string]uint16)
+		}
+		for _, s := range f.sources {
+			s.rec = fo.recs[partOf[s.eng]]
+			s.trk = cfg.Trace.Intern(s.Name)
+		}
+		for _, s := range f.sinks {
+			s.rec = fo.recs[partOf[s.eng]]
+			s.trk = cfg.Trace.Intern(s.Name)
+		}
+	}
+	if cfg.Metrics != nil {
+		f.registerMetrics(cfg.Metrics)
+	}
+}
+
+// registerMetrics publishes the fabric's state into the registry:
+// engine progress per partition, barrier behaviour, per-link and
+// per-switch forwarding counters, and every program's parking
+// counters. Reads are closures over live state, so snapshots must
+// happen after Run returns (the scenario layer guarantees this).
+func (f *Fabric) registerMetrics(reg *obs.Registry) {
+	k := f.Partitions()
+	for p := 0; p < k; p++ {
+		e := f.PartitionEngine(p)
+		lbl := fmt.Sprintf(`{partition="%d"}`, p)
+		reg.Counter("pp_engine_events_total"+lbl, "events executed by the partition engine", e.Executed)
+		reg.Gauge("pp_engine_pending_events"+lbl, "events still queued (wheel + heap occupancy)", func() float64 { return float64(e.Pending()) })
+	}
+	if k > 1 {
+		fo := f.obs
+		reg.Counter("pp_barrier_rounds_total", "conservative-sync windows executed", func() uint64 { return fo.rounds })
+		reg.Counter("pp_barrier_cross_messages_total", "parcels merged across partition mailboxes", func() uint64 { return fo.crossMsgs })
+		reg.Gauge("pp_barrier_mailbox_peak_messages", "largest single mailbox flush", func() float64 { return float64(fo.mailboxPeak) })
+		reg.Counter("pp_barrier_stall_ns_total", "wall-clock time partitions idled at barriers", func() uint64 { return uint64(fo.stallNs) })
+	}
+	for _, l := range f.links {
+		l := l
+		lbl := fmt.Sprintf("{link=%q}", l.Name)
+		reg.Counter("pp_link_tx_packets_total"+lbl, "packets transmitted on the link", func() uint64 { return l.Tx.Value() })
+		reg.Counter("pp_link_tx_bits_total"+lbl, "bits transmitted on the link", func() uint64 { return l.TxBits.Value() })
+		reg.Counter("pp_link_drops_total"+lbl, "packets dropped at the link queue", func() uint64 { return l.Drops.Value() })
+	}
+	for _, n := range f.switches {
+		n := n
+		lbl := fmt.Sprintf("{switch=%q}", n.Name)
+		reg.Counter("pp_switch_rx_packets_total"+lbl, "packets received by the switch", func() uint64 { return n.SW.RxPackets() })
+		reg.Counter("pp_switch_tx_packets_total"+lbl, "packets emitted by the switch", func() uint64 { return n.SW.TxPackets() })
+		reg.Counter("pp_switch_drops_total"+lbl, "packets dropped inside the switch", func() uint64 { return n.SW.TotalDrops() })
+		for i, prog := range n.SW.Programs() {
+			prog := prog
+			plbl := fmt.Sprintf("switch=%q,program=\"%d\"", n.Name, i)
+			prog.C.RegisterObs(reg, plbl)
+			reg.Gauge(fmt.Sprintf("pp_park_occupancy_slots{%s}", plbl), "payloads currently parked", func() float64 { return float64(prog.Occupancy()) })
+		}
+	}
+	for _, s := range f.sinks {
+		s := s
+		lbl := fmt.Sprintf("{sink=%q}", s.Name)
+		reg.Counter("pp_sink_delivered_total"+lbl, "in-window deliveries at the sink", func() uint64 { return s.Delivered })
+	}
+}
+
+// observeController merges the controller into the observability
+// layer: decisions land on a dedicated "controller" trace track in
+// the same sim-time clock domain as data-plane spans, and the tick/
+// decision totals join the metrics registry. Controlled fabrics
+// always run serial (the presets force one partition), so decisions
+// record through partition 0's single-writer recorder.
+func (f *Fabric) observeController(c *ctrl.Controller) {
+	if f.obs == nil {
+		return
+	}
+	if f.obs.reg != nil {
+		c.RegisterMetrics(f.obs.reg)
+	}
+	tr := f.obs.trace
+	if tr == nil {
+		return
+	}
+	rec := f.obs.recs[0]
+	track := tr.Intern("controller")
+	c.SetObserver(func(at int64, kind, target string) {
+		// Kind and target come from small closed sets; interning is a
+		// map hit after each set member's first decision.
+		rec.Emit(obs.Event{At: at, Track: track, Kind: obs.KindDecision, Name: tr.Intern(kind), ID: int64(tr.Intern(target))})
+	})
+}
+
+// progCounts is the park-relevant slice of a switch's program counters,
+// summed across its programs; the traced handler diffs it around every
+// injection to learn what the dataplane just did.
+type progCounts struct {
+	splits, merges, evictions uint64
+}
+
+func (n *SwitchNode) progCounts() progCounts {
+	var c progCounts
+	for _, pr := range n.progs {
+		c.splits += pr.C.Splits.Value()
+		c.merges += pr.C.Merges.Value()
+		c.evictions += pr.C.Evictions.Value()
+	}
+	return c
+}
+
+// dropName interns a drop reason through the per-node cache. Reasons
+// are a small closed set (core's Drop* constants), so the map lookup
+// is the steady-state cost; the Intern call happens once per reason.
+func (n *SwitchNode) dropName(reason string) uint16 {
+	id, ok := n.dropNames[reason]
+	if !ok {
+		id = n.trace.Intern(reason)
+		n.dropNames[reason] = id
+	}
+	return id
+}
+
+// handleTraced is handle with flight-recorder emission: park, merge
+// and eviction events are recovered from program-counter deltas around
+// the injection, drops and explicit-drop consumption record their
+// reason, and everything is stamped with the engine's sim clock.
+func (n *SwitchNode) handleTraced(p Parcel, in rmt.PortID) {
+	if n.WireParse {
+		if !n.reparse(&p, in) {
+			n.rec.Emit(obs.Event{At: n.eng.Now(), Track: n.trk, Kind: obs.KindDrop, Name: n.dropName("wire parse error"), ID: p.Born})
+			n.dropOf(in)(p, "wire parse error")
+			return
+		}
+	}
+	pre := n.progCounts()
+	ok, reason := n.SW.InjectReuse(p.Pkt, in, &n.em)
+	post := n.progCounts()
+	at := n.eng.Now()
+	if d := post.splits - pre.splits; d > 0 {
+		n.rec.Emit(obs.Event{At: at, Track: n.trk, Kind: obs.KindPark, ID: p.Born, Arg: int64(d)})
+	}
+	if d := post.merges - pre.merges; d > 0 {
+		n.rec.Emit(obs.Event{At: at, Track: n.trk, Kind: obs.KindMerge, ID: p.Born, Arg: int64(d)})
+	}
+	if d := post.evictions - pre.evictions; d > 0 {
+		n.rec.Emit(obs.Event{At: at, Track: n.trk, Kind: obs.KindEvict, ID: p.Born, Arg: int64(d)})
+	}
+	if !ok {
+		if reason != core.DropExplicitDrop {
+			n.rec.Emit(obs.Event{At: at, Track: n.trk, Kind: obs.KindDrop, Name: n.dropName(reason), ID: p.Born})
+			n.dropOf(in)(p, reason)
+		} else {
+			n.rec.Emit(obs.Event{At: at, Track: n.trk, Kind: obs.KindConsume, ID: p.Born})
+			n.consumedOf(in)(p)
+		}
+		return
+	}
+	p.Pkt = n.em.Pkt
+	p.egress = n.em.Port
+	n.eng.ScheduleParcel(n.em.LatencyNs, n.routeFns[in], p)
+}

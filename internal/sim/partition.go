@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // This file is the parallel half of the event core: a fabric's switch
@@ -135,7 +136,11 @@ func (f *Fabric) runParallel(until int64) {
 	// window through unbuffered channels (the channel handoffs are the
 	// happens-before edges that keep the mailboxes race-free).
 	starts := make([]chan int64, k)
-	done := make(chan struct{}, k)
+	// Workers acknowledge each window with their wall-clock finish time
+	// when barrier metrics are on, zero otherwise; the value never
+	// reaches simulation state either way.
+	obsOn := f.obs != nil && f.obs.reg != nil
+	done := make(chan int64, k)
 	var wg sync.WaitGroup
 	for i, e := range f.parts {
 		starts[i] = make(chan int64)
@@ -144,7 +149,11 @@ func (f *Fabric) runParallel(until int64) {
 			defer wg.Done()
 			for limit := range start {
 				e.Run(limit)
-				done <- struct{}{}
+				var finished int64
+				if obsOn {
+					finished = time.Now().UnixNano() //pp:nondeterministic-ok wall-clock barrier-stall metric only, gated on observability and never fed back into the sim
+				}
+				done <- finished
 			}
 		}(e, starts[i])
 	}
@@ -166,8 +175,19 @@ func (f *Fabric) runParallel(until int64) {
 		for _, c := range starts {
 			c <- limit
 		}
+		var tSum, tMax int64
 		for range f.parts {
-			<-done
+			t := <-done
+			tSum += t
+			if t > tMax {
+				tMax = t
+			}
+		}
+		if obsOn {
+			// Stall = how long the fast partitions collectively idled
+			// behind the slowest one this round.
+			f.obs.rounds++
+			f.obs.stallNs += int64(k)*tMax - tSum
 		}
 		canceled := false
 		for _, e := range f.parts {
@@ -217,6 +237,12 @@ func (f *Fabric) flushMail() {
 		}
 		if len(buf) == 0 {
 			continue
+		}
+		if f.obs != nil {
+			f.obs.crossMsgs += uint64(len(buf))
+			if len(buf) > f.obs.mailboxPeak {
+				f.obs.mailboxPeak = len(buf)
+			}
 		}
 		sort.Slice(buf, func(i, j int) bool {
 			a, b := &buf[i], &buf[j]

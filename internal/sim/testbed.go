@@ -86,6 +86,9 @@ type TestbedConfig struct {
 	// once it returns true the run stops early and the result is partial.
 	// The scenario layer binds it to a context's Done channel.
 	Cancel func() bool
+	// Obs arms the observability layer (metrics and/or the flight
+	// recorder); the zero value keeps it off.
+	Obs ObsConfig
 }
 
 func (c *TestbedConfig) fillDefaults() {
@@ -351,6 +354,8 @@ func RunTestbed(cfg TestbedConfig) Result {
 		}
 		progSnaps = programSnapshots(insts)
 	})
+
+	f.EnableObs(cfg.Obs)
 
 	// Adaptive-eviction control plane (single-switch: no groups, the
 	// controller only retunes the program's Expiry threshold).

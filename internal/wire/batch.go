@@ -3,6 +3,8 @@ package wire
 import (
 	"net"
 	"sync/atomic"
+
+	"github.com/payloadpark/payloadpark/internal/obs"
 )
 
 // sendMark is one pending frame inside a BatchSender: where its bytes end
@@ -32,6 +34,10 @@ type BatchSender struct {
 	buf   []byte
 	marks []sendMark
 	fast  batchScratch
+
+	// Hist, when set, observes each flushed batch's frame count
+	// (nil-safe, zero-alloc): the sendmmsg batch-size distribution.
+	Hist *obs.Histogram
 }
 
 // NewBatchSender wraps conn. One BatchSender is owned by one goroutine.
@@ -83,6 +89,7 @@ func (s *BatchSender) Flush() (errs int) {
 	if len(s.marks) == 0 {
 		return 0
 	}
+	s.Hist.Observe(uint64(len(s.marks)))
 	if _, errs, handled := s.flushFast(); handled {
 		s.buf = s.buf[:0]
 		s.marks = s.marks[:0]

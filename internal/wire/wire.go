@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/payloadpark/payloadpark/internal/core"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/rmt"
 )
@@ -54,6 +55,10 @@ type BurstReader struct {
 	// current skip width, doubled after every empty drain.
 	skip    int
 	backoff int
+
+	// Hist, when set, observes each burst's frame count (nil-safe,
+	// zero-alloc): the recvmmsg-style drain-size distribution.
+	Hist *obs.Histogram
 }
 
 // maxDrainBackoff bounds how many bursts an idle reader skips between
@@ -99,6 +104,7 @@ func (b *BurstReader) Read() (int, error) {
 	if len(b.bufs) > 1 {
 		if b.skip > 0 {
 			b.skip--
+			b.Hist.Observe(1)
 			return count, nil
 		}
 		// Drain whatever is already queued, without blocking.
@@ -123,6 +129,7 @@ func (b *BurstReader) Read() (int, error) {
 			b.backoff = 0
 		}
 	}
+	b.Hist.Observe(uint64(count))
 	return count, nil
 }
 
@@ -155,6 +162,10 @@ type SwitchDaemon struct {
 	// Rx/Tx count datagrams; Errors counts parse/forward failures.
 	// Atomic: read from other goroutines while Run serves.
 	Rx, Tx, Errors atomic.Uint64
+
+	// burstHist/batchHist are installed by RegisterMetrics and wired
+	// onto the reader/sender inside Run.
+	burstHist, batchHist *obs.Histogram
 }
 
 // TuneUDP widens a socket's kernel buffers to absorb open-loop bursts:
@@ -221,6 +232,18 @@ func (d *SwitchDaemon) Counters() *core.Counters {
 	return &d.prog.C
 }
 
+// RegisterMetrics publishes the daemon's counters and socket-batching
+// histograms (the ppswitchd -metrics endpoint). Call before Run. Only
+// atomically maintained state is exposed: program counters are plain
+// fields owned by the Run goroutine and stay off the live surface.
+func (d *SwitchDaemon) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("pp_switch_rx_datagrams_total", "datagrams received", d.Rx.Load)
+	reg.Counter("pp_switch_tx_datagrams_total", "datagrams forwarded", d.Tx.Load)
+	reg.Counter("pp_switch_errors_total", "parse/forward/send failures", d.Errors.Load)
+	d.burstHist = reg.Histogram("pp_switch_rx_burst_frames", "frames drained per receive burst")
+	d.batchHist = reg.Histogram("pp_switch_tx_batch_frames", "frames written per batched send")
+}
+
 // Run serves until ctx is cancelled. Single-threaded by design: the
 // dataplane program is not concurrency-safe, exactly like the single
 // pipeline it models. Frames are read in recvmmsg-style bursts, the
@@ -237,6 +260,7 @@ func (d *SwitchDaemon) Run(ctx context.Context) error {
 	br := NewBurstReader(d.conn, d.cfg.Burst)
 	burst := d.sw.NewFrameBurst(len(br.bufs))
 	bs := NewBatchSender(d.conn)
+	br.Hist, bs.Hist = d.burstHist, d.batchHist
 	for {
 		count, err := br.Read()
 		if err != nil {
@@ -300,6 +324,19 @@ type NFDaemon struct {
 	swAddr *net.UDPAddr
 
 	Rx, Tx, Dropped, Notified atomic.Uint64
+
+	burstHist, batchHist *obs.Histogram
+}
+
+// RegisterMetrics publishes the daemon's counters and socket-batching
+// histograms (the ppnf -metrics endpoint). Call before Run.
+func (d *NFDaemon) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("pp_nf_rx_datagrams_total", "datagrams received", d.Rx.Load)
+	reg.Counter("pp_nf_tx_datagrams_total", "datagrams forwarded", d.Tx.Load)
+	reg.Counter("pp_nf_dropped_total", "packets dropped by the NF chain", d.Dropped.Load)
+	reg.Counter("pp_nf_notified_total", "explicit-drop notifications returned", d.Notified.Load)
+	d.burstHist = reg.Histogram("pp_nf_rx_burst_frames", "frames drained per receive burst")
+	d.batchHist = reg.Histogram("pp_nf_tx_batch_frames", "frames written per batched send")
 }
 
 // NewNFDaemon binds the server socket.
@@ -354,6 +391,7 @@ func (d *NFDaemon) Run(ctx context.Context) error {
 	}()
 	br := NewBurstReader(d.conn, d.cfg.Burst)
 	bs := NewBatchSender(d.conn)
+	br.Hist, bs.Hist = d.burstHist, d.batchHist
 	var pkt packet.Packet
 	var udp packet.UDP
 	var tcp packet.TCP

@@ -46,6 +46,7 @@ import (
 	"github.com/payloadpark/payloadpark/internal/harness"
 	"github.com/payloadpark/payloadpark/internal/live"
 	"github.com/payloadpark/payloadpark/internal/nf"
+	"github.com/payloadpark/payloadpark/internal/obs"
 	"github.com/payloadpark/payloadpark/internal/packet"
 	"github.com/payloadpark/payloadpark/internal/prog"
 	"github.com/payloadpark/payloadpark/internal/rmt"
@@ -161,6 +162,19 @@ type (
 	ControlDecision = ctrl.Decision
 	// Traffic is the offered-load spec.
 	Traffic = scenario.Traffic
+	// Observe is the observability spec of a Scenario: Metrics snapshots
+	// a registry of engine/switch/parking counters into Report.Metrics,
+	// Trace records the packet-lifecycle flight recorder into
+	// Report.Trace (simulated topologies only). Both default off; a dark
+	// scenario pays no instrumentation cost.
+	Observe = scenario.Observe
+	// MetricsSnapshot is the counters/gauges/histograms section in
+	// Report.Metrics.
+	MetricsSnapshot = obs.Snapshot
+	// FlightTrace is the recorded packet-lifecycle timeline in
+	// Report.Trace; export it with WriteChrome (Perfetto /
+	// chrome://tracing JSON).
+	FlightTrace = obs.Trace
 	// RunOptions are the execution knobs (seed, quick, window, progress).
 	RunOptions = scenario.RunOptions
 	// Report is the structured result of one Run, topology-independent
